@@ -1,0 +1,357 @@
+package mitosis
+
+// The benchmark harness regenerates every table and figure of the paper's
+// analysis and evaluation sections (run with -benchtime=1x for one full
+// regeneration per figure; each benchmark prints the paper-format rows on
+// its first iteration). BenchmarkMicro* measure the simulator's own hot
+// paths.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/mitosis-project/mitosis-sim/internal/core"
+	"github.com/mitosis-project/mitosis-sim/internal/experiments"
+	"github.com/mitosis-project/mitosis-sim/internal/kernel"
+	"github.com/mitosis-project/mitosis-sim/internal/mem"
+	"github.com/mitosis-project/mitosis-sim/internal/metrics"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+	"github.com/mitosis-project/mitosis-sim/internal/pvops"
+	"github.com/mitosis-project/mitosis-sim/internal/workloads"
+)
+
+// benchCfg keeps the full calibrated footprints but a bench-friendly
+// operation count.
+var benchCfg = experiments.Config{Ops: 20000}
+
+var printOnce sync.Map
+
+// printFirst prints s the first time key is seen, so -benchtime=Nx does
+// not repeat the tables.
+func printFirst(key, s string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Println(s)
+	}
+}
+
+func BenchmarkFig1Headline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunFig1(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig1", out)
+	}
+}
+
+func BenchmarkFig3PageTableDump(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunFig3(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig3", out)
+	}
+}
+
+func BenchmarkFig4RemoteLeafPTEs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunFig4(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig4", t.String())
+	}
+}
+
+func BenchmarkFig6MigrationAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig6(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig6", f.String())
+	}
+}
+
+func BenchmarkFig9aMultiSocket4K(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig9(benchCfg, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig9a", f.String())
+		reportBestImprovement(b, f.Group)
+	}
+}
+
+func BenchmarkFig9bMultiSocket2M(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig9(benchCfg, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig9b", f.String())
+		reportBestImprovement(b, f.Group)
+	}
+}
+
+func BenchmarkFig10aMigration4K(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig10(benchCfg, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig10a", f.String())
+		reportBestImprovement(b, f.Group)
+	}
+}
+
+func BenchmarkFig10bMigration2M(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig10(benchCfg, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig10b", f.String())
+		reportBestImprovement(b, f.Group)
+	}
+}
+
+func BenchmarkFig11Fragmentation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunFig11(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig11", f.String())
+		reportBestImprovement(b, f.Group)
+	}
+}
+
+func BenchmarkTable4MemoryOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.RunTable4()
+		printFirst("table4", t.String())
+	}
+}
+
+func BenchmarkTable5VMAOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunTable5(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("table5", t.String())
+	}
+}
+
+func BenchmarkTable6EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunTable6(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("table6", t.String())
+	}
+}
+
+func BenchmarkAblationPropagation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunAblationPropagation(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("abl-prop", t.String())
+	}
+}
+
+func BenchmarkAblationFiveLevel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunAblationFiveLevel(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("abl-5lvl", t.String())
+	}
+}
+
+func BenchmarkAblationPageCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunAblationPageCache(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("abl-pc", t.String())
+	}
+}
+
+func BenchmarkAblationAsyncReplication(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunAblationAsyncReplication(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("abl-async", t.String())
+	}
+}
+
+func BenchmarkAblationVirtualization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunAblationVirtualization(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("abl-virt", t.String())
+	}
+}
+
+func BenchmarkAblationAutoPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.RunAblationAutoPolicy(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("abl-auto", t.String())
+	}
+}
+
+// reportBestImprovement publishes the largest Mitosis improvement of a
+// figure as a custom metric (max-mitosis-speedup-x).
+func reportBestImprovement(b *testing.B, groups []metrics.Group) {
+	best := 0.0
+	for _, g := range groups {
+		for _, bar := range g.Bars {
+			if bar.Improvement > best {
+				best = bar.Improvement
+			}
+		}
+	}
+	b.ReportMetric(best, "max-mitosis-speedup-x")
+}
+
+// --- simulator micro-benchmarks ---
+
+// BenchmarkMicroAccessTLBHit measures the simulator's fast path: one
+// memory operation whose translation hits the first-level TLB.
+func BenchmarkMicroAccessTLBHit(b *testing.B) {
+	k := kernel.New(kernel.Config{FramesPerNode: 1 << 16})
+	p, err := k.CreateProcess(kernel.ProcessOpts{Name: "micro", Home: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := k.RunOn(p, []numa.CoreID{0}); err != nil {
+		b.Fatal(err)
+	}
+	base, err := k.Mmap(p, 1<<20, kernel.MmapOpts{Writable: true, Populate: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := k.Machine()
+	if err := m.Access(0, base, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Access(0, base, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroAccessTLBMiss measures a full simulated page walk per
+// operation (random accesses over a large region).
+func BenchmarkMicroAccessTLBMiss(b *testing.B) {
+	k := kernel.New(kernel.Config{FramesPerNode: 1 << 18})
+	p, err := k.CreateProcess(kernel.ProcessOpts{Name: "micro", Home: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := k.RunOn(p, []numa.CoreID{0}); err != nil {
+		b.Fatal(err)
+	}
+	const size = 512 << 20
+	base, err := k.Mmap(p, size, kernel.MmapOpts{Writable: true, Populate: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := k.Machine()
+	rng := uint64(12345)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		va := base + pt.VirtAddr(rng%size)&^63
+		if err := m.Access(0, va, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroSetPTEReplicated measures one PTE store propagated to four
+// replicas through the ring.
+func BenchmarkMicroSetPTEReplicated(b *testing.B) {
+	topo := numa.FourSocketXeon()
+	pm := mem.New(mem.Config{Topology: topo, FramesPerNode: 1 << 16})
+	cost := numa.NewCostModel(topo, numa.DefaultCostParams())
+	cache := mem.NewPageCache(pm, 0)
+	be := core.NewBackend(pm, cost, cache)
+	ctx := &pvops.OpCtx{Socket: 0}
+	f, err := be.AllocPT(ctx, pvops.AllocSpec{Level: 1, Primary: 0, Replicas: []numa.NodeID{1, 2, 3}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, _ := pm.AllocData(0)
+	e := pt.NewPTE(data, pt.FlagPresent|pt.FlagWrite)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		be.SetPTE(ctx, pt.EntryRef{Frame: f, Index: i & 511}, e)
+	}
+}
+
+// BenchmarkMicroReplicateTable measures full-table replication (the
+// SetMask walk) for a 64MB address space.
+func BenchmarkMicroReplicateTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		k := kernel.New(kernel.Config{FramesPerNode: 1 << 17})
+		k.Sysctl().Mode = core.ModePerProcess
+		p, err := k.CreateProcess(kernel.ProcessOpts{Name: "rep", Home: 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := k.RunOn(p, []numa.CoreID{0}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := k.Mmap(p, 64<<20, kernel.MmapOpts{Writable: true, Populate: true}); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := p.SetReplicationMask([]numa.NodeID{0, 1, 2, 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroWorkloadStep measures workload generator overhead.
+func BenchmarkMicroWorkloadStep(b *testing.B) {
+	k := kernel.New(kernel.Config{FramesPerNode: 1 << 16})
+	p, err := k.CreateProcess(kernel.ProcessOpts{Name: "gen", Home: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := k.RunOn(p, []numa.CoreID{0}); err != nil {
+		b.Fatal(err)
+	}
+	w := workloads.Scale(workloads.NewGUPS(), 1.0/16)
+	env := workloads.NewEnv(k, p, false, 1)
+	if err := w.Setup(env); err != nil {
+		b.Fatal(err)
+	}
+	step := w.NewThread(env, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}

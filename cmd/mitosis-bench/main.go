@@ -1,0 +1,122 @@
+// mitosis-bench regenerates the Mitosis paper's tables and figures on the
+// simulated machine.
+//
+// Usage:
+//
+//	mitosis-bench [-ops N] [-seed S] [-quick] [experiment ...]
+//
+// Experiments: fig1 fig3 fig4 fig6 fig9a fig9b fig10a fig10b fig11
+// table4 table5 table6 ablations, or "all" (default).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/mitosis-project/mitosis-sim/internal/experiments"
+)
+
+func main() {
+	ops := flag.Int("ops", 0, "measured operations per thread (0 = default)")
+	seed := flag.Int64("seed", 0, "random seed (0 = default)")
+	quick := flag.Bool("quick", false, "reduced scale smoke run (shapes not meaningful)")
+	flag.Parse()
+
+	cfg := experiments.Config{Ops: *ops, Seed: *seed}
+	if *quick {
+		cfg = experiments.Quick()
+		if *ops != 0 {
+			cfg.Ops = *ops
+		}
+	}
+
+	targets := flag.Args()
+	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
+		targets = []string{"fig1", "fig3", "fig4", "fig6", "fig9a", "fig9b",
+			"fig10a", "fig10b", "fig11", "table4", "table5", "table6", "ablations"}
+	}
+
+	for _, target := range targets {
+		start := time.Now()
+		out, err := run(cfg, target)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mitosis-bench: %s: %v\n", target, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", target, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(cfg experiments.Config, target string) (string, error) {
+	switch target {
+	case "fig1":
+		return experiments.RunFig1(cfg)
+	case "fig3":
+		return experiments.RunFig3(cfg)
+	case "fig4":
+		t, err := experiments.RunFig4(cfg)
+		return str(t, err)
+	case "fig6":
+		f, err := experiments.RunFig6(cfg)
+		return str(f, err)
+	case "fig9a":
+		f, err := experiments.RunFig9(cfg, false)
+		return str(f, err)
+	case "fig9b":
+		f, err := experiments.RunFig9(cfg, true)
+		return str(f, err)
+	case "fig10a":
+		f, err := experiments.RunFig10(cfg, false)
+		return str(f, err)
+	case "fig10b":
+		f, err := experiments.RunFig10(cfg, true)
+		return str(f, err)
+	case "fig11":
+		f, err := experiments.RunFig11(cfg)
+		return str(f, err)
+	case "table4":
+		return experiments.RunTable4().String(), nil
+	case "table5":
+		t, err := experiments.RunTable5(cfg)
+		return str(t, err)
+	case "table6":
+		t, err := experiments.RunTable6(cfg)
+		return str(t, err)
+	case "ablations":
+		out := ""
+		for _, f := range []func(experiments.Config) (fmt.Stringer, error){
+			wrap(experiments.RunAblationPropagation),
+			wrap(experiments.RunAblationFiveLevel),
+			wrap(experiments.RunAblationPageCache),
+			wrap(experiments.RunAblationAutoPolicy),
+			wrap(experiments.RunAblationAsyncReplication),
+			wrap(experiments.RunAblationVirtualization),
+		} {
+			s, err := f(cfg)
+			if err != nil {
+				return "", err
+			}
+			out += s.String() + "\n"
+		}
+		return out, nil
+	default:
+		return "", fmt.Errorf("unknown experiment %q", target)
+	}
+}
+
+func str(s fmt.Stringer, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return s.String(), nil
+}
+
+func wrap[T fmt.Stringer](f func(experiments.Config) (T, error)) func(experiments.Config) (fmt.Stringer, error) {
+	return func(cfg experiments.Config) (fmt.Stringer, error) {
+		t, err := f(cfg)
+		return t, err
+	}
+}

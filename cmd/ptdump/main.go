@@ -1,0 +1,100 @@
+// ptdump is the simulator's version of the paper's page-table dumping
+// kernel module (§3.1): it runs a workload on the simulated machine,
+// periodically snapshots its page-table, and prints the per-level,
+// per-socket distribution of page-table pages and their pointers in the
+// Figure 3 layout, plus the Figure 4 remote-leaf-PTE summary.
+//
+// Usage:
+//
+//	ptdump [-workload Memcached] [-scenario ms|wm] [-thp] [-interval N]
+//	       [-snapshots N] [-replicate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/mitosis-project/mitosis-sim/internal/core"
+	"github.com/mitosis-project/mitosis-sim/internal/kernel"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+	"github.com/mitosis-project/mitosis-sim/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "Memcached", "workload name (paper Table 1)")
+	scenario := flag.String("scenario", "ms", "suite: ms (multi-socket) or wm (workload migration)")
+	thp := flag.Bool("thp", false, "enable transparent huge pages")
+	interval := flag.Int("interval", 20000, "operations between snapshots (the paper used 30s)")
+	snapshots := flag.Int("snapshots", 3, "number of snapshots")
+	replicate := flag.Bool("replicate", false, "enable Mitosis replication on all sockets")
+	flag.Parse()
+
+	w := workloads.ByName(*name, *scenario)
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "ptdump: unknown workload %q; known:", *name)
+		for _, x := range append(workloads.MultiSocketSuite(), workloads.MigrationSuite()...) {
+			fmt.Fprintf(os.Stderr, " %s", x.Name())
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+
+	k := kernel.New(kernel.Config{})
+	k.SetTHP(*thp)
+	k.Sysctl().Mode = core.ModePerProcess
+	k.Sysctl().PageCacheTarget = 64
+	k.ApplySysctl()
+
+	p, err := k.CreateProcess(kernel.ProcessOpts{
+		Name: w.Name(), Home: 0, DataLocality: w.DataLocality(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo := k.Topology()
+	var cores []numa.CoreID
+	if *scenario == "wm" {
+		cores = []numa.CoreID{topo.FirstCoreOf(0)}
+	} else {
+		for s := 0; s < topo.Sockets(); s++ {
+			cores = append(cores, topo.FirstCoreOf(numa.SocketID(s)))
+		}
+	}
+	if err := k.RunOn(p, cores); err != nil {
+		log.Fatal(err)
+	}
+	env := workloads.NewEnv(k, p, *thp, 42)
+	fmt.Printf("initializing %s (%d MB)...\n", w.Name(), w.Footprint()>>20)
+	if err := w.Setup(env); err != nil {
+		log.Fatal(err)
+	}
+	if *replicate {
+		nodes := make([]numa.NodeID, topo.Nodes())
+		for i := range nodes {
+			nodes[i] = numa.NodeID(i)
+		}
+		if err := p.SetReplicationMask(nodes); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for snap := 0; snap < *snapshots; snap++ {
+		if snap > 0 {
+			if _, err := workloads.Run(env, w, *interval); err != nil {
+				log.Fatal(err)
+			}
+		}
+		d := pt.Snapshot(p.Table())
+		fmt.Printf("\n--- snapshot %d (after %d ops/thread) ---\n", snap, snap**interval)
+		fmt.Print(d.Format())
+		var remote []string
+		for s := numa.SocketID(0); int(s) < topo.Sockets(); s++ {
+			remote = append(remote, fmt.Sprintf("socket%d %.0f%%", s, d.RemoteLeafFraction(s)*100))
+		}
+		fmt.Printf("remote leaf PTEs observed: %s\n", strings.Join(remote, ", "))
+	}
+}

@@ -1,0 +1,89 @@
+// Policy demonstrates the Mitosis policy surface of §6: the system-wide
+// sysctl modes, the per-process replication mask (the libnuma/numactl
+// extension of Listing 2), and the counter-based automatic trigger the
+// paper sketches as future work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/mitosis-project/mitosis-sim/internal/core"
+	"github.com/mitosis-project/mitosis-sim/internal/kernel"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/workloads"
+)
+
+func main() {
+	k := kernel.New(kernel.Config{})
+
+	fmt.Println("== sysctl modes (paper §6.1) ==")
+	for _, mode := range []core.SysctlMode{
+		core.ModeDisabled, core.ModePerProcess, core.ModeFixedNode, core.ModeAllProcesses,
+	} {
+		k.Sysctl().Mode = mode
+		eff := k.Sysctl().EffectiveMask([]numa.NodeID{1, 2}, k.Topology().Sockets())
+		fmt.Printf("  mode=%-14s process asks for nodes [1 2] -> effective replicas: %v\n", mode, eff)
+	}
+
+	fmt.Println("\n== per-process mask + automatic trigger (paper §6.1/6.2) ==")
+	k.Sysctl().Mode = core.ModePerProcess
+	k.Sysctl().PageCacheTarget = 64
+	k.ApplySysctl()
+
+	w := workloads.NewXSBenchMS()
+	p, err := k.CreateProcess(kernel.ProcessOpts{
+		Name: w.Name(), Home: 0, DataLocality: w.DataLocality(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo := k.Topology()
+	cores := make([]numa.CoreID, topo.Sockets())
+	for s := range cores {
+		cores[s] = topo.FirstCoreOf(numa.SocketID(s))
+	}
+	if err := k.RunOn(p, cores); err != nil {
+		log.Fatal(err)
+	}
+	env := workloads.NewEnv(k, p, false, 42)
+	if err := w.Setup(env); err != nil {
+		log.Fatal(err)
+	}
+
+	policy := core.DefaultAutoPolicy()
+	const ops = 50000
+	res, err := workloads.Run(env, w, ops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sample := core.Sample{
+		Ops:         res.Ops,
+		TotalCycles: res.TotalCycles,
+		WalkCycles:  res.WalkCycles,
+		Walks:       res.Walks,
+	}
+	fmt.Printf("  phase 1: %.0f cycles/op, %.1f%% in page walks -> policy recommends replication: %v\n",
+		float64(res.TotalCycles)/float64(res.Ops), res.WalkCycleFraction()*100,
+		policy.Recommend(sample))
+
+	if policy.Recommend(sample) {
+		// numa_set_pgtable_replication_mask(all)
+		nodes := make([]numa.NodeID, topo.Nodes())
+		for i := range nodes {
+			nodes[i] = numa.NodeID(i)
+		}
+		if err := p.SetReplicationMask(nodes); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res2, err := workloads.Run(env, w, ops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  phase 2: %.0f cycles/op, %.1f%% in page walks (replicas on %v)\n",
+		float64(res2.TotalCycles)/float64(res2.Ops), res2.WalkCycleFraction()*100,
+		p.Space().ReplicaNodes())
+	fmt.Printf("  speedup from automatic replication: %.2fx\n",
+		float64(res.TotalCycles)/float64(res2.TotalCycles))
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+)
+
+// TestGatherADIsUnionOverReplicas is the §5.4 correctness property: for any
+// pattern of hardware A/D settings scattered across replicas, GatherAD
+// returns exactly the OR, and ClearAD resets every copy.
+func TestGatherADIsUnionOverReplicas(t *testing.T) {
+	property := func(seed int64, pattern uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		fx := newFixture(t, 0)
+		va := pt.VirtAddr(0x9000)
+		fx.mapPage(t, va, 0)
+		if err := fx.space.Replicate(fx.ctx); err != nil {
+			return false
+		}
+		roots := ringMembers(fx.pm, fx.mp.Root())
+		// Scatter A and D bits across a random subset of replicas, the
+		// way per-socket page walkers would.
+		wantA, wantD := false, false
+		for i, root := range roots {
+			tbl := pt.NewTable(fx.pm, root, 4)
+			w := tbl.Walk(va)
+			if !w.OK {
+				return false
+			}
+			var flags pt.PTE
+			if pattern&(1<<uint(i)) != 0 {
+				flags |= pt.FlagAccessed
+				wantA = true
+			}
+			if r.Intn(2) == 0 {
+				flags |= pt.FlagDirty
+				wantD = true
+			}
+			if flags != 0 {
+				pt.WriteEntryRaw(fx.pm, w.TerminalRef(), w.Terminal().WithFlags(flags))
+			}
+		}
+		got, err := fx.mp.GatherAD(fx.ctx, va, pt.Size4K)
+		if err != nil {
+			return false
+		}
+		if got.Accessed() != wantA || got.Dirty() != wantD {
+			t.Logf("gather = A:%v D:%v, want A:%v D:%v", got.Accessed(), got.Dirty(), wantA, wantD)
+			return false
+		}
+		// Reset clears every replica.
+		if err := fx.mp.ClearAD(fx.ctx, va, pt.Size4K); err != nil {
+			return false
+		}
+		for _, root := range roots {
+			tbl := pt.NewTable(fx.pm, root, 4)
+			leaf, _, ok := tbl.Lookup(va)
+			if !ok || leaf.Accessed() || leaf.Dirty() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	fx := newFixture(t, 0)
+	fx.mapPage(t, 0x1000, 0)
+	if err := fx.space.Validate(); err != nil {
+		t.Fatalf("healthy table failed validation: %v", err)
+	}
+	// Corrupt an interior entry: point the L3 slot at a data frame.
+	data, _ := fx.pm.AllocData(2)
+	w := fx.mp.Table().Walk(0x1000)
+	l3Ref := w.Steps[1].Ref
+	pt.WriteEntryRaw(fx.pm, l3Ref, pt.NewPTE(data, pt.FlagPresent|pt.FlagWrite))
+	if err := fx.space.Validate(); err == nil {
+		t.Fatal("validation missed a dangling interior pointer")
+	}
+}
+
+func TestRingMembersPanicsOnNonClosingRing(t *testing.T) {
+	fx := newFixture(t, 0)
+	a, _ := fx.pm.AllocPageTable(0, 1)
+	b, _ := fx.pm.AllocPageTable(1, 1)
+	// Manually corrupt: a -> b -> b (self-loop that never returns to a).
+	fx.pm.Meta(a).ReplicaNext = b
+	fx.pm.Meta(b).ReplicaNext = b
+	defer func() {
+		if recover() == nil {
+			t.Error("corrupt ring did not panic")
+		}
+	}()
+	ringMembers(fx.pm, a)
+}
+
+func TestSysctlStrings(t *testing.T) {
+	for mode, want := range map[SysctlMode]string{
+		ModeDisabled:     "disabled",
+		ModePerProcess:   "per-process",
+		ModeFixedNode:    "fixed-node",
+		ModeAllProcesses: "all-processes",
+	} {
+		if got := mode.String(); got != want {
+			t.Errorf("mode %d = %q, want %q", int(mode), got, want)
+		}
+	}
+}
+
+func TestEffectiveMaskDoesNotMutateRequest(t *testing.T) {
+	req := []numa.NodeID{2, 1}
+	s := &Sysctl{Mode: ModePerProcess}
+	_ = s.EffectiveMask(req, 4)
+	if req[0] != 2 || req[1] != 1 {
+		t.Error("EffectiveMask mutated the request")
+	}
+}

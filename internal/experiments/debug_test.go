@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/workloads"
+)
+
+// TestDebugMSCanneal prints walker behaviour for calibration work. Run
+// explicitly with: go test -run TestDebugMSCanneal -v -tags debug
+func TestDebugMSCanneal(t *testing.T) {
+	if os.Getenv("MITOSIS_DEBUG") == "" {
+		t.Skip("calibration debug only; set MITOSIS_DEBUG=1 to run")
+	}
+	cfg := Config{Ops: 20000}
+	for _, pol := range []MSPolicy{{Name: "F"}, {Name: "F+M", Mitosis: true}} {
+		w := cfg.workload(cloneMS("Canneal"))
+		res, k, err := msRun(cfg, w, pol, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: makespan=%d total=%d walk=%d (%.1f%%) walks=%d memacc=%d llchit=%d remote=%d",
+			pol.Name, res.Cycles, res.TotalCycles, res.WalkCycles,
+			res.WalkCycleFraction()*100, res.Walks, res.WalkMemAccesses,
+			res.WalkLLCHits, res.RemoteWalkAccesses)
+		for i, s := range res.PerCore {
+			t.Logf("  core[%d]: cycles=%d walk=%d walks=%d rem=%d mem=%d llc=%d faults=%d",
+				i, s.Cycles, s.WalkCycles, s.Walks, s.WalkRemoteAccesses,
+				s.WalkMemAccesses, s.WalkLLCHits, s.Faults)
+		}
+		_ = k
+		_ = workloads.Run
+	}
+}
+
+// TestDebugMS2MCanneal inspects the 2MB multi-socket write-invalidation
+// mechanism.
+func TestDebugMS2MCanneal(t *testing.T) {
+	if os.Getenv("MITOSIS_DEBUG") == "" {
+		t.Skip("calibration debug only; set MITOSIS_DEBUG=1 to run")
+	}
+	cfg := Config{Ops: 20000}
+	for _, pol := range []MSPolicy{{Name: "TF"}, {Name: "TF+M", Mitosis: true}} {
+		w := cfg.workload(cloneMS("Canneal"))
+		res, k, err := msRun(cfg, w, pol, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: ops=%d makespan=%d walk%%=%.1f walks=%d memacc=%d llchit=%d remote=%d",
+			pol.Name, res.Ops, res.Cycles, res.WalkCycleFraction()*100,
+			res.Walks, res.WalkMemAccesses, res.WalkLLCHits, res.RemoteWalkAccesses)
+		for s := 0; s < 4; s++ {
+			ls := k.Machine().LLCStats(numa.SocketID(s))
+			t.Logf("  llc[%d]: hits=%d misses=%d inval=%d", s, ls.Hits, ls.Misses, ls.Invalidates)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"github.com/mitosis-project/mitosis-sim/internal/core"
+	"github.com/mitosis-project/mitosis-sim/internal/kernel"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/workloads"
+)
+
+// MSPolicy is a multi-socket data-placement configuration (Table 3 of the
+// paper): first-touch, first-touch + AutoNUMA, or interleave — each with or
+// without Mitosis page-table replication.
+type MSPolicy struct {
+	// Name is the paper's bar label without the THP prefix ("F", "F+M",
+	// "F-A", "F-A+M", "I", "I+M").
+	Name string
+	// Interleave selects interleaved data placement; otherwise first-touch.
+	Interleave bool
+	// AutoNUMA enables data-page migration between warmup and measurement.
+	AutoNUMA bool
+	// Mitosis replicates page-tables on all sockets.
+	Mitosis bool
+}
+
+// MSPolicies returns the six configurations of Figure 9, in order.
+func MSPolicies() []MSPolicy {
+	return []MSPolicy{
+		{Name: "F"},
+		{Name: "F+M", Mitosis: true},
+		{Name: "F-A", AutoNUMA: true},
+		{Name: "F-A+M", AutoNUMA: true, Mitosis: true},
+		{Name: "I", Interleave: true},
+		{Name: "I+M", Interleave: true, Mitosis: true},
+	}
+}
+
+// msRun executes one multi-socket configuration: the workload runs with one
+// worker per socket across the whole machine (§8.1). It returns the
+// measured counters (initialization excluded) and the kernel for
+// post-inspection (page-table dumps).
+func msRun(cfg Config, w workloads.Workload, pol MSPolicy, thp bool) (*workloads.Result, *kernel.Kernel, error) {
+	cfg = cfg.fill()
+	k := cfg.newKernel(thp)
+	dataPolicy := kernel.FirstTouch
+	if pol.Interleave {
+		dataPolicy = kernel.Interleave
+	}
+	p, err := k.CreateProcess(kernel.ProcessOpts{
+		Name:         w.Name(),
+		Home:         0,
+		DataPolicy:   dataPolicy,
+		DataLocality: w.DataLocality(),
+	})
+	if err != nil {
+		return nil, nil, runErr("create process", err)
+	}
+	if err := k.RunOn(p, oneCorePerSocket(k)); err != nil {
+		return nil, nil, runErr("schedule", err)
+	}
+	env := workloads.NewEnv(k, p, thp, cfg.Seed)
+	if err := w.Setup(env); err != nil {
+		return nil, nil, runErr("setup "+w.Name(), err)
+	}
+	if pol.Mitosis {
+		k.Sysctl().Mode = core.ModePerProcess
+		k.Sysctl().PageCacheTarget = 64
+		k.ApplySysctl()
+		if err := p.SetReplicationMask(allNodes(k)); err != nil {
+			return nil, nil, runErr("replicate", err)
+		}
+	}
+	// Warmup to steady state (and to give AutoNUMA access samples).
+	if _, err := workloads.Run(env, w, cfg.Warmup); err != nil {
+		return nil, nil, runErr("warmup", err)
+	}
+	if pol.AutoNUMA {
+		k.AutoNUMAScan(p, kernel.DefaultAutoNUMAConfig())
+	}
+	res, err := workloads.Run(env, w, cfg.Ops)
+	if err != nil {
+		return nil, nil, runErr("measure", err)
+	}
+	return res, k, nil
+}
+
+// WMConfig is one workload-migration placement configuration (Table 2 of
+// the paper). The process always runs on socket A (0); "remote" means
+// socket B (1).
+type WMConfig struct {
+	// Name is the paper's label ("LP-LD", "RPI-LD", ...; the THP variants
+	// prefix a T).
+	Name string
+	// RemotePT places page-tables on socket B.
+	RemotePT bool
+	// RemoteData places data on socket B.
+	RemoteData bool
+	// Interfere runs a bandwidth hog on socket B.
+	Interfere bool
+	// MitosisMigrate recovers from remote page-tables by migrating them
+	// to socket A with Mitosis (the "+M" bars).
+	MitosisMigrate bool
+}
+
+// WMConfigs returns the seven configurations of Figure 6, in order.
+func WMConfigs() []WMConfig {
+	return []WMConfig{
+		{Name: "LP-LD"},
+		{Name: "LP-RD", RemoteData: true},
+		{Name: "LP-RDI", RemoteData: true, Interfere: true},
+		{Name: "RP-LD", RemotePT: true},
+		{Name: "RPI-LD", RemotePT: true, Interfere: true},
+		{Name: "RP-RD", RemotePT: true, RemoteData: true},
+		{Name: "RPI-RDI", RemotePT: true, RemoteData: true, Interfere: true},
+	}
+}
+
+// wmSockets: the process runs on socket A; B hosts the remote placements.
+const (
+	wmSocketA = numa.SocketID(0)
+	wmSocketB = numa.SocketID(1)
+)
+
+// wmRun executes one workload-migration configuration: a single-threaded
+// workload on socket A with page-tables/data placed per c (§3.2, §8.2).
+// fragmentation > 0 pre-fragments all nodes (Figure 11).
+func wmRun(cfg Config, w workloads.Workload, c WMConfig, thp bool, fragmentation float64) (*workloads.Result, *kernel.Kernel, error) {
+	cfg = cfg.fill()
+	k := cfg.newKernel(thp)
+	if fragmentation > 0 {
+		r := rand.New(rand.NewSource(cfg.Seed))
+		for _, n := range allNodes(k) {
+			k.Mem().Fragment(n, fragmentation, r)
+		}
+	}
+	nodeA := k.Topology().NodeOf(wmSocketA)
+	nodeB := k.Topology().NodeOf(wmSocketB)
+	ptNode := nodeA
+	if c.RemotePT {
+		ptNode = nodeB
+	}
+	dataNode := nodeA
+	if c.RemoteData {
+		dataNode = nodeB
+	}
+	p, err := k.CreateProcess(kernel.ProcessOpts{
+		Name:         w.Name(),
+		Home:         wmSocketA,
+		DataPolicy:   kernel.Bind,
+		BindNode:     dataNode,
+		PTPolicy:     kernel.PTFixed,
+		PTNode:       ptNode,
+		DataLocality: w.DataLocality(),
+	})
+	if err != nil {
+		return nil, nil, runErr("create process", err)
+	}
+	if err := k.RunOn(p, []numa.CoreID{k.Topology().FirstCoreOf(wmSocketA)}); err != nil {
+		return nil, nil, runErr("schedule", err)
+	}
+	env := workloads.NewEnv(k, p, thp, cfg.Seed)
+	if err := w.Setup(env); err != nil {
+		return nil, nil, runErr("setup "+w.Name(), err)
+	}
+	if c.MitosisMigrate {
+		k.Sysctl().Mode = core.ModePerProcess
+		k.Sysctl().PageCacheTarget = 64
+		k.ApplySysctl()
+		if err := k.MigratePT(p, nodeA, false); err != nil {
+			return nil, nil, runErr("migrate page-tables", err)
+		}
+		// Future page-table allocations also stay local.
+		p.SetPTPolicy(kernel.PTFixed, nodeA)
+	}
+	if c.Interfere {
+		k.SetInterference(nodeB, true)
+	}
+	if _, err := workloads.Run(env, w, cfg.Warmup); err != nil {
+		return nil, nil, runErr("warmup", err)
+	}
+	res, err := workloads.Run(env, w, cfg.Ops)
+	if err != nil {
+		return nil, nil, runErr("measure", err)
+	}
+	return res, k, nil
+}

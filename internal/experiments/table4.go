@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/mitosis-project/mitosis-sim/internal/metrics"
+)
+
+// PTBytes returns the page-table size in bytes for a compact address space
+// of the given footprint under x86-64 4-level paging with 4KB pages: each
+// level needs ceil(entries/512) pages with at least one page per level
+// (§8.3.1's estimation model).
+func PTBytes(footprint uint64) uint64 {
+	const pageSize = 4096
+	pages := (footprint + pageSize - 1) / pageSize // mapped 4KB pages
+	var total uint64
+	entries := pages
+	for level := 1; level <= 4; level++ {
+		tables := (entries + 511) / 512
+		if tables == 0 {
+			tables = 1
+		}
+		total += tables * pageSize
+		entries = tables
+	}
+	return total
+}
+
+// MemOverhead evaluates the paper's two-dimensional overhead function
+// mem_overhead(Footprint, Replicas): total memory with N replicas relative
+// to the single-page-table baseline.
+func MemOverhead(footprint uint64, replicas int) float64 {
+	pt := PTBytes(footprint)
+	base := float64(footprint + pt)
+	with := float64(footprint + uint64(replicas)*pt)
+	return with / base
+}
+
+// RunTable4 regenerates Table 4: memory footprint overhead of Mitosis for
+// 1MB..16TB applications with 1..16 replicas. This is the paper's analytic
+// model, so the numbers match exactly, not just in shape.
+func RunTable4() *metrics.Table {
+	t := &metrics.Table{
+		Title:   "Table 4: memory footprint overhead for Mitosis",
+		Note:    "relative memory use vs single page-table; PT size per x86-64 4-level paging",
+		Columns: []string{"Footprint", "PT Size", "1", "2", "4", "8", "16"},
+	}
+	rows := []struct {
+		name string
+		size uint64
+	}{
+		{"1 MB", 1 << 20},
+		{"1 GB", 1 << 30},
+		{"1 TB", 1 << 40},
+		{"16 TB", 16 << 40},
+	}
+	for _, r := range rows {
+		pt := PTBytes(r.size)
+		row := []string{r.name, formatBytes(pt)}
+		for _, n := range []int{1, 2, 4, 8, 16} {
+			row = append(row, fmt.Sprintf("%.3f", MemOverhead(r.size, n)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func formatBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(b)/float64(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MB", float64(b)/float64(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KB", float64(b)/float64(1<<10))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}

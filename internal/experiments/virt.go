@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/mitosis-project/mitosis-sim/internal/core"
+	"github.com/mitosis-project/mitosis-sim/internal/mem"
+	"github.com/mitosis-project/mitosis-sim/internal/metrics"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+	"github.com/mitosis-project/mitosis-sim/internal/virt"
+)
+
+// RunAblationVirtualization evaluates the §7.4 extension: nested paging
+// turns a 4-access walk into a 24-access two-dimensional walk, every access
+// NUMA-sensitive. A VM initialized on one socket and scheduled on another
+// pays remote latency on most of them; replicating the nested table, the
+// guest table, or both recovers locality level by level.
+func RunAblationVirtualization(cfg Config) (*metrics.Table, error) {
+	cfg = cfg.fill()
+	t := &metrics.Table{
+		Title:   "Extension: Mitosis for virtualized (nested) paging (paper §7.4)",
+		Note:    "2D walk of a guest workload; VM and guest initialized on node 1, vCPU on socket 0",
+		Columns: []string{"Configuration", "walk accesses", "remote", "avg walk cycles", "vs worst"},
+	}
+	const pages = 2048 // guest working set: 8MB
+	run := func(replNested, replGuest bool) (avgCycles float64, accesses int, remoteFrac float64, err error) {
+		topo := numa.FourSocketXeon()
+		pm := mem.New(mem.Config{Topology: topo, FramesPerNode: 1 << 16})
+		cost := numa.NewCostModel(topo, numa.DefaultCostParams())
+		be := core.NewBackend(pm, cost, mem.NewPageCache(pm, 0))
+		vm, err := virt.NewVM(pm, cost, be, 1)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		gs, err := vm.NewGuestSpace(1)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		vas := make([]pt.VirtAddr, pages)
+		for i := range vas {
+			gf, err := vm.AllocGuestFrame(1)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			vas[i] = pt.VirtAddr(uint64(i) * 0x1000)
+			if err := gs.Map(vas[i], gf, pt.FlagWrite|pt.FlagUser); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		if replNested {
+			if err := vm.ReplicateNested(allNodesOf(topo)); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		if replGuest {
+			if err := gs.ReplicateGuest([]numa.NodeID{0}); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		r := rand.New(rand.NewSource(cfg.Seed))
+		var cy numa.Cycles
+		var remote, total int
+		n := cfg.Ops / 10
+		if n < 500 {
+			n = 500
+		}
+		for i := 0; i < n; i++ {
+			res, err := vm.Walk2D(gs, 0, vas[r.Intn(pages)])
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			cy += res.Cycles
+			remote += res.RemoteAccesses
+			total += res.Accesses
+			accesses = res.Accesses
+		}
+		return float64(cy) / float64(n), accesses, float64(remote) / float64(total), nil
+	}
+
+	worst := 0.0
+	rows := []struct {
+		name                  string
+		replNested, replGuest bool
+	}{
+		{"VM migrated (no Mitosis)", false, false},
+		{"+ nested PT replicated", true, false},
+		{"+ guest PT replicated", false, true},
+		{"+ both replicated", true, true},
+	}
+	for _, row := range rows {
+		avg, acc, rem, err := run(row.replNested, row.replGuest)
+		if err != nil {
+			return nil, runErr("virtualization "+row.name, err)
+		}
+		if worst == 0 {
+			worst = avg
+		}
+		t.AddRow(row.name,
+			fmt.Sprintf("%d", acc),
+			metrics.Pct(rem),
+			fmt.Sprintf("%.0f", avg),
+			metrics.X(worst/avg))
+	}
+	return t, nil
+}
+
+func allNodesOf(topo *numa.Topology) []numa.NodeID {
+	nodes := make([]numa.NodeID, topo.Nodes())
+	for i := range nodes {
+		nodes[i] = numa.NodeID(i)
+	}
+	return nodes
+}

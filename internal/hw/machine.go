@@ -1,0 +1,517 @@
+// Package hw is the simulated hardware execution engine: per-core TLBs and
+// paging-structure caches, per-socket LLC models for page-table lines, and
+// the hardware page-table walker. It executes memory accesses against a
+// page-table in simulated physical memory and charges NUMA-aware cycle
+// costs, producing the per-core cycle and page-walk counters every
+// experiment in the paper reads through perf.
+//
+// The walker reproduces the behaviours the paper's results depend on:
+//
+//   - A TLB miss triggers a multi-level walk whose per-level reads are
+//     served by the socket's LLC or by local/remote DRAM depending on where
+//     each page-table page physically resides — the heart of the NUMA
+//     page-table placement problem (§3).
+//   - Paging-structure caches skip upper levels, so leaf PTE placement
+//     dominates (§3.1: "we focus on leaf PTEs").
+//   - The walker sets Accessed/Dirty bits with raw stores into the specific
+//     replica it walked, bypassing the OS write interface — exactly the
+//     §5.4 hazard that Mitosis's OR-read semantics must cover.
+//   - Store-triggered walks acquire the leaf line exclusively, invalidating
+//     the line in other sockets' LLCs. That coherence traffic keeps
+//     multi-socket write-heavy workloads missing the LLC on walks even
+//     when the table is small, while a single-socket workload's 2MB-page
+//     tables stay cached (the Figure 9b vs Figure 10b split).
+package hw
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/mitosis-project/mitosis-sim/internal/mem"
+	"github.com/mitosis-project/mitosis-sim/internal/mmucache"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+	"github.com/mitosis-project/mitosis-sim/internal/tlb"
+)
+
+// ErrNoContext is returned when a core accesses memory without a loaded
+// address space.
+var ErrNoContext = errors.New("hw: core has no address space loaded")
+
+// ErrSegfault is returned when a fault cannot be resolved by the handler.
+var ErrSegfault = errors.New("hw: unresolvable page fault")
+
+// FaultHandler resolves page faults: the simulator's kernel entry point.
+// It returns the cycles the fault handling consumed (charged to the
+// faulting core, outside walk cycles).
+type FaultHandler interface {
+	HandleFault(core numa.CoreID, va pt.VirtAddr, write bool) (numa.Cycles, error)
+}
+
+// CoreStats holds one core's hardware counters (the perf values the paper
+// reads: execution cycles and TLB load/store miss walk cycles, §3.2).
+type CoreStats struct {
+	// Ops counts executed memory operations.
+	Ops uint64
+	// Cycles is total execution time.
+	Cycles numa.Cycles
+	// WalkCycles is the time the page walker was active.
+	WalkCycles numa.Cycles
+	// Walks counts completed page walks.
+	Walks uint64
+	// WalkMemAccesses counts page-table reads that went to DRAM.
+	WalkMemAccesses uint64
+	// WalkLLCHits counts page-table reads served by the LLC.
+	WalkLLCHits uint64
+	// WalkRemoteAccesses counts page-table DRAM reads to a remote node.
+	WalkRemoteAccesses uint64
+	// Faults counts page faults taken.
+	Faults uint64
+	// FaultCycles is the time spent in fault handling.
+	FaultCycles numa.Cycles
+}
+
+// WalkCycleFraction returns walk cycles as a fraction of total cycles —
+// the hashed portion of the paper's runtime bars.
+func (s *CoreStats) WalkCycleFraction() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.WalkCycles) / float64(s.Cycles)
+}
+
+type coreState struct {
+	cr3    mem.FrameID
+	levels uint8
+	tlb    *tlb.TLB
+	psc    *mmucache.PSC
+	// dataHitRate is the probability a data access hits the cache
+	// hierarchy (workload-locality model).
+	dataHitRate float64
+	// walkOverlap scales charged walk latency: out-of-order execution
+	// overlaps independent page walks with other work (§3.2 of the paper
+	// notes parts of walks may be overlapped), so workloads with high
+	// memory-level parallelism hide part of the walk cost. 1.0 = fully
+	// exposed (dependent pointer chases), lower = partially hidden.
+	walkOverlap float64
+	rng         uint64
+	stats       CoreStats
+}
+
+// Config assembles a Machine.
+type Config struct {
+	Topology *numa.Topology
+	Cost     *numa.CostModel
+	Mem      *mem.PhysMem
+	TLB      tlb.Config
+	PSC      mmucache.PSCConfig
+	LLC      mmucache.LLCConfig
+}
+
+// Machine is the hardware: cores with TLBs and PSCs, per-socket LLCs, and
+// the page walker.
+type Machine struct {
+	topo  *numa.Topology
+	cost  *numa.CostModel
+	pm    *mem.PhysMem
+	cores []coreState
+	llcs  []*mmucache.LLC
+	fault FaultHandler
+}
+
+// New builds the machine.
+func New(cfg Config) *Machine {
+	if cfg.Topology == nil || cfg.Cost == nil || cfg.Mem == nil {
+		panic("hw: Config requires Topology, Cost and Mem")
+	}
+	m := &Machine{
+		topo:  cfg.Topology,
+		cost:  cfg.Cost,
+		pm:    cfg.Mem,
+		cores: make([]coreState, cfg.Topology.Cores()),
+		llcs:  make([]*mmucache.LLC, cfg.Topology.Sockets()),
+	}
+	for i := range m.cores {
+		m.cores[i] = coreState{
+			cr3:         mem.NilFrame,
+			tlb:         tlb.New(cfg.TLB),
+			psc:         mmucache.NewPSC(cfg.PSC),
+			dataHitRate: 0,
+			walkOverlap: 1.0,
+			rng:         uint64(i)*0x9E3779B97F4A7C15 + 0x243F6A8885A308D3,
+		}
+	}
+	for i := range m.llcs {
+		m.llcs[i] = mmucache.NewLLC(cfg.LLC)
+	}
+	return m
+}
+
+// Topology returns the machine topology.
+func (m *Machine) Topology() *numa.Topology { return m.topo }
+
+// Cost returns the cost model.
+func (m *Machine) Cost() *numa.CostModel { return m.cost }
+
+// Mem returns the physical memory.
+func (m *Machine) Mem() *mem.PhysMem { return m.pm }
+
+// SetFaultHandler installs the kernel's fault entry point.
+func (m *Machine) SetFaultHandler(h FaultHandler) { m.fault = h }
+
+// LoadContext is the context-switch: it programs the core's page-table
+// root (write_cr3) and flushes the core's TLB and paging-structure caches.
+// With Mitosis, the kernel passes the socket-local replica root (§5.3).
+func (m *Machine) LoadContext(core numa.CoreID, root mem.FrameID, levels uint8) {
+	c := m.core(core)
+	c.cr3 = root
+	c.levels = levels
+	c.tlb.Flush()
+	c.psc.Flush()
+	// CR3 write plus pipeline drain.
+	c.stats.Cycles += 300
+}
+
+// ClearContext detaches the core from any address space.
+func (m *Machine) ClearContext(core numa.CoreID) {
+	c := m.core(core)
+	c.cr3 = mem.NilFrame
+	c.levels = 0
+	c.tlb.Flush()
+	c.psc.Flush()
+}
+
+// ContextRoot returns the root currently loaded on core (CR3).
+func (m *Machine) ContextRoot(core numa.CoreID) mem.FrameID { return m.core(core).cr3 }
+
+// SetDataLocality sets the probability that core's data accesses hit in
+// the cache hierarchy (a workload-locality parameter; page-table lines are
+// modelled exactly, data lines statistically).
+func (m *Machine) SetDataLocality(core numa.CoreID, hitRate float64) {
+	if hitRate < 0 || hitRate > 1 {
+		panic(fmt.Sprintf("hw: data hit rate %v out of [0,1]", hitRate))
+	}
+	m.core(core).dataHitRate = hitRate
+}
+
+// SetWalkOverlap sets the fraction of page-walk latency exposed on core's
+// critical path. Workloads with independent accesses (high memory-level
+// parallelism) overlap walks with other work and expose less.
+func (m *Machine) SetWalkOverlap(core numa.CoreID, exposed float64) {
+	if exposed <= 0 || exposed > 1 {
+		panic(fmt.Sprintf("hw: walk overlap %v out of (0,1]", exposed))
+	}
+	m.core(core).walkOverlap = exposed
+}
+
+// Stats returns a copy of core's counters.
+func (m *Machine) Stats(core numa.CoreID) CoreStats { return m.core(core).stats }
+
+// TLBStats returns core's TLB counters.
+func (m *Machine) TLBStats(core numa.CoreID) tlb.Stats { return m.core(core).tlb.Stats }
+
+// LLCStats returns socket's page-table-line cache counters.
+func (m *Machine) LLCStats(s numa.SocketID) mmucache.LLCStats { return m.llcs[s].Stats }
+
+// ResetStats zeroes all counters on all cores (not the cache contents).
+func (m *Machine) ResetStats() {
+	for i := range m.cores {
+		m.cores[i].stats = CoreStats{}
+		m.cores[i].tlb.ResetStats()
+	}
+	for _, l := range m.llcs {
+		l.Stats = mmucache.LLCStats{}
+	}
+}
+
+// AddCycles charges extra cycles to a core: the kernel uses it to bill
+// system-call and fault-handling work.
+func (m *Machine) AddCycles(core numa.CoreID, cy numa.Cycles) {
+	m.core(core).stats.Cycles += cy
+}
+
+// MaxCycles returns the highest cycle count across the given cores — the
+// makespan of a parallel phase.
+func (m *Machine) MaxCycles(cores []numa.CoreID) numa.Cycles {
+	var maxCy numa.Cycles
+	for _, c := range cores {
+		if cy := m.core(c).stats.Cycles; cy > maxCy {
+			maxCy = cy
+		}
+	}
+	return maxCy
+}
+
+// Access executes one memory operation on core at va. It consults the TLB,
+// walks the page-table on a miss (taking page faults through the fault
+// handler as needed), charges all cycle costs, and samples data-frame
+// access statistics for the kernel's NUMA balancer.
+func (m *Machine) Access(core numa.CoreID, va pt.VirtAddr, write bool) error {
+	c := m.core(core)
+	if c.cr3 == mem.NilFrame {
+		return ErrNoContext
+	}
+	socket := m.topo.SocketOf(core)
+	c.stats.Ops++
+	cycles := m.cost.PipelineOp()
+
+	entry, hit := c.tlb.Lookup(va)
+	// A store through a read-only cached translation must take the
+	// permission fault path: drop the entry and re-walk.
+	if hit != tlb.Miss && write && !entry.Leaf.Writable() {
+		c.tlb.InvalidatePage(va)
+		hit = tlb.Miss
+	}
+	var frame mem.FrameID
+	switch hit {
+	case tlb.HitL1:
+		frame = entry.Frame(va)
+	case tlb.HitL2:
+		cycles += m.cost.L2TLBHit()
+		frame = entry.Frame(va)
+	case tlb.Miss:
+		leaf, size, walkCy, err := m.walk(core, va, write)
+		if err != nil {
+			return err
+		}
+		walkCy = numa.Cycles(float64(walkCy) * c.walkOverlap)
+		c.stats.Walks++
+		c.stats.WalkCycles += walkCy
+		cycles += walkCy
+		c.tlb.Insert(va, leaf, size)
+		e := tlb.Entry{VPN: uint64(va) >> uint(sizeShift(size)), Leaf: leaf, Size: size}
+		frame = e.Frame(va)
+	}
+
+	// Data access cost: statistically cached, else DRAM at the frame's
+	// node (with interference).
+	if m.nextRand(c) < c.dataHitRate {
+		cycles += m.cost.LLCHit()
+	} else {
+		cycles += m.cost.DRAM(socket, m.pm.NodeOf(frame))
+	}
+
+	// Sample the access for the kernel's NUMA balancer (AutoNUMA).
+	meta := m.pm.Meta(frame)
+	meta.AccessSocket = socket
+	if m.pm.NodeOf(frame) == m.topo.NodeOf(socket) {
+		meta.LocalAccesses++
+	} else {
+		meta.RemoteAccesses++
+	}
+
+	c.stats.Cycles += cycles
+	return nil
+}
+
+// walk performs the hardware page walk for va on core, including fault
+// handling and retry. Returns the leaf PTE, its page size, and the walk's
+// cycle cost (fault handling is charged separately to the core).
+func (m *Machine) walk(core numa.CoreID, va pt.VirtAddr, write bool) (pt.PTE, pt.PageSize, numa.Cycles, error) {
+	c := m.core(core)
+	socket := m.topo.SocketOf(core)
+	const maxFaults = 4
+	faults := 0
+
+	for {
+		leaf, size, cy, ok := m.walkOnce(c, socket, va, write)
+		if ok {
+			return leaf, size, cy, nil
+		}
+		// Page fault: charge the partial walk, then trap to the kernel.
+		c.stats.WalkCycles += cy
+		c.stats.Cycles += cy
+		faults++
+		if m.fault == nil || faults > maxFaults {
+			return 0, 0, 0, fmt.Errorf("%w: core %d va %#x", ErrSegfault, core, uint64(va))
+		}
+		c.stats.Faults++
+		faultCy, err := m.fault.HandleFault(core, va, write)
+		c.stats.FaultCycles += faultCy
+		c.stats.Cycles += faultCy
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("%w: core %d va %#x: %v", ErrSegfault, core, uint64(va), err)
+		}
+	}
+}
+
+// walkOnce is a single traversal attempt. ok=false means a non-present
+// entry was hit (page fault).
+func (m *Machine) walkOnce(c *coreState, socket numa.SocketID, va pt.VirtAddr, write bool) (pt.PTE, pt.PageSize, numa.Cycles, bool) {
+	level := c.levels
+	frame := c.cr3
+	if resume, child, hit := c.psc.Lookup(va, c.levels); hit {
+		level = resume
+		frame = child
+	}
+	var cy numa.Cycles
+	for ; level >= 1; level-- {
+		idx := pt.Index(va, level)
+		cy += m.ptRead(c, socket, frame, idx)
+		ref := pt.EntryRef{Frame: frame, Index: idx}
+		e := pt.ReadEntry(m.pm, ref)
+		if !e.Present() {
+			return 0, 0, cy, false
+		}
+		isLeaf := level == 1 || e.Huge()
+		if isLeaf {
+			if write && !e.Writable() {
+				// Present but read-only: permission fault before any
+				// Dirty-bit update.
+				return 0, 0, cy, false
+			}
+			// Hardware sets Accessed (and Dirty on store) in THIS
+			// replica only, with a raw store that bypasses the OS
+			// write interface (§5.4).
+			flags := pt.FlagAccessed
+			if write {
+				flags |= pt.FlagDirty
+			}
+			if e.Flags()&flags != flags {
+				pt.WriteEntryRaw(m.pm, ref, e.WithFlags(flags))
+			}
+			if write {
+				// A store-path walk acquires the leaf line exclusively
+				// (Dirty-bit semantics), invalidating copies cached by
+				// other sockets. Read walks leave the line shared.
+				m.invalidateOthers(socket, mmucache.LineOf(frame, idx))
+			}
+			size := pt.Size4K
+			switch level {
+			case 2:
+				size = pt.Size2M
+			case 3:
+				size = pt.Size1G
+			}
+			return e.WithFlags(flags), size, cy, true
+		}
+		pt.WriteEntryRaw(m.pm, ref, e.WithFlags(pt.FlagAccessed))
+		c.psc.Insert(va, level, e.Frame())
+		frame = e.Frame()
+	}
+	panic("hw: walk descended past level 1")
+}
+
+// ptRead charges one page-table entry read: LLC hit or DRAM at the table
+// page's node.
+func (m *Machine) ptRead(c *coreState, socket numa.SocketID, frame mem.FrameID, idx int) numa.Cycles {
+	line := mmucache.LineOf(frame, idx)
+	if m.llcs[socket].Access(line) {
+		c.stats.WalkLLCHits++
+		return m.cost.LLCHit()
+	}
+	node := m.pm.NodeOf(frame)
+	c.stats.WalkMemAccesses++
+	if node != m.topo.NodeOf(socket) {
+		c.stats.WalkRemoteAccesses++
+	}
+	return m.cost.DRAM(socket, node)
+}
+
+// invalidateOthers drops the line from every socket's LLC except the owner.
+func (m *Machine) invalidateOthers(owner numa.SocketID, line mmucache.LineID) {
+	for s := range m.llcs {
+		if numa.SocketID(s) != owner {
+			m.llcs[s].Invalidate(line)
+		}
+	}
+}
+
+// ShootdownPage performs a TLB shootdown for va: the initiating core pays
+// the IPI round-trip cost and every target core (plus the initiator) drops
+// its translation for va. The kernel calls this after unmapping or
+// remapping a page.
+func (m *Machine) ShootdownPage(initiator numa.CoreID, va pt.VirtAddr, targets []numa.CoreID) {
+	const ipiCost = 2000 // cycles for IPI send + acks
+	init := m.core(initiator)
+	init.tlb.InvalidatePage(va)
+	init.psc.Flush()
+	others := 0
+	for _, t := range targets {
+		if t == initiator {
+			continue
+		}
+		m.core(t).tlb.InvalidatePage(va)
+		m.core(t).psc.Flush()
+		others++
+	}
+	if others > 0 {
+		init.stats.Cycles += ipiCost
+	}
+}
+
+// ShootdownRange performs one batched TLB shootdown for a set of pages:
+// a single IPI round-trip regardless of page count (Linux's
+// flush_tlb_range), with targets flushing individual pages below the
+// full-flush threshold and their whole TLB above it (x86's
+// tlb_single_page_flush_ceiling behaviour).
+func (m *Machine) ShootdownRange(initiator numa.CoreID, vas []pt.VirtAddr, targets []numa.CoreID) {
+	if len(vas) == 0 {
+		return
+	}
+	const ipiCost = 2000
+	const fullFlushThreshold = 33
+	flushCore := func(c numa.CoreID) {
+		cs := m.core(c)
+		if len(vas) > fullFlushThreshold {
+			cs.tlb.Flush()
+		} else {
+			for _, va := range vas {
+				cs.tlb.InvalidatePage(va)
+			}
+		}
+		cs.psc.Flush()
+	}
+	flushCore(initiator)
+	others := 0
+	for _, t := range targets {
+		if t == initiator {
+			continue
+		}
+		flushCore(t)
+		others++
+	}
+	if others > 0 {
+		m.core(initiator).stats.Cycles += ipiCost
+	}
+}
+
+// FlushAll flushes core's TLB and PSC (global shootdown on that core).
+func (m *Machine) FlushAll(core numa.CoreID) {
+	c := m.core(core)
+	c.tlb.Flush()
+	c.psc.Flush()
+}
+
+// FlushLLCs empties all per-socket page-table line caches (used between
+// experiment phases).
+func (m *Machine) FlushLLCs() {
+	for _, l := range m.llcs {
+		l.Flush()
+	}
+}
+
+func (m *Machine) core(c numa.CoreID) *coreState {
+	if c < 0 || int(c) >= len(m.cores) {
+		panic(fmt.Sprintf("hw: core %d out of range [0,%d)", c, len(m.cores)))
+	}
+	return &m.cores[c]
+}
+
+// nextRand advances the core's deterministic LCG and returns a float in
+// [0,1).
+func (m *Machine) nextRand(c *coreState) float64 {
+	c.rng = c.rng*6364136223846793005 + 1442695040888963407
+	return float64(c.rng>>11) / float64(1<<53)
+}
+
+func sizeShift(s pt.PageSize) int {
+	switch s {
+	case pt.Size4K:
+		return 12
+	case pt.Size2M:
+		return 21
+	default:
+		return 30
+	}
+}

@@ -1,0 +1,200 @@
+package hw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+	"github.com/mitosis-project/mitosis-sim/internal/pvops"
+)
+
+func TestShootdownRangeBatchesIPI(t *testing.T) {
+	fx := newFixture(t)
+	var vas []pt.VirtAddr
+	for i := 0; i < 8; i++ {
+		va := pt.VirtAddr(0x1000 * uint64(i+1))
+		fx.mapPage(t, va, 0)
+		vas = append(vas, va)
+	}
+	fx.m.LoadContext(0, fx.mp.Root(), 4)
+	fx.m.LoadContext(1, fx.mp.Root(), 4)
+	for _, va := range vas {
+		if err := fx.m.Access(1, va, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := fx.m.Stats(0).Cycles
+	fx.m.ShootdownRange(0, vas, []numa.CoreID{0, 1})
+	// One IPI regardless of page count: cost is a single constant.
+	if got := fx.m.Stats(0).Cycles - before; got != 2000 {
+		t.Errorf("shootdown cost = %d, want one 2000-cycle IPI", got)
+	}
+	// Core 1 re-walks every page.
+	w := fx.m.Stats(1).Walks
+	for _, va := range vas {
+		if err := fx.m.Access(1, va, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fx.m.Stats(1).Walks - w; got != uint64(len(vas)) {
+		t.Errorf("re-walks = %d, want %d", got, len(vas))
+	}
+}
+
+func TestShootdownRangeFullFlushAboveThreshold(t *testing.T) {
+	fx := newFixture(t)
+	var vas []pt.VirtAddr
+	for i := 0; i < 40; i++ { // above the 33-page ceiling
+		va := pt.VirtAddr(0x1000 * uint64(i+1))
+		fx.mapPage(t, va, 0)
+		vas = append(vas, va)
+	}
+	other := pt.VirtAddr(0x800000)
+	fx.mapPage(t, other, 0)
+	fx.m.LoadContext(0, fx.mp.Root(), 4)
+	if err := fx.m.Access(0, other, false); err != nil {
+		t.Fatal(err)
+	}
+	walks := fx.m.Stats(0).Walks
+	fx.m.ShootdownRange(0, vas, []numa.CoreID{0})
+	// Full flush: even the untouched translation is gone.
+	if err := fx.m.Access(0, other, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := fx.m.Stats(0).Walks; got != walks+1 {
+		t.Errorf("walks = %d, want %d (full flush drops everything)", got, walks+1)
+	}
+}
+
+func TestShootdownRangeEmptyIsFree(t *testing.T) {
+	fx := newFixture(t)
+	fx.m.LoadContext(0, fx.mp.Root(), 4)
+	before := fx.m.Stats(0).Cycles
+	fx.m.ShootdownRange(0, nil, []numa.CoreID{0, 1})
+	if got := fx.m.Stats(0).Cycles; got != before {
+		t.Errorf("empty shootdown charged %d cycles", got-before)
+	}
+}
+
+func TestWalkOverlapScalesWalkCycles(t *testing.T) {
+	measure := func(overlap float64) numa.Cycles {
+		fx := newFixture(t)
+		va := pt.VirtAddr(0x1000)
+		fx.mapPage(t, va, 3) // remote PT not needed; any walk works
+		fx.m.LoadContext(0, fx.mp.Root(), 4)
+		fx.m.SetWalkOverlap(0, overlap)
+		if err := fx.m.Access(0, va, false); err != nil {
+			t.Fatal(err)
+		}
+		return fx.m.Stats(0).WalkCycles
+	}
+	full := measure(1.0)
+	half := measure(0.5)
+	if half >= full {
+		t.Errorf("overlap 0.5 walk cycles (%d) not below 1.0 (%d)", half, full)
+	}
+	if half < full*4/10 || half > full*6/10 {
+		t.Errorf("overlap 0.5 = %d, want about half of %d", half, full)
+	}
+}
+
+func TestWalkOverlapValidation(t *testing.T) {
+	fx := newFixture(t)
+	for _, bad := range []float64{0, -0.1, 1.01} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetWalkOverlap(%v): expected panic", bad)
+				}
+			}()
+			fx.m.SetWalkOverlap(0, bad)
+		}()
+	}
+}
+
+// Property: the machine's translation (through TLB + walker, faults off)
+// always agrees with a software walk of the same table, for any mapping
+// pattern and access sequence.
+func TestMachineMatchesSoftwareWalk(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fx := newFixture(t)
+		place := pvops.PTPlacement{Primary: 0}
+		type mapping struct {
+			va    pt.VirtAddr
+			frame uint64
+		}
+		var maps []mapping
+		for i := 0; i < 50; i++ {
+			va := pt.VirtAddr(uint64(r.Intn(1<<16))) << 12
+			fr, err := fx.pm.AllocData(numa.NodeID(r.Intn(4)))
+			if err != nil {
+				return false
+			}
+			if err := fx.mp.Map(fx.ctx, va, pt.Size4K, fr, pt.FlagWrite, place); err != nil {
+				fx.pm.Free(fr)
+				continue
+			}
+			maps = append(maps, mapping{va, uint64(fr)})
+		}
+		fx.m.LoadContext(0, fx.mp.Root(), 4)
+		tbl := fx.mp.Table()
+		for i := 0; i < 300; i++ {
+			m := maps[r.Intn(len(maps))]
+			off := pt.VirtAddr(r.Intn(4096)) &^ 7
+			if err := fx.m.Access(0, m.va+off, r.Intn(2) == 0); err != nil {
+				return false
+			}
+			// The software walk must agree with what the hardware path
+			// translated (the machine would have faulted otherwise).
+			leaf, _, ok := tbl.Lookup(m.va + off)
+			if !ok || uint64(leaf.Frame()) != m.frame {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cycle accounting is monotone — every access adds at least the
+// pipeline cost, and walk cycles never exceed total cycles.
+func TestCycleAccountingInvariants(t *testing.T) {
+	f := func(seed int64, opsRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		fx := newFixture(t)
+		place := pvops.PTPlacement{Primary: 0}
+		var vas []pt.VirtAddr
+		for i := 0; i < 20; i++ {
+			va := pt.VirtAddr(uint64(i)) << 21 // spread over L1 tables
+			fr, _ := fx.pm.AllocData(0)
+			if err := fx.mp.Map(fx.ctx, va, pt.Size4K, fr, pt.FlagWrite, place); err != nil {
+				return false
+			}
+			vas = append(vas, va)
+		}
+		fx.m.LoadContext(0, fx.mp.Root(), 4)
+		prev := fx.m.Stats(0).Cycles
+		for i := 0; i < int(opsRaw); i++ {
+			if err := fx.m.Access(0, vas[r.Intn(len(vas))], false); err != nil {
+				return false
+			}
+			cur := fx.m.Stats(0)
+			if cur.Cycles <= prev {
+				return false // must strictly increase
+			}
+			if cur.WalkCycles > cur.Cycles {
+				return false
+			}
+			prev = cur.Cycles
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

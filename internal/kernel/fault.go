@@ -1,0 +1,131 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/mitosis-project/mitosis-sim/internal/mem"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+)
+
+// ErrPermission is returned for write faults on read-only VMAs.
+var ErrPermission = errors.New("kernel: write to read-only mapping")
+
+// HandleFault implements hw.FaultHandler: the demand-paging path. It
+// allocates a data page per the process's placement policy (THP-backed
+// where possible), installs the translation through the PV-Ops backend
+// (which propagates to replicas when Mitosis is on), and returns the cycle
+// cost of the fault.
+func (k *Kernel) HandleFault(core numa.CoreID, va pt.VirtAddr, write bool) (numa.Cycles, error) {
+	p := k.current[core]
+	if p == nil {
+		return 0, ErrNoProcess
+	}
+	v := p.findVMA(va)
+	if v == nil {
+		return k.costs.FaultEntry, fmt.Errorf("%w: %#x", ErrBadAddress, uint64(va))
+	}
+	if write && !v.Writable {
+		return k.costs.FaultEntry, fmt.Errorf("%w: %#x", ErrPermission, uint64(va))
+	}
+	if _, err := k.populateOne(p, v, va, k.topo.SocketOf(core)); err != nil {
+		return k.costs.FaultEntry, err
+	}
+	return k.costs.FaultEntry + drainMeterCycles(p), nil
+}
+
+// populateOne maps the page covering va inside v, honouring THP and the
+// process's data/page-table placement policies. It returns the page size
+// installed (or found already present).
+func (k *Kernel) populateOne(p *Process, v *VMA, va pt.VirtAddr, socket numa.SocketID) (pt.PageSize, error) {
+	// Already mapped (e.g., racing fault or populate overlap)?
+	if _, size, ok := p.mapper.Table().Lookup(va); ok {
+		return size, nil
+	}
+	ctx := p.opCtx()
+	place := p.place(socket)
+	dataNode := p.dataNode(socket)
+	flags := pt.FlagUser
+	if v.Writable {
+		flags |= pt.FlagWrite
+	}
+
+	// Try a 2MB mapping when THP is on, the VMA wants it, and the aligned
+	// block lies inside the VMA. Huge pages are only allocated on the
+	// target node itself (Linux's __GFP_THISNODE THP policy): a local 4KB
+	// page beats a remote 2MB page.
+	if k.thp && v.THP {
+		hugeBase := pt.PageBase(va, pt.Size2M)
+		if hugeBase >= v.Start && hugeBase+pt.VirtAddr(pt.Size2M.Bytes()) <= v.End {
+			if frame, err := k.pm.AllocHuge(dataNode); err == nil {
+				// Zeroing 2MB streams better than 512 separate pages.
+				p.Meter.Cycles += 256 * k.cost.Params().PageZero
+				p.Meter.Cycles += k.costs.FrameAlloc
+				if err := p.mapper.Map(ctx, hugeBase, pt.Size2M, frame, flags, place); err != nil {
+					k.pm.FreeHuge(frame)
+					return 0, fmt.Errorf("kernel: huge map at %#x: %w", uint64(hugeBase), err)
+				}
+				return pt.Size2M, nil
+			}
+			// Fragmentation or memory pressure: fall back to 4KB, the
+			// regime of the paper's Figure 11.
+		}
+	}
+
+	frame, err := k.allocDataReclaiming(dataNode)
+	if err != nil {
+		return 0, err
+	}
+	p.Meter.Cycles += k.cost.Params().PageZero + k.costs.FrameAlloc
+	base := pt.PageBase(va, pt.Size4K)
+	if err := p.mapper.Map(ctx, base, pt.Size4K, frame, flags, place); err != nil {
+		// Page-table page allocation can hit memory pressure too; replicas
+		// are reclaimable caches, so drop them and retry once.
+		if errors.Is(err, mem.ErrOutOfMemory) && k.ReclaimReplicas() > 0 {
+			err = p.mapper.Map(ctx, base, pt.Size4K, frame, flags, p.place(socket))
+		}
+		if err != nil {
+			k.pm.Free(frame)
+			return 0, fmt.Errorf("kernel: map at %#x: %w", uint64(base), err)
+		}
+	}
+	return pt.Size4K, nil
+}
+
+// allocDataWithFallback tries the preferred node first, then the remaining
+// nodes in ascending distance order (here: ascending node id).
+func (k *Kernel) allocDataWithFallback(preferred numa.NodeID) (mem.FrameID, error) {
+	if f, err := k.pm.AllocData(preferred); err == nil {
+		return f, nil
+	}
+	for n := numa.NodeID(0); int(n) < k.topo.Nodes(); n++ {
+		if n == preferred {
+			continue
+		}
+		if f, err := k.pm.AllocData(n); err == nil {
+			return f, nil
+		}
+	}
+	return mem.NilFrame, mem.ErrOutOfMemory
+}
+
+// SplitTHP splits the 2MB mapping covering va into 4KB mappings (the
+// khugepaged-reverse path used when memory pressure or mprotect splits a
+// region). The backing frames stay in place; only the translation changes.
+func (k *Kernel) SplitTHP(p *Process, va pt.VirtAddr) error {
+	leaf, size, ok := p.mapper.Table().Lookup(va)
+	if !ok || size != pt.Size2M {
+		return fmt.Errorf("%w: no 2MB mapping at %#x", ErrBadAddress, uint64(va))
+	}
+	ctx := p.opCtx()
+	core := k.callCore(p, 0, false)
+	socket := k.topo.SocketOf(core)
+	if err := p.mapper.SplitHuge(ctx, pt.PageBase(va, pt.Size2M), p.place(socket)); err != nil {
+		return err
+	}
+	k.pm.SplitHuge(leaf.Frame())
+	k.machine.ShootdownPage(core, pt.PageBase(va, pt.Size2M), p.cores)
+	k.machine.AddCycles(core, drainMeterCycles(p))
+	return nil
+}

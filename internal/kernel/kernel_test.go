@@ -1,0 +1,503 @@
+package kernel
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/mitosis-project/mitosis-sim/internal/core"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+)
+
+func newTestKernel(t testing.TB) *Kernel {
+	t.Helper()
+	return New(Config{
+		Topology:      numa.NewTopology(4, 2),
+		FramesPerNode: 16384, // 64MB per node
+	})
+}
+
+func newProc(t testing.TB, k *Kernel, opts ProcessOpts) *Process {
+	t.Helper()
+	p, err := k.CreateProcess(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCreateProcessRootPlacement(t *testing.T) {
+	k := newTestKernel(t)
+	p := newProc(t, k, ProcessOpts{Name: "a", Home: 2})
+	if got := k.pm.NodeOf(p.Mapper().Root()); got != 2 {
+		t.Errorf("root on node %d, want 2 (home socket)", got)
+	}
+	q := newProc(t, k, ProcessOpts{Name: "b", Home: 0, PTPolicy: PTFixed, PTNode: 3})
+	if got := k.pm.NodeOf(q.Mapper().Root()); got != 3 {
+		t.Errorf("root on node %d, want 3 (fixed)", got)
+	}
+}
+
+func TestMmapAndFault(t *testing.T) {
+	k := newTestKernel(t)
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	base, err := k.Mmap(p, 1<<20, MmapOpts{Writable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand paging: access faults the page in.
+	if err := k.machine.Access(p.Cores()[0], base+0x123, true); err != nil {
+		t.Fatal(err)
+	}
+	leaf, size, ok := p.Table().Lookup(base)
+	if !ok || size != pt.Size4K {
+		t.Fatalf("lookup after fault: ok=%v size=%v", ok, size)
+	}
+	// First-touch: data on the faulting socket's node.
+	if got := k.pm.NodeOf(leaf.Frame()); got != 0 {
+		t.Errorf("data on node %d, want 0", got)
+	}
+	s := k.machine.Stats(p.Cores()[0])
+	if s.Faults != 1 {
+		t.Errorf("faults = %d, want 1", s.Faults)
+	}
+	if s.FaultCycles == 0 {
+		t.Error("no fault cycles charged")
+	}
+}
+
+func TestFaultOutsideVMA(t *testing.T) {
+	k := newTestKernel(t)
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := k.machine.Access(p.Cores()[0], 0xdead000, false)
+	if err == nil {
+		t.Fatal("expected segfault")
+	}
+}
+
+func TestWriteToReadOnly(t *testing.T) {
+	k := newTestKernel(t)
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	base, err := k.Mmap(p, 1<<20, MmapOpts{Writable: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.machine.Access(p.Cores()[0], base, true); err == nil {
+		t.Fatal("expected permission fault")
+	}
+	// Reads still work.
+	if err := k.machine.Access(p.Cores()[0], base, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMmapPopulate(t *testing.T) {
+	k := newTestKernel(t)
+	p := newProc(t, k, ProcessOpts{Home: 1})
+	if err := k.RunOnSocket(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	base, err := k.Mmap(p, 4<<20, MmapOpts{Writable: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every page is mapped; accesses take no faults.
+	for off := uint64(0); off < 4<<20; off += 4096 {
+		if _, _, ok := p.Table().Lookup(base + pt.VirtAddr(off)); !ok {
+			t.Fatalf("page at +%#x not populated", off)
+		}
+	}
+	if err := k.machine.Access(p.Cores()[0], base+0x5000, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.machine.Stats(p.Cores()[0]).Faults; got != 0 {
+		t.Errorf("faults = %d, want 0 after populate", got)
+	}
+}
+
+func TestInterleavePolicy(t *testing.T) {
+	k := newTestKernel(t)
+	p := newProc(t, k, ProcessOpts{Home: 0, DataPolicy: Interleave})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	base, err := k.Mmap(p, 1<<20, MmapOpts{Writable: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[numa.NodeID]int)
+	for off := uint64(0); off < 1<<20; off += 4096 {
+		leaf, _, ok := p.Table().Lookup(base + pt.VirtAddr(off))
+		if !ok {
+			t.Fatal("unpopulated page")
+		}
+		counts[k.pm.NodeOf(leaf.Frame())]++
+	}
+	for n := numa.NodeID(0); n < 4; n++ {
+		if counts[n] != 64 {
+			t.Errorf("node %d got %d pages, want 64 (interleave)", n, counts[n])
+		}
+	}
+}
+
+func TestBindPolicy(t *testing.T) {
+	k := newTestKernel(t)
+	p := newProc(t, k, ProcessOpts{Home: 0, DataPolicy: Bind, BindNode: 3})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	base, err := k.Mmap(p, 1<<20, MmapOpts{Writable: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := uint64(0); off < 1<<20; off += 4096 {
+		leaf, _, _ := p.Table().Lookup(base + pt.VirtAddr(off))
+		if got := k.pm.NodeOf(leaf.Frame()); got != 3 {
+			t.Fatalf("page on node %d, want 3", got)
+		}
+	}
+}
+
+func TestTHPAllocatesHugePages(t *testing.T) {
+	k := newTestKernel(t)
+	k.SetTHP(true)
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	base, err := k.Mmap(p, 8<<20, MmapOpts{Writable: true, THP: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, size, ok := p.Table().Lookup(base + 0x300000)
+	if !ok || size != pt.Size2M {
+		t.Fatalf("lookup: ok=%v size=%v, want 2MB", ok, size)
+	}
+	if !leaf.Huge() {
+		t.Error("PS bit missing")
+	}
+}
+
+func TestTHPFallbackUnderFragmentation(t *testing.T) {
+	k := newTestKernel(t)
+	k.SetTHP(true)
+	// Fragment all nodes completely: no 2MB blocks anywhere.
+	r := rand.New(rand.NewSource(7))
+	for n := numa.NodeID(0); n < 4; n++ {
+		k.pm.Fragment(n, 1.0, r)
+	}
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	base, err := k.Mmap(p, 4<<20, MmapOpts{Writable: true, THP: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, size, ok := p.Table().Lookup(base)
+	if !ok || size != pt.Size4K {
+		t.Fatalf("lookup: ok=%v size=%v, want 4KB fallback", ok, size)
+	}
+}
+
+func TestMunmapFreesEverything(t *testing.T) {
+	k := newTestKernel(t)
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := k.pm.FreeFrames(0)
+	base, err := k.Mmap(p, 2<<20, MmapOpts{Writable: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Munmap(p, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := p.Table().Lookup(base); ok {
+		t.Error("translation survives munmap")
+	}
+	// Data frames returned (page-table pages may remain, as in Linux).
+	freed := k.pm.FreeFrames(0)
+	dataPages := uint64(2 << 20 / 4096)
+	if freeBefore-freed >= dataPages {
+		t.Errorf("data frames not freed: before=%d after=%d", freeBefore, freed)
+	}
+	// Accessing the unmapped region now segfaults.
+	if err := k.machine.Access(p.Cores()[0], base, false); err == nil {
+		t.Error("access to unmapped region succeeded")
+	}
+}
+
+func TestMprotect(t *testing.T) {
+	k := newTestKernel(t)
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	base, err := k.Mmap(p, 1<<20, MmapOpts{Writable: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core0 := p.Cores()[0]
+	if err := k.machine.Access(core0, base, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Mprotect(p, base, false); err != nil {
+		t.Fatal(err)
+	}
+	// Writes now fault with a permission error.
+	if err := k.machine.Access(core0, base, true); err == nil {
+		t.Error("write allowed after mprotect(PROT_READ)")
+	}
+}
+
+func TestAutoNUMAMigratesDataNotPT(t *testing.T) {
+	k := newTestKernel(t)
+	// Process faults its memory from socket 0, then runs on socket 2.
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	base, err := k.Mmap(p, 1<<20, MmapOpts{Writable: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptOn0 := k.pm.AllocatedPT(0)
+	if err := k.RunOnSocket(p, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Accesses from socket 2 sample remote usage.
+	c := p.Cores()[0]
+	for off := uint64(0); off < 1<<20; off += 4096 {
+		for i := 0; i < 5; i++ {
+			if err := k.machine.Access(c, base+pt.VirtAddr(off), false); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	migrated := k.AutoNUMAScan(p, DefaultAutoNUMAConfig())
+	if migrated == 0 {
+		t.Fatal("AutoNUMA migrated nothing")
+	}
+	// Data now on node 2.
+	leaf, _, _ := p.Table().Lookup(base)
+	if got := k.pm.NodeOf(leaf.Frame()); got != 2 {
+		t.Errorf("data on node %d after AutoNUMA, want 2", got)
+	}
+	// Page-tables did NOT move (the paper's key observation).
+	if got := k.pm.AllocatedPT(0); got != ptOn0 {
+		t.Errorf("PT pages on node 0 changed: %d -> %d", ptOn0, got)
+	}
+	if got := k.pm.AllocatedPT(2); got != 0 {
+		t.Errorf("PT pages appeared on node 2: %d", got)
+	}
+}
+
+func TestMigrateProcessWithMitosisPT(t *testing.T) {
+	k := newTestKernel(t)
+	k.Sysctl().Mode = core.ModePerProcess
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	base, err := k.Mmap(p, 1<<20, MmapOpts{Writable: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.MigrateProcess(p, 3, MigrateOpts{Data: true, PageTables: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Home(); got != 3 {
+		t.Errorf("home = %d, want 3", got)
+	}
+	if got := k.pm.NodeOf(p.Mapper().Root()); got != 3 {
+		t.Errorf("root on node %d, want 3", got)
+	}
+	if got := k.pm.AllocatedPT(0); got != 0 {
+		t.Errorf("origin keeps %d PT pages", got)
+	}
+	leaf, _, ok := p.Table().Lookup(base)
+	if !ok {
+		t.Fatal("translation lost in migration")
+	}
+	if got := k.pm.NodeOf(leaf.Frame()); got != 3 {
+		t.Errorf("data on node %d, want 3", got)
+	}
+	// The core runs with the migrated table.
+	if err := k.machine.Access(p.Cores()[0], base, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicationViaSysctlModes(t *testing.T) {
+	k := newTestKernel(t)
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Mmap(p, 1<<20, MmapOpts{Writable: true, Populate: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Disabled: mask request is ignored.
+	if err := p.SetReplicationMask([]numa.NodeID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Space().Replicated() {
+		t.Error("replicated despite ModeDisabled")
+	}
+	// Per-process: honoured.
+	k.Sysctl().Mode = core.ModePerProcess
+	if err := p.SetReplicationMask([]numa.NodeID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	nodes := p.Space().ReplicaNodes()
+	if len(nodes) != 3 {
+		t.Errorf("replica nodes = %v, want [0 1 2]", nodes)
+	}
+	// Each scheduled core got its local root.
+	for _, c := range p.Cores() {
+		root := k.machine.ContextRoot(c)
+		if got := k.pm.NodeOf(root); got != 0 {
+			t.Errorf("core %d CR3 on node %d, want 0", c, got)
+		}
+	}
+}
+
+func TestReplicatedProcessRunsEverywhere(t *testing.T) {
+	k := newTestKernel(t)
+	k.Sysctl().Mode = core.ModeAllProcesses
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.RunOnAllSockets(p); err != nil {
+		t.Fatal(err)
+	}
+	base, err := k.Mmap(p, 1<<20, MmapOpts{Writable: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetReplicationMask(nil); err != nil { // mode=All: mask irrelevant
+		t.Fatal(err)
+	}
+	if got := len(p.Space().ReplicaNodes()); got != 4 {
+		t.Fatalf("replica nodes = %d, want 4", got)
+	}
+	// Every socket's core uses its local replica and can access memory.
+	for s := numa.SocketID(0); s < 4; s++ {
+		c := k.topo.FirstCoreOf(s)
+		root := k.machine.ContextRoot(c)
+		if got := k.pm.NodeOf(root); got != k.topo.NodeOf(s) {
+			t.Errorf("socket %d CR3 on node %d", s, got)
+		}
+		if err := k.machine.Access(c, base+pt.VirtAddr(uint64(s)*4096), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDestroyProcessLeaksNothing(t *testing.T) {
+	k := newTestKernel(t)
+	k.Sysctl().Mode = core.ModeAllProcesses
+	var before [4]uint64
+	for n := 0; n < 4; n++ {
+		before[n] = k.pm.FreeFrames(numa.NodeID(n))
+	}
+	p := newProc(t, k, ProcessOpts{Home: 1})
+	if err := k.RunOnSocket(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Mmap(p, 4<<20, MmapOpts{Writable: true, Populate: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetReplicationMask(nil); err != nil {
+		t.Fatal(err)
+	}
+	k.DestroyProcess(p)
+	for n := 0; n < 4; n++ {
+		if got := k.pm.FreeFrames(numa.NodeID(n)); got != before[n] {
+			t.Errorf("node %d leaked %d frames", n, before[n]-got)
+		}
+	}
+	if k.Process(p.PID) != nil {
+		t.Error("process still registered")
+	}
+}
+
+func TestSplitTHP(t *testing.T) {
+	k := newTestKernel(t)
+	k.SetTHP(true)
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	base, err := k.Mmap(p, 2<<20, MmapOpts{Writable: true, THP: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SplitTHP(p, base); err != nil {
+		t.Fatal(err)
+	}
+	_, size, ok := p.Table().Lookup(base + 0x5000)
+	if !ok || size != pt.Size4K {
+		t.Fatalf("post-split: ok=%v size=%v, want 4KB", ok, size)
+	}
+	// The region remains fully usable and freeable.
+	if err := k.Munmap(p, base); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMunmapBadAddress(t *testing.T) {
+	k := newTestKernel(t)
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.Munmap(p, 0xdead000); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("err = %v, want ErrBadAddress", err)
+	}
+}
+
+func TestPageCacheSysctl(t *testing.T) {
+	k := newTestKernel(t)
+	k.Sysctl().PageCacheTarget = 8
+	k.ApplySysctl()
+	if got := k.cache.Cached(0); got != 8 {
+		t.Errorf("cached = %d, want 8", got)
+	}
+	k.Sysctl().PageCacheTarget = 0
+	k.ApplySysctl()
+	if got := k.cache.Cached(0); got != 0 {
+		t.Errorf("cached = %d, want 0", got)
+	}
+}
+
+func TestFixedNodeSysctlMode(t *testing.T) {
+	k := newTestKernel(t)
+	k.Sysctl().Mode = core.ModeFixedNode
+	k.Sysctl().FixedNode = 2
+	p := newProc(t, k, ProcessOpts{Home: 0, PTPolicy: PTFixed, PTNode: 2})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	base, err := k.Mmap(p, 1<<20, MmapOpts{Writable: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = base
+	// All PT pages on node 2, none elsewhere.
+	if k.pm.AllocatedPT(2) == 0 {
+		t.Error("no PT pages on fixed node")
+	}
+	for _, n := range []numa.NodeID{0, 1, 3} {
+		if got := k.pm.AllocatedPT(n); got != 0 {
+			t.Errorf("PT pages on node %d: %d, want 0", n, got)
+		}
+	}
+}

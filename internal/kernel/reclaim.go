@@ -1,0 +1,75 @@
+package kernel
+
+import (
+	"fmt"
+
+	"github.com/mitosis-project/mitosis-sim/internal/core"
+	"github.com/mitosis-project/mitosis-sim/internal/mem"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pvops"
+)
+
+// ReclaimReplicas tears down page-table replicas to free memory — the
+// paper's §5.5: kept replicas are "lazily deallocated in case physical
+// memory is becoming scarce". Replicas are pure caches of the primary
+// table, so dropping them is always safe; affected processes fall back to
+// walking the primary remotely until replication is re-enabled.
+// It returns the number of frames freed.
+func (k *Kernel) ReclaimReplicas() uint64 {
+	var before uint64
+	for n := 0; n < k.topo.Nodes(); n++ {
+		before += k.pm.FreeFrames(numa.NodeID(n))
+	}
+	for _, p := range k.procs {
+		if !p.space.Replicated() {
+			continue
+		}
+		p.space.Collapse(p.opCtx())
+		p.requestedMask = nil
+		k.reloadContexts(p)
+	}
+	// The reservation pool is the next victim.
+	k.cache.Drain()
+	var after uint64
+	for n := 0; n < k.topo.Nodes(); n++ {
+		after += k.pm.FreeFrames(numa.NodeID(n))
+	}
+	return after - before
+}
+
+// allocDataReclaiming allocates a data frame, reclaiming replicas once if
+// memory is exhausted everywhere (direct-reclaim analogue).
+func (k *Kernel) allocDataReclaiming(preferred numa.NodeID) (mem.FrameID, error) {
+	f, err := k.allocDataWithFallback(preferred)
+	if err == nil {
+		return f, nil
+	}
+	if k.ReclaimReplicas() == 0 {
+		return mem.NilFrame, err
+	}
+	return k.allocDataWithFallback(preferred)
+}
+
+// StartBackgroundReplication begins building a page-table replica for p on
+// node without stalling the process: the copy proceeds in batches via
+// (*core.IncrementalReplication).Step with costs billed to the returned
+// background context (a kthread on the target socket), and the process
+// keeps running against its existing tables meanwhile. Call
+// FinishBackgroundReplication once Step reports completion.
+func (k *Kernel) StartBackgroundReplication(p *Process, node numa.NodeID) (*core.IncrementalReplication, *pvops.OpCtx, error) {
+	bgCtx := &pvops.OpCtx{Socket: k.topo.SocketOfNode(node), Meter: &pvops.Meter{}}
+	ir, err := p.space.StartIncrementalReplication(bgCtx, node)
+	if err != nil {
+		return nil, nil, fmt.Errorf("kernel: background replication: %w", err)
+	}
+	return ir, bgCtx, nil
+}
+
+// FinishBackgroundReplication publishes a completed background replica:
+// the node joins the process's mask and the process's cores reload CR3 so
+// the target socket starts using its local root.
+func (k *Kernel) FinishBackgroundReplication(p *Process, ir *core.IncrementalReplication) {
+	ir.Finish()
+	p.requestedMask = append([]numa.NodeID(nil), p.space.Mask()...)
+	k.reloadContexts(p)
+}

@@ -1,0 +1,144 @@
+package kernel
+
+import (
+	"testing"
+
+	"github.com/mitosis-project/mitosis-sim/internal/core"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+)
+
+func TestReclaimReplicasFreesMemory(t *testing.T) {
+	k := newTestKernel(t)
+	k.Sysctl().Mode = core.ModePerProcess
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Mmap(p, 8<<20, MmapOpts{Writable: true, Populate: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetReplicationMask([]numa.NodeID{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	replicaPT := k.pm.AllocatedPT(1) + k.pm.AllocatedPT(2) + k.pm.AllocatedPT(3)
+	if replicaPT == 0 {
+		t.Fatal("no replica pages created")
+	}
+	freed := k.ReclaimReplicas()
+	if freed == 0 {
+		t.Fatal("reclaim freed nothing")
+	}
+	if p.Space().Replicated() {
+		t.Error("process still replicated after reclaim")
+	}
+	for _, n := range []numa.NodeID{1, 2, 3} {
+		if got := k.pm.AllocatedPT(n); got != 0 {
+			t.Errorf("node %d keeps %d PT pages after reclaim", n, got)
+		}
+	}
+	// The process still runs correctly on the single table.
+	if err := k.machine.Access(p.Cores()[0], p.VMAs()[0].Start, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOOMFaultTriggersReclaim(t *testing.T) {
+	k := New(Config{Topology: numa.NewTopology(2, 1), FramesPerNode: 2048})
+	k.Sysctl().Mode = core.ModePerProcess
+	victim := newProc(t, k, ProcessOpts{Name: "victim", Home: 0})
+	if err := k.RunOn(victim, []numa.CoreID{0}); err != nil {
+		t.Fatal(err)
+	}
+	// The victim maps a small region replicated on both nodes.
+	if _, err := k.Mmap(victim, 1<<20, MmapOpts{Writable: true, Populate: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := victim.SetReplicationMask([]numa.NodeID{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A hungry process consumes everything that's left. Faults beyond the
+	// free-frame budget (data plus fresh page-table pages) succeed only
+	// because the kernel reclaims the victim's replicas.
+	hungry := newProc(t, k, ProcessOpts{Name: "hungry", Home: 1})
+	if err := k.RunOn(hungry, []numa.CoreID{1}); err != nil {
+		t.Fatal(err)
+	}
+	free := k.pm.FreeFrames(0) + k.pm.FreeFrames(1)
+	size := (free + 64) * 4096 // deliberately more than exists
+	base, err := k.Mmap(hungry, size, MmapOpts{Writable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted := uint64(0)
+	for off := uint64(0); off < size; off += 4096 {
+		if err := k.machine.Access(1, base+pt.VirtAddr(off), true); err != nil {
+			break // genuine OOM once nothing is left to reclaim
+		}
+		faulted++
+	}
+	if victim.Space().Replicated() {
+		t.Error("victim keeps replicas despite memory pressure")
+	}
+	// Progress must have continued past the point where page-table pages
+	// exhausted the free budget — only reclaim makes that possible.
+	ptOverhead := free/512 + 8
+	if faulted+ptOverhead <= free {
+		t.Errorf("faulted only %d of %d free frames; reclaim never helped", faulted, free)
+	}
+	// And memory really is exhausted now.
+	if got := k.pm.FreeFrames(0) + k.pm.FreeFrames(1); got != 0 {
+		t.Errorf("%d frames still free after OOM loop", got)
+	}
+}
+
+func TestBackgroundReplicationKernelFlow(t *testing.T) {
+	k := newTestKernel(t)
+	k.Sysctl().Mode = core.ModePerProcess
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.RunOnAllSockets(p); err != nil {
+		t.Fatal(err)
+	}
+	base, err := k.Mmap(p, 8<<20, MmapOpts{Writable: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, bgCtx, err := k.StartBackgroundReplication(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appCore := p.Cores()[0]
+	appBefore := k.machine.Stats(appCore).Cycles
+	for {
+		done, err := ir.Step(bgCtx, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The app keeps making progress while the copy runs.
+		if err := k.machine.Access(appCore, base, false); err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	// Background work cost cycles — on the background meter, not the app.
+	if bgCtx.Meter.Cycles == 0 {
+		t.Error("background meter empty")
+	}
+	appCost := k.machine.Stats(appCore).Cycles - appBefore
+	if appCost > numa.Cycles(uint64(bgCtx.Meter.Cycles)) && bgCtx.Meter.Cycles > 0 {
+		// The app paid only for its own accesses; sanity bound only.
+		t.Logf("app %d vs bg %d cycles", appCost, bgCtx.Meter.Cycles)
+	}
+	k.FinishBackgroundReplication(p, ir)
+	// Socket 2's core now runs on its local replica root.
+	c2 := k.topo.FirstCoreOf(2)
+	if got := k.pm.NodeOf(k.machine.ContextRoot(c2)); got != 2 {
+		t.Errorf("socket 2 CR3 on node %d after finish, want 2", got)
+	}
+	if err := k.machine.Access(c2, base, true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package kernel
+
+import (
+	"fmt"
+
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+	"github.com/mitosis-project/mitosis-sim/internal/pvops"
+)
+
+// MmapOpts configures an Mmap call.
+type MmapOpts struct {
+	// Writable grants store permission.
+	Writable bool
+	// THP requests transparent-huge-page backing where possible.
+	THP bool
+	// Populate eagerly faults every page in (MAP_POPULATE), as the
+	// paper's VMA-operation microbenchmark does (§8.3.2).
+	Populate bool
+	// At requests a fixed base address (MAP_FIXED); 0 lets the kernel
+	// choose. Page-table pages left behind by an earlier unmap of the
+	// same range are reused, as in a steady-state address space.
+	At pt.VirtAddr
+	// Core is the core on which the call executes; population faults are
+	// attributed to its socket. Defaults to the process's first core or
+	// the home socket's first core.
+	Core numa.CoreID
+	// Valid marks Core as explicitly set.
+	Valid bool
+}
+
+// Mmap creates a new VMA of length bytes and returns its base address.
+// Length is rounded up to 2MB so huge-page backing is always alignable.
+func (k *Kernel) Mmap(p *Process, length uint64, opts MmapOpts) (pt.VirtAddr, error) {
+	if length == 0 {
+		return 0, fmt.Errorf("kernel: mmap of zero length")
+	}
+	core := k.callCore(p, opts.Core, opts.Valid)
+	length = roundUp(length, pt.Size4K.Bytes())
+	base := p.nextMmap
+	if opts.At != 0 {
+		if uint64(opts.At)%pt.Size4K.Bytes() != 0 {
+			return 0, fmt.Errorf("kernel: mmap at unaligned address %#x", uint64(opts.At))
+		}
+		base = opts.At
+	}
+	v := &VMA{
+		Start:    base,
+		End:      base + pt.VirtAddr(length),
+		Writable: opts.Writable,
+		THP:      opts.THP,
+	}
+	if opts.At == 0 {
+		// Bases stay 2MB-aligned so THP backing is always alignable.
+		p.nextMmap = pt.VirtAddr(roundUp(uint64(v.End), pt.Size2M.Bytes())) + pt.VirtAddr(pt.Size2M.Bytes())
+	}
+	p.insertVMA(v)
+	k.machine.AddCycles(core, k.costs.SyscallEntry)
+
+	if opts.Populate {
+		socket := k.topo.SocketOf(core)
+		for va := v.Start; va < v.End; {
+			stepped, err := k.populateOne(p, v, va, socket)
+			if err != nil {
+				return 0, fmt.Errorf("kernel: mmap populate at %#x: %w", uint64(va), err)
+			}
+			va += pt.VirtAddr(stepped.Bytes())
+		}
+		// Population work was metered on the process; bill the cycles to
+		// the calling core.
+		k.machine.AddCycles(core, drainMeterCycles(p))
+	}
+	return v.Start, nil
+}
+
+// Munmap removes the VMA starting at va, unmapping and freeing every
+// present page, then issuing one batched TLB shootdown for the range.
+// The PTE loop iterates each page-table page once (Linux's zap_pte_range),
+// not a root-to-leaf walk per page.
+func (k *Kernel) Munmap(p *Process, va pt.VirtAddr) error {
+	v := p.findVMA(va)
+	if v == nil || v.Start != va {
+		return fmt.Errorf("%w: munmap(%#x)", ErrBadAddress, uint64(va))
+	}
+	core := k.callCore(p, 0, false)
+	ctx := p.opCtx()
+	k.machine.AddCycles(core, k.costs.SyscallEntry)
+
+	var unmapped []pt.VirtAddr
+	var freed []struct {
+		leaf pt.PTE
+		size pt.PageSize
+	}
+	p.mapper.VisitLeaves(ctx, v.Start, v.End, func(lv pvops.LeafVisit) (pt.PTE, bool) {
+		p.Meter.Cycles += k.costs.PTEVisit + k.costs.FrameFree
+		unmapped = append(unmapped, lv.VA)
+		freed = append(freed, struct {
+			leaf pt.PTE
+			size pt.PageSize
+		}{lv.Old, lv.Size})
+		return 0, true
+	})
+	for _, f := range freed {
+		p.freeDataPage(f.leaf, f.size)
+	}
+	k.machine.ShootdownRange(core, unmapped, p.cores)
+	p.removeVMA(v)
+	k.machine.AddCycles(core, drainMeterCycles(p))
+	return nil
+}
+
+// Mprotect changes the write permission of every present page in the VMA
+// starting at va: the read-modify-write PTE loop of §8.3.2, one batched
+// shootdown at the end (Linux's change_protection + flush_tlb_range).
+func (k *Kernel) Mprotect(p *Process, va pt.VirtAddr, writable bool) error {
+	v := p.findVMA(va)
+	if v == nil || v.Start != va {
+		return fmt.Errorf("%w: mprotect(%#x)", ErrBadAddress, uint64(va))
+	}
+	core := k.callCore(p, 0, false)
+	ctx := p.opCtx()
+	k.machine.AddCycles(core, k.costs.SyscallEntry)
+
+	var changed []pt.VirtAddr
+	p.mapper.VisitLeaves(ctx, v.Start, v.End, func(lv pvops.LeafVisit) (pt.PTE, bool) {
+		p.Meter.Cycles += k.costs.PTEVisit
+		changed = append(changed, lv.VA)
+		if writable {
+			return lv.Old.WithFlags(pt.FlagWrite), true
+		}
+		return lv.Old.ClearFlags(pt.FlagWrite), true
+	})
+	v.Writable = writable
+	k.machine.ShootdownRange(core, changed, p.cores)
+	k.machine.AddCycles(core, drainMeterCycles(p))
+	return nil
+}
+
+// callCore resolves which core executes a syscall for p.
+func (k *Kernel) callCore(p *Process, c numa.CoreID, valid bool) numa.CoreID {
+	if valid {
+		return c
+	}
+	if len(p.cores) > 0 {
+		return p.cores[0]
+	}
+	return k.topo.FirstCoreOf(p.home)
+}
+
+// drainMeterCycles returns and clears the cycle component of the process
+// meter (the counts remain for statistics).
+func drainMeterCycles(p *Process) numa.Cycles {
+	cy := p.Meter.Cycles
+	p.Meter.Cycles = 0
+	return cy
+}
+
+func roundUp(x, to uint64) uint64 { return (x + to - 1) / to * to }

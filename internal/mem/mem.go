@@ -1,0 +1,435 @@
+// Package mem implements the simulated physical memory of a NUMA machine:
+// per-node frame allocation, frame metadata (the equivalent of Linux's
+// struct page), 2MB-contiguity tracking for transparent huge pages,
+// fragmentation injection for aged-system experiments, and the per-socket
+// page caches that Mitosis uses to reserve frames for page-table replicas
+// (paper §5.1).
+//
+// Physical memory is divided into 4KB frames. Each NUMA node owns a
+// contiguous range of frame numbers, so the owning node of any frame is
+// computable without a lookup — mirroring how Linux derives the node of a
+// struct page from the physical address.
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+)
+
+// FrameID is a global physical frame number (4KB granularity).
+type FrameID uint64
+
+// NilFrame is the sentinel "no frame" value. Frame 0 is a valid frame, so
+// the all-ones pattern is used instead.
+const NilFrame FrameID = ^FrameID(0)
+
+// FrameSize is the size of one physical frame in bytes.
+const FrameSize = 4096
+
+// HugeFrames is the number of 4KB frames composing one 2MB huge page.
+const HugeFrames = 512
+
+// HugeSize is the size of a 2MB huge page in bytes.
+const HugeSize = FrameSize * HugeFrames
+
+// PTEntries is the number of 8-byte entries in one page-table page.
+const PTEntries = 512
+
+// Kind classifies what a frame currently holds.
+type Kind uint8
+
+const (
+	// KindFree marks an unallocated frame.
+	KindFree Kind = iota
+	// KindData marks a frame holding application data.
+	KindData
+	// KindPageTable marks a frame holding a page-table page.
+	KindPageTable
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFree:
+		return "free"
+	case KindData:
+		return "data"
+	case KindPageTable:
+		return "pagetable"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ErrOutOfMemory is returned when an allocation cannot be satisfied on the
+// requested node.
+var ErrOutOfMemory = errors.New("mem: out of memory on requested node")
+
+// ErrNoContiguous is returned when a huge-page allocation cannot find 512
+// contiguous free frames on the requested node (e.g., under fragmentation).
+var ErrNoContiguous = errors.New("mem: no contiguous 2MB block available")
+
+// FrameMeta is the per-frame metadata, the simulator's struct page. Mitosis
+// threads its circular replica list through ReplicaNext exactly as the paper
+// stores replica pointers in struct page (§5.2, Figure 8).
+type FrameMeta struct {
+	// Kind says what the frame holds.
+	Kind Kind
+	// HugeHead is true for the first frame of an allocated 2MB block.
+	HugeHead bool
+	// HugeTail is true for the 511 non-head frames of a 2MB block.
+	HugeTail bool
+	// ReplicaNext links page-table replica frames into a circular list.
+	// NilFrame when the frame is not part of a replica set.
+	ReplicaNext FrameID
+	// PTLevel records the page-table level (1..5) for page-table frames,
+	// 0 otherwise. Used by dumps and by replica maintenance.
+	PTLevel uint8
+	// AccessSocket is the socket that most recently touched this data
+	// frame; sampled by the machine for AutoNUMA-style migration.
+	AccessSocket numa.SocketID
+	// RemoteAccesses counts sampled accesses from non-local sockets since
+	// the last AutoNUMA scan.
+	RemoteAccesses uint32
+	// LocalAccesses counts sampled accesses from the local socket since
+	// the last AutoNUMA scan.
+	LocalAccesses uint32
+}
+
+// node-local allocator state
+type nodeState struct {
+	base       FrameID // first frame of this node
+	frames     uint64  // total frames
+	free       uint64  // currently free frames
+	bitmap     []uint64
+	groupFree  []uint32 // free frames per 512-frame group
+	fragmented []bool   // groups excluded from huge allocation (injection)
+	nextSingle uint64   // next-fit hint for single-frame scan (frame offset)
+	nextGroup  int      // next-fit hint for huge-block scan (group index)
+	allocData  uint64   // live data frames
+	allocPT    uint64   // live page-table frames
+}
+
+// PhysMem is the machine's physical memory: a per-node frame allocator plus
+// global frame metadata and page-table page payloads.
+type PhysMem struct {
+	topo          *numa.Topology
+	framesPerNode uint64
+	nodes         []nodeState
+	meta          []FrameMeta
+	tables        map[FrameID]*[PTEntries]uint64
+}
+
+// Config configures a PhysMem.
+type Config struct {
+	// Topology of the machine; one memory node per socket.
+	Topology *numa.Topology
+	// FramesPerNode is the per-node capacity in 4KB frames. Must be a
+	// multiple of HugeFrames so the node divides evenly into 2MB groups.
+	FramesPerNode uint64
+}
+
+// New creates the physical memory. It panics on configuration errors.
+func New(cfg Config) *PhysMem {
+	if cfg.Topology == nil {
+		panic("mem: Config.Topology is required")
+	}
+	if cfg.FramesPerNode == 0 || cfg.FramesPerNode%HugeFrames != 0 {
+		panic(fmt.Sprintf("mem: FramesPerNode (%d) must be a positive multiple of %d", cfg.FramesPerNode, HugeFrames))
+	}
+	n := cfg.Topology.Nodes()
+	pm := &PhysMem{
+		topo:          cfg.Topology,
+		framesPerNode: cfg.FramesPerNode,
+		nodes:         make([]nodeState, n),
+		meta:          make([]FrameMeta, cfg.FramesPerNode*uint64(n)),
+		tables:        make(map[FrameID]*[PTEntries]uint64),
+	}
+	for i := range pm.meta {
+		pm.meta[i].ReplicaNext = NilFrame
+	}
+	groups := cfg.FramesPerNode / HugeFrames
+	for i := range pm.nodes {
+		pm.nodes[i] = nodeState{
+			base:       FrameID(uint64(i) * cfg.FramesPerNode),
+			frames:     cfg.FramesPerNode,
+			free:       cfg.FramesPerNode,
+			bitmap:     make([]uint64, (cfg.FramesPerNode+63)/64),
+			groupFree:  make([]uint32, groups),
+			fragmented: make([]bool, groups),
+		}
+		for g := range pm.nodes[i].groupFree {
+			pm.nodes[i].groupFree[g] = HugeFrames
+		}
+	}
+	return pm
+}
+
+// Topology returns the topology this memory was built for.
+func (pm *PhysMem) Topology() *numa.Topology { return pm.topo }
+
+// FramesPerNode returns the per-node capacity in frames.
+func (pm *PhysMem) FramesPerNode() uint64 { return pm.framesPerNode }
+
+// TotalFrames returns the machine-wide frame count.
+func (pm *PhysMem) TotalFrames() uint64 {
+	return pm.framesPerNode * uint64(pm.topo.Nodes())
+}
+
+// NodeOf returns the NUMA node owning frame f.
+func (pm *PhysMem) NodeOf(f FrameID) numa.NodeID {
+	pm.checkFrame(f)
+	return numa.NodeID(uint64(f) / pm.framesPerNode)
+}
+
+// Meta returns the metadata for frame f. The pointer stays valid for the
+// lifetime of the PhysMem.
+func (pm *PhysMem) Meta(f FrameID) *FrameMeta {
+	pm.checkFrame(f)
+	return &pm.meta[f]
+}
+
+// Table returns the 512-entry payload of page-table frame f. It panics if f
+// does not hold a page table: reading a data frame as a page table is a
+// simulator bug, not a runtime condition.
+func (pm *PhysMem) Table(f FrameID) *[PTEntries]uint64 {
+	pm.checkFrame(f)
+	if pm.meta[f].Kind != KindPageTable {
+		panic(fmt.Sprintf("mem: frame %d holds %v, not a page table", f, pm.meta[f].Kind))
+	}
+	return pm.tables[f]
+}
+
+// FreeFrames returns the number of free frames on node n.
+func (pm *PhysMem) FreeFrames(n numa.NodeID) uint64 {
+	return pm.node(n).free
+}
+
+// AllocatedPT returns the number of live page-table frames on node n.
+func (pm *PhysMem) AllocatedPT(n numa.NodeID) uint64 { return pm.node(n).allocPT }
+
+// AllocatedData returns the number of live data frames on node n.
+func (pm *PhysMem) AllocatedData(n numa.NodeID) uint64 { return pm.node(n).allocData }
+
+// AllocData allocates one 4KB data frame on node n.
+func (pm *PhysMem) AllocData(n numa.NodeID) (FrameID, error) {
+	f, err := pm.allocSingle(n)
+	if err != nil {
+		return NilFrame, err
+	}
+	m := &pm.meta[f]
+	m.Kind = KindData
+	pm.node(n).allocData++
+	return f, nil
+}
+
+// AllocPageTable allocates one 4KB frame on node n to hold a page-table page
+// of the given level (1 = leaf .. 5 = root of 5-level paging) and zeroes it.
+func (pm *PhysMem) AllocPageTable(n numa.NodeID, level uint8) (FrameID, error) {
+	if level < 1 || level > 5 {
+		panic(fmt.Sprintf("mem: page-table level %d out of range [1,5]", level))
+	}
+	f, err := pm.allocSingle(n)
+	if err != nil {
+		return NilFrame, err
+	}
+	m := &pm.meta[f]
+	m.Kind = KindPageTable
+	m.PTLevel = level
+	pm.tables[f] = new([PTEntries]uint64)
+	pm.node(n).allocPT++
+	return f, nil
+}
+
+// AllocHuge allocates a 2MB block (512 contiguous frames) on node n and
+// returns the base frame. The block is excluded from groups marked as
+// fragmented.
+func (pm *PhysMem) AllocHuge(n numa.NodeID) (FrameID, error) {
+	ns := pm.node(n)
+	groups := len(ns.groupFree)
+	if groups == 0 {
+		return NilFrame, ErrNoContiguous
+	}
+	for i := 0; i < groups; i++ {
+		g := (ns.nextGroup + i) % groups
+		if ns.fragmented[g] || ns.groupFree[g] != HugeFrames {
+			continue
+		}
+		ns.nextGroup = (g + 1) % groups
+		base := ns.base + FrameID(uint64(g)*HugeFrames)
+		for off := FrameID(0); off < HugeFrames; off++ {
+			f := base + off
+			pm.setBit(ns, uint64(f-ns.base))
+			m := &pm.meta[f]
+			m.Kind = KindData
+			m.HugeTail = off != 0
+		}
+		pm.meta[base].HugeHead = true
+		ns.groupFree[g] = 0
+		ns.free -= HugeFrames
+		ns.allocData += HugeFrames
+		return base, nil
+	}
+	return NilFrame, ErrNoContiguous
+}
+
+// Free releases a single data or page-table frame. Freeing a huge-page head
+// or tail through Free is a bug; use FreeHuge.
+func (pm *PhysMem) Free(f FrameID) {
+	pm.checkFrame(f)
+	m := &pm.meta[f]
+	if m.Kind == KindFree {
+		panic(fmt.Sprintf("mem: double free of frame %d", f))
+	}
+	if m.HugeHead || m.HugeTail {
+		panic(fmt.Sprintf("mem: frame %d belongs to a huge page; use FreeHuge", f))
+	}
+	n := pm.NodeOf(f)
+	ns := pm.node(n)
+	switch m.Kind {
+	case KindData:
+		ns.allocData--
+	case KindPageTable:
+		ns.allocPT--
+		delete(pm.tables, f)
+	}
+	*m = FrameMeta{Kind: KindFree, ReplicaNext: NilFrame}
+	pm.clearBit(ns, uint64(f-ns.base))
+	ns.free++
+	ns.groupFree[(f-ns.base)/HugeFrames]++
+}
+
+// FreeHuge releases the 2MB block whose head frame is base.
+func (pm *PhysMem) FreeHuge(base FrameID) {
+	pm.checkFrame(base)
+	if !pm.meta[base].HugeHead {
+		panic(fmt.Sprintf("mem: frame %d is not a huge-page head", base))
+	}
+	n := pm.NodeOf(base)
+	ns := pm.node(n)
+	for off := FrameID(0); off < HugeFrames; off++ {
+		f := base + off
+		m := &pm.meta[f]
+		*m = FrameMeta{Kind: KindFree, ReplicaNext: NilFrame}
+		pm.clearBit(ns, uint64(f-ns.base))
+	}
+	g := (base - ns.base) / HugeFrames
+	ns.groupFree[g] = HugeFrames
+	ns.free += HugeFrames
+	ns.allocData -= HugeFrames
+}
+
+// SplitHuge converts an allocated 2MB block into 512 independent 4KB data
+// frames (used when the kernel splits a THP mapping). The frames remain
+// allocated; only the huge markers are cleared.
+func (pm *PhysMem) SplitHuge(base FrameID) {
+	pm.checkFrame(base)
+	if !pm.meta[base].HugeHead {
+		panic(fmt.Sprintf("mem: frame %d is not a huge-page head", base))
+	}
+	pm.meta[base].HugeHead = false
+	for off := FrameID(1); off < HugeFrames; off++ {
+		pm.meta[base+off].HugeTail = false
+	}
+}
+
+// Fragment marks approximately fraction of node n's 2MB groups as
+// fragmented, excluding them from huge-page allocation. This injects the
+// "aged system" condition of the paper's Figure 11 experiment. The rng makes
+// the selection reproducible.
+func (pm *PhysMem) Fragment(n numa.NodeID, fraction float64, r *rand.Rand) {
+	if fraction < 0 || fraction > 1 {
+		panic(fmt.Sprintf("mem: fragmentation fraction %v out of [0,1]", fraction))
+	}
+	ns := pm.node(n)
+	for g := range ns.fragmented {
+		if r.Float64() < fraction {
+			ns.fragmented[g] = true
+		}
+	}
+}
+
+// DefragNode clears all fragmentation marks on node n.
+func (pm *PhysMem) DefragNode(n numa.NodeID) {
+	ns := pm.node(n)
+	for g := range ns.fragmented {
+		ns.fragmented[g] = false
+	}
+}
+
+// allocSingle finds one free 4KB frame on node n. It prefers groups that are
+// already partially used so that fully-free 2MB groups are preserved for
+// huge-page allocation (a simplified buddy-allocator anti-fragmentation
+// heuristic).
+func (pm *PhysMem) allocSingle(n numa.NodeID) (FrameID, error) {
+	ns := pm.node(n)
+	if ns.free == 0 {
+		return NilFrame, ErrOutOfMemory
+	}
+	// First pass: a partially-used, non-full group.
+	for g := range ns.groupFree {
+		if ns.groupFree[g] > 0 && ns.groupFree[g] < HugeFrames {
+			return pm.takeFromGroup(ns, g), nil
+		}
+	}
+	// Second pass: prefer fragmented fully-free groups (useless for huge
+	// pages anyway), then any fully-free group.
+	for g := range ns.groupFree {
+		if ns.groupFree[g] == HugeFrames && ns.fragmented[g] {
+			return pm.takeFromGroup(ns, g), nil
+		}
+	}
+	for g := range ns.groupFree {
+		if ns.groupFree[g] == HugeFrames {
+			return pm.takeFromGroup(ns, g), nil
+		}
+	}
+	return NilFrame, ErrOutOfMemory
+}
+
+func (pm *PhysMem) takeFromGroup(ns *nodeState, g int) FrameID {
+	base := uint64(g) * HugeFrames
+	for off := uint64(0); off < HugeFrames; off++ {
+		idx := base + off
+		if !pm.testBit(ns, idx) {
+			pm.setBit(ns, idx)
+			ns.groupFree[g]--
+			ns.free--
+			return ns.base + FrameID(idx)
+		}
+	}
+	panic(fmt.Sprintf("mem: group %d reported free frames but none found", g))
+}
+
+func (pm *PhysMem) node(n numa.NodeID) *nodeState {
+	if n < 0 || int(n) >= len(pm.nodes) {
+		panic(fmt.Sprintf("mem: node %d out of range [0,%d)", n, len(pm.nodes)))
+	}
+	return &pm.nodes[n]
+}
+
+func (pm *PhysMem) checkFrame(f FrameID) {
+	if uint64(f) >= uint64(len(pm.meta)) {
+		panic(fmt.Sprintf("mem: frame %d out of range [0,%d)", f, len(pm.meta)))
+	}
+}
+
+func (pm *PhysMem) testBit(ns *nodeState, i uint64) bool {
+	return ns.bitmap[i/64]&(1<<(i%64)) != 0
+}
+
+func (pm *PhysMem) setBit(ns *nodeState, i uint64) {
+	if pm.testBit(ns, i) {
+		panic(fmt.Sprintf("mem: frame offset %d already allocated", i))
+	}
+	ns.bitmap[i/64] |= 1 << (i % 64)
+}
+
+func (pm *PhysMem) clearBit(ns *nodeState, i uint64) {
+	if !pm.testBit(ns, i) {
+		panic(fmt.Sprintf("mem: frame offset %d already free", i))
+	}
+	ns.bitmap[i/64] &^= 1 << (i % 64)
+}

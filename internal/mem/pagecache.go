@@ -1,0 +1,133 @@
+package mem
+
+import (
+	"fmt"
+
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+)
+
+// PageCache reserves frames per NUMA node for page-table allocation.
+//
+// Mitosis requires *strict* allocation: a replica page-table page must live
+// on a specific socket's memory, and the allocation may fail if that node is
+// full. The paper sidesteps this by reserving pages per socket through a
+// sysctl-controlled page cache (§5.1). PageCache is that reservation pool:
+// page-table allocations first try the pool and fall back to the general
+// allocator, and freed page-table frames refill the pool up to its target
+// size.
+type PageCache struct {
+	pm     *PhysMem
+	target uint64 // per-node target size in frames
+	pools  [][]FrameID
+}
+
+// NewPageCache creates a page cache over pm with the given per-node target
+// size (in frames). The pools start empty; call Refill to reserve frames.
+func NewPageCache(pm *PhysMem, targetPerNode uint64) *PageCache {
+	pc := &PageCache{
+		pm:     pm,
+		target: targetPerNode,
+		pools:  make([][]FrameID, pm.Topology().Nodes()),
+	}
+	return pc
+}
+
+// SetTarget changes the per-node target size, mirroring the paper's sysctl
+// knob. Shrinking releases surplus frames back to the allocator immediately.
+func (pc *PageCache) SetTarget(targetPerNode uint64) {
+	pc.target = targetPerNode
+	for n := range pc.pools {
+		for uint64(len(pc.pools[n])) > pc.target {
+			f := pc.pools[n][len(pc.pools[n])-1]
+			pc.pools[n] = pc.pools[n][:len(pc.pools[n])-1]
+			pc.pm.Free(f)
+		}
+	}
+}
+
+// Target returns the per-node target size in frames.
+func (pc *PageCache) Target() uint64 { return pc.target }
+
+// Cached returns the number of frames currently reserved for node n.
+func (pc *PageCache) Cached(n numa.NodeID) int {
+	pc.checkNode(n)
+	return len(pc.pools[n])
+}
+
+// Refill tops every node's pool up to the target size, stopping early on a
+// node if its memory is exhausted. It returns the total number of frames
+// reserved by this call.
+func (pc *PageCache) Refill() int {
+	total := 0
+	for n := range pc.pools {
+		node := numa.NodeID(n)
+		for uint64(len(pc.pools[n])) < pc.target {
+			f, err := pc.pm.AllocPageTable(node, 1)
+			if err != nil {
+				break
+			}
+			// Parked frames carry level 0 so a stale pointer at a parked
+			// frame is distinguishable from any live table; AllocPT
+			// rewrites the level when the frame is handed out.
+			pc.pm.Meta(f).PTLevel = 0
+			pc.pools[n] = append(pc.pools[n], f)
+			total++
+		}
+	}
+	return total
+}
+
+// AllocPT returns a page-table frame on node n of the given level, taking
+// from the reserved pool first and falling back to the general allocator.
+func (pc *PageCache) AllocPT(n numa.NodeID, level uint8) (FrameID, error) {
+	pc.checkNode(n)
+	if len(pc.pools[n]) > 0 {
+		f := pc.pools[n][len(pc.pools[n])-1]
+		pc.pools[n] = pc.pools[n][:len(pc.pools[n])-1]
+		meta := pc.pm.Meta(f)
+		meta.PTLevel = level
+		clear(pc.pm.Table(f)[:])
+		return f, nil
+	}
+	return pc.pm.AllocPageTable(n, level)
+}
+
+// FreePT returns a page-table frame to the pool if the pool is below target,
+// otherwise releases it to the allocator. The frame's replica linkage must
+// already be dissolved by the caller.
+func (pc *PageCache) FreePT(f FrameID) {
+	meta := pc.pm.Meta(f)
+	if meta.Kind != KindPageTable {
+		panic(fmt.Sprintf("mem: FreePT on frame %d of kind %v", f, meta.Kind))
+	}
+	if meta.ReplicaNext != NilFrame {
+		panic(fmt.Sprintf("mem: FreePT on frame %d still linked in a replica ring", f))
+	}
+	if meta.PTLevel == 0 {
+		panic(fmt.Sprintf("mem: double FreePT of frame %d (already parked)", f))
+	}
+	n := pc.pm.NodeOf(f)
+	if uint64(len(pc.pools[n])) < pc.target {
+		meta.PTLevel = 0
+		clear(pc.pm.Table(f)[:])
+		pc.pools[n] = append(pc.pools[n], f)
+		return
+	}
+	pc.pm.Free(f)
+}
+
+// Drain releases all reserved frames back to the allocator.
+func (pc *PageCache) Drain() {
+	for n := range pc.pools {
+		for _, f := range pc.pools[n] {
+			pc.pm.Free(f)
+		}
+		pc.pools[n] = nil
+	}
+}
+
+func (pc *PageCache) checkNode(n numa.NodeID) {
+	if n < 0 || int(n) >= len(pc.pools) {
+		panic(fmt.Sprintf("mem: node %d out of range [0,%d)", n, len(pc.pools)))
+	}
+}

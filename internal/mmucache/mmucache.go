@@ -1,0 +1,144 @@
+// Package mmucache models the two cache structures that accelerate page
+// walks on the evaluation machine:
+//
+//   - PSC, the per-core paging-structure caches (PML4E/PDPTE/PDE caches,
+//     "MMU caches" in the paper [19, 24]). A hit lets the hardware walker
+//     skip the upper levels and start the walk closer to the leaf, which is
+//     why the paper's analysis focuses on leaf PTEs: "upper-level PTEs can
+//     be cached in MMU caches" (§3.1).
+//
+//   - LLC, a per-socket last-level-cache model for page-table cache lines
+//     (8 PTEs per 64-byte line). This reproduces §8.2's observation that
+//     with 2MB pages a single-socket workload's leaf page-table lines fit
+//     in the socket's L3, hiding remote page-table placement entirely
+//     (GUPS in Figure 10b) — while multi-socket workloads keep missing
+//     because walkers on all sockets update Accessed/Dirty bits in the
+//     shared tables, invalidating each other's cached lines.
+//
+// Capacities are configurable and default to values scaled in proportion to
+// the simulator's scaled-down workload footprints.
+package mmucache
+
+import (
+	"fmt"
+
+	"github.com/mitosis-project/mitosis-sim/internal/mem"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+)
+
+// PSCConfig sizes the per-level paging-structure caches. Index i holds the
+// entry count for the cache of level-i entries (i in 2..5); level-1 entries
+// are never cached here (they are what the TLB holds).
+type PSCConfig struct {
+	// EntriesPerLevel[l] is the capacity of the level-l entry cache.
+	EntriesPerLevel [pt.MaxLevels + 1]int
+}
+
+// DefaultPSCConfig mirrors a modern x86 MMU: a handful of PML4E/PDPTE
+// entries and a few dozen PDE entries.
+func DefaultPSCConfig() PSCConfig {
+	var c PSCConfig
+	c.EntriesPerLevel[2] = 32 // PDE cache
+	c.EntriesPerLevel[3] = 16 // PDPTE cache
+	c.EntriesPerLevel[4] = 8  // PML4E cache
+	c.EntriesPerLevel[5] = 4  // PML5E cache (5-level mode)
+	return c
+}
+
+type pscEntry struct {
+	tag   uint64 // VA prefix, identifying one entry at this level
+	child mem.FrameID
+	valid bool
+}
+
+// PSC is one core's set of paging-structure caches with LRU replacement
+// (small fully-associative arrays, like real MMU caches).
+type PSC struct {
+	levels [pt.MaxLevels + 1][]pscEntry
+	// Stats counts hits by level.
+	Stats PSCStats
+}
+
+// PSCStats counts PSC behaviour.
+type PSCStats struct {
+	Hits   [pt.MaxLevels + 1]uint64
+	Misses uint64
+}
+
+// NewPSC builds the caches from cfg.
+func NewPSC(cfg PSCConfig) *PSC {
+	p := &PSC{}
+	for l := 2; l <= pt.MaxLevels; l++ {
+		if n := cfg.EntriesPerLevel[l]; n > 0 {
+			p.levels[l] = make([]pscEntry, n)
+		}
+	}
+	return p
+}
+
+// tagOf extracts the VA prefix that identifies the level-l entry covering
+// va: all VA bits above the level's own index boundary.
+func tagOf(va pt.VirtAddr, level uint8) uint64 {
+	shift := uint(pt.PageShift4K + pt.EntryBits*(int(level)-1))
+	return uint64(va) >> shift
+}
+
+// Lookup finds the deepest cached paging structure for va at or below
+// startLevel. On a hit it returns the level the walk may *resume at* (the
+// cached entry's child level) and the child table frame. The walk then
+// needs only levels resumeLevel..1.
+func (p *PSC) Lookup(va pt.VirtAddr, startLevel uint8) (resumeLevel uint8, child mem.FrameID, ok bool) {
+	// Deeper levels (smaller l) skip more of the walk; search from 2 up.
+	for l := uint8(2); l <= startLevel; l++ {
+		arr := p.levels[l]
+		if arr == nil {
+			continue
+		}
+		tag := tagOf(va, l)
+		for i := range arr {
+			if arr[i].valid && arr[i].tag == tag {
+				// LRU: move to front.
+				hit := arr[i]
+				copy(arr[1:i+1], arr[:i])
+				arr[0] = hit
+				p.Stats.Hits[l]++
+				return l - 1, hit.child, true
+			}
+		}
+	}
+	p.Stats.Misses++
+	return 0, mem.NilFrame, false
+}
+
+// Insert caches a non-leaf entry observed at level during a walk: the
+// entry's child table frame, keyed by va's prefix.
+func (p *PSC) Insert(va pt.VirtAddr, level uint8, child mem.FrameID) {
+	if level < 2 || level > pt.MaxLevels {
+		panic(fmt.Sprintf("mmucache: PSC insert at level %d", level))
+	}
+	arr := p.levels[level]
+	if arr == nil {
+		return
+	}
+	tag := tagOf(va, level)
+	for i := range arr {
+		if arr[i].valid && arr[i].tag == tag {
+			hit := arr[i]
+			hit.child = child
+			copy(arr[1:i+1], arr[:i])
+			arr[0] = hit
+			return
+		}
+	}
+	copy(arr[1:], arr[:len(arr)-1])
+	arr[0] = pscEntry{tag: tag, child: child, valid: true}
+}
+
+// Flush empties all levels (context switch).
+func (p *PSC) Flush() {
+	for l := range p.levels {
+		for i := range p.levels[l] {
+			p.levels[l][i] = pscEntry{}
+		}
+	}
+}

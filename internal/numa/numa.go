@@ -1,0 +1,121 @@
+// Package numa models the non-uniform memory access topology of a
+// multi-socket machine: sockets, cores, memory nodes, and the cycle cost of
+// reaching each memory node from each socket.
+//
+// The default topology mirrors the evaluation platform of the Mitosis paper
+// (ASPLOS 2020): a four-socket Intel Xeon E7-4850v3 with 14 cores per socket,
+// ~280 cycles local DRAM latency and ~580 cycles remote DRAM latency.
+//
+// The package is purely descriptive: it owns no memory and performs no
+// allocation. Other packages (mem, hw, kernel) consult it to charge cycle
+// costs and to map cores to sockets and sockets to memory nodes.
+package numa
+
+import "fmt"
+
+// NodeID identifies a NUMA memory node. Nodes are numbered 0..Nodes()-1 and
+// node i is attached to socket i (one memory controller per socket).
+type NodeID int
+
+// SocketID identifies a processor socket.
+type SocketID int
+
+// CoreID identifies a hardware thread, numbered 0..Cores()-1 across the
+// whole machine in socket-major order: core c belongs to socket
+// c / CoresPerSocket.
+type CoreID int
+
+// Cycles counts simulated processor cycles. All latencies and runtimes in
+// the simulator are expressed in Cycles.
+type Cycles uint64
+
+// InvalidNode is returned by lookups that have no node to report.
+const InvalidNode NodeID = -1
+
+// Topology describes the static shape of the machine: how many sockets,
+// cores and memory nodes exist and how they are wired together.
+type Topology struct {
+	sockets        int
+	coresPerSocket int
+}
+
+// NewTopology returns a topology with the given socket count and cores per
+// socket. It panics if either is non-positive; a machine without sockets or
+// cores is a configuration error, not a runtime condition.
+func NewTopology(sockets, coresPerSocket int) *Topology {
+	if sockets <= 0 {
+		panic(fmt.Sprintf("numa: sockets must be positive, got %d", sockets))
+	}
+	if coresPerSocket <= 0 {
+		panic(fmt.Sprintf("numa: coresPerSocket must be positive, got %d", coresPerSocket))
+	}
+	return &Topology{sockets: sockets, coresPerSocket: coresPerSocket}
+}
+
+// Sockets returns the number of processor sockets.
+func (t *Topology) Sockets() int { return t.sockets }
+
+// Nodes returns the number of memory nodes. Every socket has exactly one
+// attached memory node, so Nodes() == Sockets().
+func (t *Topology) Nodes() int { return t.sockets }
+
+// Cores returns the total number of cores across all sockets.
+func (t *Topology) Cores() int { return t.sockets * t.coresPerSocket }
+
+// CoresPerSocket returns the number of cores on each socket.
+func (t *Topology) CoresPerSocket() int { return t.coresPerSocket }
+
+// SocketOf returns the socket that owns core c.
+func (t *Topology) SocketOf(c CoreID) SocketID {
+	if c < 0 || int(c) >= t.Cores() {
+		panic(fmt.Sprintf("numa: core %d out of range [0,%d)", c, t.Cores()))
+	}
+	return SocketID(int(c) / t.coresPerSocket)
+}
+
+// NodeOf returns the memory node attached to socket s.
+func (t *Topology) NodeOf(s SocketID) NodeID {
+	if s < 0 || int(s) >= t.sockets {
+		panic(fmt.Sprintf("numa: socket %d out of range [0,%d)", s, t.sockets))
+	}
+	return NodeID(s)
+}
+
+// SocketOfNode returns the socket to which memory node n is attached.
+func (t *Topology) SocketOfNode(n NodeID) SocketID {
+	if n < 0 || int(n) >= t.sockets {
+		panic(fmt.Sprintf("numa: node %d out of range [0,%d)", n, t.sockets))
+	}
+	return SocketID(n)
+}
+
+// CoresOf returns the core IDs belonging to socket s, in ascending order.
+func (t *Topology) CoresOf(s SocketID) []CoreID {
+	if s < 0 || int(s) >= t.sockets {
+		panic(fmt.Sprintf("numa: socket %d out of range [0,%d)", s, t.sockets))
+	}
+	cores := make([]CoreID, t.coresPerSocket)
+	base := int(s) * t.coresPerSocket
+	for i := range cores {
+		cores[i] = CoreID(base + i)
+	}
+	return cores
+}
+
+// FirstCoreOf returns the lowest-numbered core on socket s.
+func (t *Topology) FirstCoreOf(s SocketID) CoreID {
+	if s < 0 || int(s) >= t.sockets {
+		panic(fmt.Sprintf("numa: socket %d out of range [0,%d)", s, t.sockets))
+	}
+	return CoreID(int(s) * t.coresPerSocket)
+}
+
+// IsLocal reports whether memory node n is local to socket s.
+func (t *Topology) IsLocal(s SocketID, n NodeID) bool {
+	return t.NodeOf(s) == n
+}
+
+// String returns a compact human-readable description of the topology.
+func (t *Topology) String() string {
+	return fmt.Sprintf("numa.Topology{%d sockets x %d cores}", t.sockets, t.coresPerSocket)
+}

@@ -1,0 +1,147 @@
+package pt
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+)
+
+// Dump is a processed page-table snapshot in the format of the paper's
+// kernel module (§3.1, Figure 3): for every level and every socket, the
+// number of page-table pages residing there and the distribution of their
+// valid entries' target sockets.
+type Dump struct {
+	// Levels is the number of paging levels of the dumped table.
+	Levels uint8
+	// Sockets is the number of sockets/nodes in the machine.
+	Sockets int
+	// Cells is indexed [level][socket]; level runs 1..Levels.
+	Cells [MaxLevels + 1][]DumpCell
+}
+
+// DumpCell aggregates one (level, socket) combination.
+type DumpCell struct {
+	// Pages is the number of page-table pages of this level on this socket.
+	Pages int
+	// Pointers[n] counts valid entries in those pages whose target (a
+	// lower-level table page or a data frame) resides on node n.
+	Pointers []int
+}
+
+// Valid returns the total number of valid entries in the cell.
+func (c *DumpCell) Valid() int {
+	total := 0
+	for _, p := range c.Pointers {
+		total += p
+	}
+	return total
+}
+
+// RemoteFraction returns the fraction of the cell's valid entries pointing
+// to a socket other than home, or 0 if the cell has no valid entries.
+func (c *DumpCell) RemoteFraction(home numa.NodeID) float64 {
+	total := c.Valid()
+	if total == 0 {
+		return 0
+	}
+	remote := total - c.Pointers[home]
+	return float64(remote) / float64(total)
+}
+
+// Snapshot walks table t and produces a Dump. It is the simulator's version
+// of the paper's page-table dumping kernel module.
+func Snapshot(t *Table) *Dump {
+	pm := t.Mem()
+	sockets := pm.Topology().Nodes()
+	d := &Dump{Levels: t.Levels(), Sockets: sockets}
+	for l := uint8(1); l <= t.Levels(); l++ {
+		d.Cells[l] = make([]DumpCell, sockets)
+		for s := range d.Cells[l] {
+			d.Cells[l][s].Pointers = make([]int, sockets)
+		}
+	}
+	// Count the root page itself.
+	rootNode := pm.NodeOf(t.Root())
+	d.Cells[t.Levels()][rootNode].Pages++
+	t.Visit(func(level uint8, ref EntryRef, e PTE) bool {
+		home := pm.NodeOf(ref.Frame)
+		target := pm.NodeOf(e.Frame())
+		d.Cells[level][home].Pointers[target]++
+		if level > 1 && !e.Huge() {
+			d.Cells[level-1][pm.NodeOf(e.Frame())].Pages++
+		}
+		return true
+	})
+	return d
+}
+
+// LeafPTEs returns the total number of valid leaf entries (level-1 PTEs plus
+// huge-page leaves) and how many of them reside on each socket. "Reside"
+// means the socket holding the page-table page that contains the entry —
+// that placement determines which memory a TLB miss must touch.
+func (d *Dump) LeafPTEs() (total int, perSocket []int) {
+	perSocket = make([]int, d.Sockets)
+	for s := 0; s < d.Sockets; s++ {
+		// Level-1 entries stored on socket s.
+		n := d.Cells[1][s].Valid()
+		perSocket[s] += n
+		total += n
+	}
+	return total, perSocket
+}
+
+// RemoteLeafFraction returns, for an observer thread running on socket s,
+// the fraction of leaf PTEs whose page-table page is remote to s. This is
+// the quantity plotted in the paper's Figure 4.
+func (d *Dump) RemoteLeafFraction(s numa.SocketID) float64 {
+	total, per := d.LeafPTEs()
+	if total == 0 {
+		return 0
+	}
+	return float64(total-per[int(s)]) / float64(total)
+}
+
+// levelName renders the conventional level name (L1..L5).
+func levelName(l uint8) string { return fmt.Sprintf("L%d", l) }
+
+// Format renders the dump in the layout of the paper's Figure 3: one row
+// per level (root first), one column per socket, each cell showing
+// "pages [ptr0 ptr1 ...] (remote%)".
+func (d *Dump) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s |", "Level")
+	for s := 0; s < d.Sockets; s++ {
+		fmt.Fprintf(&b, " %-26s |", fmt.Sprintf("Socket %d", s))
+	}
+	b.WriteByte('\n')
+	for l := d.Levels; l >= 1; l-- {
+		fmt.Fprintf(&b, "%-5s |", levelName(l))
+		for s := 0; s < d.Sockets; s++ {
+			cell := &d.Cells[l][s]
+			ptrs := make([]string, d.Sockets)
+			for i, p := range cell.Pointers {
+				ptrs[i] = compactCount(p)
+			}
+			fmt.Fprintf(&b, " %4s [%s] (%3.0f%%) |",
+				compactCount(cell.Pages),
+				strings.Join(ptrs, " "),
+				cell.RemoteFraction(numa.NodeID(s))*100)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// compactCount renders n the way the paper's dump does: raw below 1000,
+// then "12k", then "3M".
+func compactCount(n int) string {
+	switch {
+	case n < 1000:
+		return fmt.Sprintf("%d", n)
+	case n < 1000000:
+		return fmt.Sprintf("%dk", n/1000)
+	default:
+		return fmt.Sprintf("%dM", n/1000000)
+	}
+}

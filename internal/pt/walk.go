@@ -1,0 +1,201 @@
+package pt
+
+import (
+	"fmt"
+
+	"github.com/mitosis-project/mitosis-sim/internal/mem"
+)
+
+// MaxLevels is the deepest supported paging mode (Intel 5-level paging).
+const MaxLevels = 5
+
+// Step records one page-table access performed during a walk: which table
+// frame was read, at which index, and at which level (root level first).
+type Step struct {
+	Level uint8
+	Ref   EntryRef
+	Entry PTE
+}
+
+// Walk is the result of a software page-table walk. The hardware walker
+// (package hw) replays Steps to charge per-access memory costs.
+type Walk struct {
+	// Steps lists the table accesses from the root level down to the
+	// terminal entry; Steps[N-1].Entry is the terminal entry.
+	Steps [MaxLevels]Step
+	// N is the number of valid steps.
+	N int
+	// OK reports whether the walk reached a present leaf entry.
+	OK bool
+	// Size is the page size of the final translation (valid when OK).
+	Size PageSize
+}
+
+// Terminal returns the last entry examined. For a successful walk this is
+// the leaf PTE; for a failed walk, the first non-present entry.
+func (w *Walk) Terminal() PTE {
+	if w.N == 0 {
+		return 0
+	}
+	return w.Steps[w.N-1].Entry
+}
+
+// TerminalRef returns the location of the last entry examined.
+func (w *Walk) TerminalRef() EntryRef {
+	if w.N == 0 {
+		return EntryRef{Frame: mem.NilFrame}
+	}
+	return w.Steps[w.N-1].Ref
+}
+
+// Frame returns the translated physical frame for a successful walk,
+// adjusted for the in-page offset of huge pages (the base frame of the huge
+// mapping plus the 4KB-frame offset of va inside it).
+func (w *Walk) Frame(va VirtAddr) mem.FrameID {
+	if !w.OK {
+		panic("pt: Frame on failed walk")
+	}
+	leaf := w.Terminal()
+	base := leaf.Frame()
+	off := PageOffset(va, w.Size) >> PageShift4K
+	return base + mem.FrameID(off)
+}
+
+// Table is a radix page-table rooted at a physical frame, with 4 or 5
+// levels. Table performs reads only; see package doc for the write path.
+type Table struct {
+	pm     *mem.PhysMem
+	root   mem.FrameID
+	levels uint8
+}
+
+// NewTable wraps an existing root frame as a page-table view. The root
+// frame must hold a page-table page of the given top level.
+func NewTable(pm *mem.PhysMem, root mem.FrameID, levels uint8) *Table {
+	if levels != 4 && levels != 5 {
+		panic(fmt.Sprintf("pt: levels must be 4 or 5, got %d", levels))
+	}
+	if pm.Meta(root).Kind != mem.KindPageTable {
+		panic(fmt.Sprintf("pt: root frame %d is not a page-table page", root))
+	}
+	return &Table{pm: pm, root: root, levels: levels}
+}
+
+// Root returns the root (CR3) frame.
+func (t *Table) Root() mem.FrameID { return t.root }
+
+// Levels returns the number of paging levels (4 or 5).
+func (t *Table) Levels() uint8 { return t.levels }
+
+// Mem returns the physical memory the table lives in.
+func (t *Table) Mem() *mem.PhysMem { return t.pm }
+
+// MaxVirtAddr returns one past the highest translatable virtual address.
+func (t *Table) MaxVirtAddr() VirtAddr {
+	return VirtAddr(1) << (PageShift4K + EntryBits*uint64(t.levels))
+}
+
+// WalkFrom performs a software walk for va starting at the given level and
+// table frame. It is the building block for both full walks and
+// MMU-cache-accelerated partial walks.
+func (t *Table) WalkFrom(va VirtAddr, startLevel uint8, startFrame mem.FrameID) Walk {
+	var w Walk
+	frame := startFrame
+	for level := startLevel; level >= 1; level-- {
+		idx := Index(va, level)
+		ref := EntryRef{Frame: frame, Index: idx}
+		e := ReadEntry(t.pm, ref)
+		w.Steps[w.N] = Step{Level: level, Ref: ref, Entry: e}
+		w.N++
+		if !e.Present() {
+			return w
+		}
+		if level == 1 {
+			w.OK = true
+			w.Size = Size4K
+			return w
+		}
+		if e.Huge() {
+			switch level {
+			case 2:
+				w.OK = true
+				w.Size = Size2M
+			case 3:
+				w.OK = true
+				w.Size = Size1G
+			default:
+				panic(fmt.Sprintf("pt: PS bit set at level %d", level))
+			}
+			return w
+		}
+		frame = e.Frame()
+	}
+	return w
+}
+
+// Walk performs a full software walk from the root for va.
+func (t *Table) Walk(va VirtAddr) Walk {
+	if va >= t.MaxVirtAddr() {
+		panic(fmt.Sprintf("pt: va %#x beyond %d-level range", uint64(va), t.levels))
+	}
+	return t.WalkFrom(va, t.levels, t.root)
+}
+
+// Lookup translates va, returning the leaf entry and page size.
+func (t *Table) Lookup(va VirtAddr) (leaf PTE, size PageSize, ok bool) {
+	w := t.Walk(va)
+	if !w.OK {
+		return 0, Size4K, false
+	}
+	return w.Terminal(), w.Size, true
+}
+
+// Visit walks the whole tree in depth-first order, calling fn for every
+// present entry with the level, the entry's location and its value. If fn
+// returns false the traversal stops. Leaf entries (level 1 or huge) do not
+// recurse.
+func (t *Table) Visit(fn func(level uint8, ref EntryRef, e PTE) bool) {
+	t.visit(t.root, t.levels, fn)
+}
+
+func (t *Table) visit(frame mem.FrameID, level uint8, fn func(uint8, EntryRef, PTE) bool) bool {
+	tbl := t.pm.Table(frame)
+	for i := 0; i < mem.PTEntries; i++ {
+		e := PTE(tbl[i])
+		if !e.Present() {
+			continue
+		}
+		if !fn(level, EntryRef{Frame: frame, Index: i}, e) {
+			return false
+		}
+		if level > 1 && !e.Huge() {
+			if !t.visit(e.Frame(), level-1, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CountEntries returns the number of present entries per level (index 0
+// unused; index L holds the count at level L).
+func (t *Table) CountEntries() [MaxLevels + 1]int {
+	var counts [MaxLevels + 1]int
+	t.Visit(func(level uint8, _ EntryRef, _ PTE) bool {
+		counts[level]++
+		return true
+	})
+	return counts
+}
+
+// Pages returns the page-table frames per level, including the root.
+func (t *Table) Pages() map[uint8][]mem.FrameID {
+	pages := map[uint8][]mem.FrameID{t.levels: {t.root}}
+	t.Visit(func(level uint8, _ EntryRef, e PTE) bool {
+		if level > 1 && !e.Huge() {
+			pages[level-1] = append(pages[level-1], e.Frame())
+		}
+		return true
+	})
+	return pages
+}

@@ -1,0 +1,334 @@
+package pvops
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/mitosis-project/mitosis-sim/internal/mem"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+)
+
+type fixture struct {
+	pm   *mem.PhysMem
+	cost *numa.CostModel
+	be   *Native
+	ctx  *OpCtx
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	topo := numa.NewTopology(4, 2)
+	pm := mem.New(mem.Config{Topology: topo, FramesPerNode: 4096})
+	cost := numa.NewCostModel(topo, numa.DefaultCostParams())
+	return &fixture{
+		pm:   pm,
+		cost: cost,
+		be:   NewNative(pm, cost),
+		ctx:  &OpCtx{Socket: 0, Meter: &Meter{}},
+	}
+}
+
+func newMapper(t testing.TB, fx *fixture) *Mapper {
+	t.Helper()
+	mp, err := NewMapper(fx.ctx, fx.pm, fx.be, 4, PTPlacement{Primary: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mp
+}
+
+func TestMapperMapLookup(t *testing.T) {
+	fx := newFixture(t)
+	mp := newMapper(t, fx)
+
+	data, _ := fx.pm.AllocData(1)
+	va := pt.VirtAddr(0x7f0000400000)
+	if err := mp.Map(fx.ctx, va, pt.Size4K, data, pt.FlagWrite|pt.FlagUser, PTPlacement{Primary: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	leaf, size, ok := mp.Table().Lookup(va)
+	if !ok || size != pt.Size4K {
+		t.Fatalf("Lookup: ok=%v size=%v", ok, size)
+	}
+	if leaf.Frame() != data {
+		t.Errorf("leaf frame = %d, want %d", leaf.Frame(), data)
+	}
+	if !leaf.Writable() || !leaf.User() {
+		t.Errorf("leaf flags lost: %v", leaf)
+	}
+}
+
+func TestMapperDoubleMapFails(t *testing.T) {
+	fx := newFixture(t)
+	mp := newMapper(t, fx)
+	data, _ := fx.pm.AllocData(0)
+	va := pt.VirtAddr(0x1000)
+	if err := mp.Map(fx.ctx, va, pt.Size4K, data, 0, PTPlacement{Primary: 0}); err != nil {
+		t.Fatal(err)
+	}
+	err := mp.Map(fx.ctx, va, pt.Size4K, data, 0, PTPlacement{Primary: 0})
+	if !errors.Is(err, ErrMapped) {
+		t.Fatalf("err = %v, want ErrMapped", err)
+	}
+}
+
+func TestMapperUnmap(t *testing.T) {
+	fx := newFixture(t)
+	mp := newMapper(t, fx)
+	data, _ := fx.pm.AllocData(0)
+	va := pt.VirtAddr(0x2000)
+	if err := mp.Map(fx.ctx, va, pt.Size4K, data, pt.FlagWrite, PTPlacement{Primary: 0}); err != nil {
+		t.Fatal(err)
+	}
+	old, err := mp.Unmap(fx.ctx, va, pt.Size4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Frame() != data {
+		t.Errorf("unmap returned frame %d, want %d", old.Frame(), data)
+	}
+	if _, _, ok := mp.Table().Lookup(va); ok {
+		t.Error("translation survives unmap")
+	}
+	if _, err := mp.Unmap(fx.ctx, va, pt.Size4K); !errors.Is(err, ErrNotMapped) {
+		t.Errorf("second unmap err = %v, want ErrNotMapped", err)
+	}
+}
+
+func TestMapperProtect(t *testing.T) {
+	fx := newFixture(t)
+	mp := newMapper(t, fx)
+	data, _ := fx.pm.AllocData(0)
+	va := pt.VirtAddr(0x3000)
+	if err := mp.Map(fx.ctx, va, pt.Size4K, data, pt.FlagWrite, PTPlacement{Primary: 0}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := mp.Protect(fx.ctx, va, pt.Size4K, 0, pt.FlagWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Writable() {
+		t.Error("write flag not cleared")
+	}
+	leaf, _, _ := mp.Table().Lookup(va)
+	if leaf.Writable() {
+		t.Error("write flag not cleared in table")
+	}
+}
+
+func TestMapperHugeMap(t *testing.T) {
+	fx := newFixture(t)
+	mp := newMapper(t, fx)
+	base, err := fx.pm.AllocHuge(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := pt.VirtAddr(0x40000000) // 1GB, 2MB-aligned
+	if err := mp.Map(fx.ctx, va, pt.Size2M, base, pt.FlagWrite, PTPlacement{Primary: 2}); err != nil {
+		t.Fatal(err)
+	}
+	leaf, size, ok := mp.Table().Lookup(va + 0x12345)
+	if !ok || size != pt.Size2M {
+		t.Fatalf("huge lookup: ok=%v size=%v", ok, size)
+	}
+	if !leaf.Huge() {
+		t.Error("PS bit missing")
+	}
+	// Mapping a 4KB page inside the huge range must fail.
+	data, _ := fx.pm.AllocData(0)
+	err = mp.Map(fx.ctx, va+0x1000, pt.Size4K, data, 0, PTPlacement{Primary: 0})
+	if !errors.Is(err, ErrHugeConflict) {
+		t.Errorf("err = %v, want ErrHugeConflict", err)
+	}
+}
+
+func TestMapperSplitHuge(t *testing.T) {
+	fx := newFixture(t)
+	mp := newMapper(t, fx)
+	base, err := fx.pm.AllocHuge(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := pt.VirtAddr(0x40000000)
+	if err := mp.Map(fx.ctx, va, pt.Size2M, base, pt.FlagWrite, PTPlacement{Primary: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.SplitHuge(fx.ctx, va, PTPlacement{Primary: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// All 512 4KB translations exist and target consecutive frames.
+	for i := 0; i < 512; i += 101 {
+		leaf, size, ok := mp.Table().Lookup(va + pt.VirtAddr(i*4096))
+		if !ok || size != pt.Size4K {
+			t.Fatalf("post-split lookup %d: ok=%v size=%v", i, ok, size)
+		}
+		if got := leaf.Frame(); got != base+mem.FrameID(i) {
+			t.Errorf("post-split frame %d = %d, want %d", i, got, base+mem.FrameID(i))
+		}
+		if !leaf.Writable() {
+			t.Errorf("post-split entry %d lost write flag", i)
+		}
+	}
+}
+
+func TestMapperRemap(t *testing.T) {
+	fx := newFixture(t)
+	mp := newMapper(t, fx)
+	oldF, _ := fx.pm.AllocData(0)
+	newF, _ := fx.pm.AllocData(3)
+	va := pt.VirtAddr(0x5000)
+	if err := mp.Map(fx.ctx, va, pt.Size4K, oldF, pt.FlagWrite|pt.FlagAccessed|pt.FlagDirty, PTPlacement{Primary: 0}); err != nil {
+		t.Fatal(err)
+	}
+	old, err := mp.Remap(fx.ctx, va, pt.Size4K, newF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Frame() != oldF {
+		t.Errorf("Remap old frame = %d, want %d", old.Frame(), oldF)
+	}
+	leaf, _, _ := mp.Table().Lookup(va)
+	if leaf.Frame() != newF {
+		t.Errorf("new frame = %d, want %d", leaf.Frame(), newF)
+	}
+	if leaf.Accessed() || leaf.Dirty() {
+		t.Error("Remap must clear A/D bits")
+	}
+	if !leaf.Writable() {
+		t.Error("Remap must preserve permission flags")
+	}
+}
+
+func TestMapperDestroyFreesAllTables(t *testing.T) {
+	fx := newFixture(t)
+	before := [4]uint64{}
+	for n := 0; n < 4; n++ {
+		before[n] = fx.pm.FreeFrames(numa.NodeID(n))
+	}
+	mp := newMapper(t, fx)
+	var datas []mem.FrameID
+	for i := 0; i < 64; i++ {
+		f, _ := fx.pm.AllocData(numa.NodeID(i % 4))
+		datas = append(datas, f)
+		va := pt.VirtAddr(uint64(i) * (1 << 30)) // spread across L3 entries
+		if err := mp.Map(fx.ctx, va, pt.Size4K, f, 0, PTPlacement{Primary: numa.NodeID(i % 4)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mp.Destroy(fx.ctx)
+	for _, f := range datas {
+		fx.pm.Free(f)
+	}
+	for n := 0; n < 4; n++ {
+		if got := fx.pm.FreeFrames(numa.NodeID(n)); got != before[n] {
+			t.Errorf("node %d leaked %d frames", n, before[n]-got)
+		}
+	}
+}
+
+func TestMapperPTPlacement(t *testing.T) {
+	fx := newFixture(t)
+	mp, err := NewMapper(fx.ctx, fx.pm, fx.be, 4, PTPlacement{Primary: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fx.pm.NodeOf(mp.Root()); got != 2 {
+		t.Errorf("root on node %d, want 2", got)
+	}
+	data, _ := fx.pm.AllocData(3)
+	if err := mp.Map(fx.ctx, 0x1000, pt.Size4K, data, 0, PTPlacement{Primary: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// Every intermediate table created by the Map must live on node 3.
+	pages := mp.Table().Pages()
+	for _, lvl := range []uint8{3, 2, 1} {
+		for _, f := range pages[lvl] {
+			if got := fx.pm.NodeOf(f); got != 3 {
+				t.Errorf("level-%d table on node %d, want 3", lvl, got)
+			}
+		}
+	}
+}
+
+func TestMeterAccounting(t *testing.T) {
+	fx := newFixture(t)
+	mp := newMapper(t, fx)
+	start := *fx.ctx.Meter
+	data, _ := fx.pm.AllocData(0)
+	if err := mp.Map(fx.ctx, 0x1000, pt.Size4K, data, 0, PTPlacement{Primary: 0}); err != nil {
+		t.Fatal(err)
+	}
+	d := fx.ctx.Meter.Sub(start)
+	if d.PTAllocs != 3 {
+		t.Errorf("PTAllocs = %d, want 3 (L3,L2,L1)", d.PTAllocs)
+	}
+	if d.PTEWrites != 4 {
+		t.Errorf("PTEWrites = %d, want 4 (3 inner + leaf)", d.PTEWrites)
+	}
+	if d.Cycles == 0 {
+		t.Error("no cycles charged")
+	}
+
+	// A second map in the same L1 table allocates nothing.
+	start = *fx.ctx.Meter
+	data2, _ := fx.pm.AllocData(0)
+	if err := mp.Map(fx.ctx, 0x2000, pt.Size4K, data2, 0, PTPlacement{Primary: 0}); err != nil {
+		t.Fatal(err)
+	}
+	d = fx.ctx.Meter.Sub(start)
+	if d.PTAllocs != 0 {
+		t.Errorf("second map PTAllocs = %d, want 0", d.PTAllocs)
+	}
+	if d.PTEWrites != 1 {
+		t.Errorf("second map PTEWrites = %d, want 1", d.PTEWrites)
+	}
+}
+
+func TestNativeClearAD(t *testing.T) {
+	fx := newFixture(t)
+	mp := newMapper(t, fx)
+	data, _ := fx.pm.AllocData(0)
+	va := pt.VirtAddr(0x9000)
+	if err := mp.Map(fx.ctx, va, pt.Size4K, data, pt.FlagAccessed|pt.FlagDirty, PTPlacement{Primary: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.ClearAD(fx.ctx, va, pt.Size4K); err != nil {
+		t.Fatal(err)
+	}
+	leaf, _, _ := mp.Table().Lookup(va)
+	if leaf.Accessed() || leaf.Dirty() {
+		t.Errorf("A/D bits survive ClearAD: %v", leaf)
+	}
+	if !leaf.Present() {
+		t.Error("ClearAD must not clear present")
+	}
+}
+
+func TestMapperAlignmentPanics(t *testing.T) {
+	fx := newFixture(t)
+	mp := newMapper(t, fx)
+	data, _ := fx.pm.AllocData(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on unaligned huge map")
+		}
+	}()
+	_ = mp.Map(fx.ctx, 0x1000, pt.Size2M, data, 0, PTPlacement{Primary: 0})
+}
+
+func TestMeterSubAdd(t *testing.T) {
+	a := Meter{Cycles: 100, PTEWrites: 5, PTEReads: 3, RingHops: 2, PTAllocs: 1, PTFrees: 1}
+	b := Meter{Cycles: 40, PTEWrites: 2, PTEReads: 1, RingHops: 1}
+	d := a.Sub(b)
+	if d.Cycles != 60 || d.PTEWrites != 3 || d.PTEReads != 2 || d.RingHops != 1 || d.PTAllocs != 1 {
+		t.Errorf("Sub = %+v", d)
+	}
+	var m Meter
+	m.Add(a)
+	m.Add(b)
+	if m.Cycles != 140 || m.PTEWrites != 7 {
+		t.Errorf("Add = %+v", m)
+	}
+}

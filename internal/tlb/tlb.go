@@ -1,0 +1,285 @@
+// Package tlb models a per-core two-level Translation Lookaside Buffer with
+// set-associative arrays, LRU replacement, separate first-level arrays for
+// 4KB and 2MB pages, and a unified second level — the structure of the
+// paper's evaluation machine ("a per-core two-level TLB with 64+1024
+// entries", §8).
+//
+// Entry counts are configurable because the simulator runs scaled-down
+// footprints: keeping the footprint/TLB-coverage ratio in the regime of the
+// paper's 512GB machine requires proportionally smaller TLBs.
+package tlb
+
+import (
+	"fmt"
+
+	"github.com/mitosis-project/mitosis-sim/internal/mem"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+)
+
+// Config sizes the TLB arrays. Entries must be divisible by Ways.
+type Config struct {
+	// L1Entries4K / L1Ways4K size the first-level 4KB-page array.
+	L1Entries4K, L1Ways4K int
+	// L1Entries2M / L1Ways2M size the first-level 2MB-page array.
+	L1Entries2M, L1Ways2M int
+	// L2Entries / L2Ways size the unified second level.
+	L2Entries, L2Ways int
+}
+
+// DefaultConfig returns the scaled TLB used by the experiments: 16+64
+// entries, preserving the paper machine's heavy-TLB-pressure regime at the
+// simulator's scaled-down footprints (see DESIGN.md).
+func DefaultConfig() Config {
+	return Config{
+		L1Entries4K: 16, L1Ways4K: 4,
+		L1Entries2M: 8, L1Ways2M: 4,
+		L2Entries: 64, L2Ways: 8,
+	}
+}
+
+// HardwareConfig returns the paper machine's actual TLB geometry (64-entry
+// L1, 1024-entry L2), for full-scale runs.
+func HardwareConfig() Config {
+	return Config{
+		L1Entries4K: 64, L1Ways4K: 4,
+		L1Entries2M: 32, L1Ways2M: 4,
+		L2Entries: 1024, L2Ways: 8,
+	}
+}
+
+// HitLevel reports where a lookup hit.
+type HitLevel int
+
+const (
+	// Miss means the translation was absent from all levels.
+	Miss HitLevel = iota
+	// HitL1 means the first-level array supplied the translation.
+	HitL1
+	// HitL2 means the second-level array supplied the translation.
+	HitL2
+)
+
+// Entry is a cached translation.
+type Entry struct {
+	// VPN is the virtual page number (va >> pageshift for Size).
+	VPN uint64
+	// Leaf is the cached leaf PTE (frame + flags).
+	Leaf pt.PTE
+	// Size is the mapping granularity.
+	Size pt.PageSize
+	// valid marks the slot as in use.
+	valid bool
+}
+
+// Frame returns the physical frame for va under this entry, adjusting for
+// the in-page offset of huge mappings.
+func (e *Entry) Frame(va pt.VirtAddr) mem.FrameID {
+	off := pt.PageOffset(va, e.Size) >> pt.PageShift4K
+	return e.Leaf.Frame() + mem.FrameID(off)
+}
+
+// Stats counts TLB behaviour.
+type Stats struct {
+	Lookups   uint64
+	L1Hits    uint64
+	L2Hits    uint64
+	Misses    uint64
+	Flushes   uint64
+	PageInval uint64
+}
+
+// set is one associative set with LRU ordering: slots[0] is MRU.
+type set struct {
+	slots []Entry
+}
+
+func (s *set) lookup(vpn uint64, size pt.PageSize) (*Entry, bool) {
+	for i := range s.slots {
+		e := &s.slots[i]
+		if e.valid && e.VPN == vpn && e.Size == size {
+			// Move to front (LRU update).
+			hit := *e
+			copy(s.slots[1:i+1], s.slots[:i])
+			s.slots[0] = hit
+			return &s.slots[0], true
+		}
+	}
+	return nil, false
+}
+
+func (s *set) insert(e Entry) {
+	// Replace an existing mapping of the same VPN/size, else evict LRU.
+	for i := range s.slots {
+		if s.slots[i].valid && s.slots[i].VPN == e.VPN && s.slots[i].Size == e.Size {
+			copy(s.slots[1:i+1], s.slots[:i])
+			s.slots[0] = e
+			return
+		}
+	}
+	copy(s.slots[1:], s.slots[:len(s.slots)-1])
+	s.slots[0] = e
+}
+
+func (s *set) invalidate(vpn uint64, size pt.PageSize) bool {
+	for i := range s.slots {
+		if s.slots[i].valid && s.slots[i].VPN == vpn && s.slots[i].Size == size {
+			s.slots[i] = Entry{}
+			return true
+		}
+	}
+	return false
+}
+
+func (s *set) flush() {
+	for i := range s.slots {
+		s.slots[i] = Entry{}
+	}
+}
+
+// array is one set-associative translation array.
+type array struct {
+	sets []set
+	mask uint64
+}
+
+func newArray(entries, ways int, name string) *array {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("tlb: %s: entries (%d) must be a positive multiple of ways (%d)", name, entries, ways))
+	}
+	n := entries / ways
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("tlb: %s: set count %d must be a power of two", name, n))
+	}
+	a := &array{sets: make([]set, n), mask: uint64(n - 1)}
+	for i := range a.sets {
+		a.sets[i].slots = make([]Entry, ways)
+	}
+	return a
+}
+
+func (a *array) set(vpn uint64) *set { return &a.sets[vpn&a.mask] }
+
+// TLB is a per-core two-level TLB.
+type TLB struct {
+	l1x4k *array
+	l1x2m *array
+	l2    *array
+	// Stats accumulates hit/miss counters; reset with ResetStats.
+	Stats Stats
+}
+
+// New builds a TLB from cfg.
+func New(cfg Config) *TLB {
+	return &TLB{
+		l1x4k: newArray(cfg.L1Entries4K, cfg.L1Ways4K, "L1-4K"),
+		l1x2m: newArray(cfg.L1Entries2M, cfg.L1Ways2M, "L1-2M"),
+		l2:    newArray(cfg.L2Entries, cfg.L2Ways, "L2"),
+	}
+}
+
+// Lookup searches for a translation of va at any page size. On an L2 hit
+// the entry is promoted into the matching L1 array.
+func (t *TLB) Lookup(va pt.VirtAddr) (Entry, HitLevel) {
+	t.Stats.Lookups++
+	vpn4k := uint64(va) >> pt.PageShift4K
+	vpn2m := uint64(va) >> 21
+
+	if e, ok := t.l1x4k.set(vpn4k).lookup(vpn4k, pt.Size4K); ok {
+		t.Stats.L1Hits++
+		return *e, HitL1
+	}
+	if e, ok := t.l1x2m.set(vpn2m).lookup(vpn2m, pt.Size2M); ok {
+		t.Stats.L1Hits++
+		return *e, HitL1
+	}
+	if e, ok := t.l2.set(vpn4k).lookup(vpn4k, pt.Size4K); ok {
+		t.Stats.L2Hits++
+		hit := *e
+		t.l1x4k.set(vpn4k).insert(hit)
+		return hit, HitL2
+	}
+	if e, ok := t.l2.set(vpn2m).lookup(vpn2m, pt.Size2M); ok {
+		t.Stats.L2Hits++
+		hit := *e
+		t.l1x2m.set(vpn2m).insert(hit)
+		return hit, HitL2
+	}
+	t.Stats.Misses++
+	return Entry{}, Miss
+}
+
+// Insert installs a translation (after a page walk) into both levels.
+func (t *TLB) Insert(va pt.VirtAddr, leaf pt.PTE, size pt.PageSize) {
+	if size == pt.Size1G {
+		// 1GB mappings are tracked in the 2MB arrays at 1GB granularity;
+		// the evaluation machine has very few 1GB entries (§7.3) and the
+		// experiments do not use them.
+		size = pt.Size2M
+		leaf = pt.NewPTE(leaf.Frame(), leaf.Flags())
+	}
+	vpn := uint64(va) >> uint(shiftOf(size))
+	e := Entry{VPN: vpn, Leaf: leaf, Size: size, valid: true}
+	switch size {
+	case pt.Size4K:
+		t.l1x4k.set(vpn).insert(e)
+	default:
+		t.l1x2m.set(vpn).insert(e)
+	}
+	t.l2.set(vpn).insert(e)
+}
+
+// InvalidatePage removes any translation covering va (both page sizes) —
+// the core's response to a TLB shootdown for one page.
+func (t *TLB) InvalidatePage(va pt.VirtAddr) {
+	vpn4k := uint64(va) >> pt.PageShift4K
+	vpn2m := uint64(va) >> 21
+	hit := false
+	if t.l1x4k.set(vpn4k).invalidate(vpn4k, pt.Size4K) {
+		hit = true
+	}
+	if t.l1x2m.set(vpn2m).invalidate(vpn2m, pt.Size2M) {
+		hit = true
+	}
+	if t.l2.set(vpn4k).invalidate(vpn4k, pt.Size4K) {
+		hit = true
+	}
+	if t.l2.set(vpn2m).invalidate(vpn2m, pt.Size2M) {
+		hit = true
+	}
+	if hit {
+		t.Stats.PageInval++
+	}
+}
+
+// Flush empties the whole TLB (context switch without ASIDs, or a global
+// shootdown).
+func (t *TLB) Flush() {
+	for _, a := range []*array{t.l1x4k, t.l1x2m, t.l2} {
+		for i := range a.sets {
+			a.sets[i].flush()
+		}
+	}
+	t.Stats.Flushes++
+}
+
+// ResetStats zeroes the counters.
+func (t *TLB) ResetStats() { t.Stats = Stats{} }
+
+// HitRate returns the fraction of lookups served from any level.
+func (s *Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.L1Hits+s.L2Hits) / float64(s.Lookups)
+}
+
+func shiftOf(size pt.PageSize) int {
+	switch size {
+	case pt.Size4K:
+		return 12
+	case pt.Size2M:
+		return 21
+	default:
+		return 30
+	}
+}

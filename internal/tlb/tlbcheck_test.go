@@ -1,0 +1,26 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mitosis-project/mitosis-sim/internal/mem"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+)
+
+func TestMissRate2M(t *testing.T) {
+	tl := New(DefaultConfig())
+	r := rand.New(rand.NewSource(1))
+	const pages = 448 // 896MB of 2MB pages
+	base := uint64(1) << 40
+	miss := 0
+	for i := 0; i < 100000; i++ {
+		va := pt.VirtAddr(base + uint64(r.Intn(pages))<<21 + uint64(r.Intn(1<<21))&^63)
+		_, hit := tl.Lookup(va)
+		if hit == Miss {
+			miss++
+			tl.Insert(va, pt.NewPTE(mem.FrameID(i), pt.FlagPresent|pt.FlagHuge), pt.Size2M)
+		}
+	}
+	t.Logf("miss rate = %.3f", float64(miss)/100000)
+}

@@ -1,0 +1,282 @@
+// Package virt extends Mitosis to hardware-assisted virtualized memory, the
+// direction §7.4 of the paper sketches but leaves as future work: with
+// nested paging, a guest-virtual address is translated by a per-process
+// guest page-table (gVA -> gPA) whose own pages live in guest-physical
+// memory, which the per-VM nested page-table translates (gPA -> hPA). A
+// nested TLB miss therefore performs a two-dimensional walk of up to 24
+// memory accesses on x86-64 — every one of which is NUMA-sensitive.
+//
+// The package provides:
+//
+//   - VM: guest-physical memory backed by host frames through a nested
+//     page-table built on the host's PV-Ops backend — so the nested table
+//     replicates across sockets with the ordinary Mitosis machinery.
+//   - GuestSpace: a guest process's page-table, stored in guest-physical
+//     frames, with optional per-socket guest-table replicas (gPT
+//     replication needs guest-visible NUMA, exactly as §7.4 observes).
+//   - Walk2D: the two-dimensional walker with per-access NUMA cycle costs,
+//     for measuring how nested walks amplify page-table misplacement and
+//     how replicating either (or both) levels recovers it.
+package virt
+
+import (
+	"fmt"
+
+	"github.com/mitosis-project/mitosis-sim/internal/core"
+	"github.com/mitosis-project/mitosis-sim/internal/mem"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+	"github.com/mitosis-project/mitosis-sim/internal/pvops"
+)
+
+// GuestFrame is a guest-physical frame number (4KB granularity).
+type GuestFrame uint64
+
+// gpaOf returns the guest-physical address of a guest frame.
+func gpaOf(f GuestFrame) pt.VirtAddr { return pt.VirtAddr(uint64(f) << 12) }
+
+// VM is one virtual machine: a guest-physical address space backed by host
+// frames via a nested page-table.
+type VM struct {
+	pm      *mem.PhysMem
+	cost    *numa.CostModel
+	backend pvops.Backend
+	// npt translates guest-physical addresses (as pt.VirtAddr) to host
+	// frames.
+	npt *pvops.Mapper
+	// nspace manages nested-table replication when the backend is the
+	// Mitosis backend.
+	nspace *core.Space
+	ctx    *pvops.OpCtx
+	// homeNode is where the hypervisor builds the VM's nested-table pages
+	// (its own first-touch behaviour).
+	homeNode numa.NodeID
+
+	nextGuestFrame GuestFrame
+	// backing maps each guest frame to its host frame (a software shadow
+	// of the nested table, used for guest-side writes).
+	backing []mem.FrameID
+	// payloads holds 512-entry storage for data frames used as guest
+	// page-table pages (host PhysMem only provisions payloads for host
+	// page-table frames).
+	payloads map[mem.FrameID]*[512]uint64
+}
+
+// NewVM creates a VM whose nested page-table root lives on hostNode. When
+// backend is a *core.Backend, the nested table can be replicated with
+// ReplicateNested.
+func NewVM(pm *mem.PhysMem, cost *numa.CostModel, backend pvops.Backend, hostNode numa.NodeID) (*VM, error) {
+	ctx := &pvops.OpCtx{Socket: pm.Topology().SocketOfNode(hostNode), Meter: &pvops.Meter{}}
+	npt, err := pvops.NewMapper(ctx, pm, backend, 4, pvops.PTPlacement{Primary: hostNode})
+	if err != nil {
+		return nil, fmt.Errorf("virt: creating nested table: %w", err)
+	}
+	vm := &VM{pm: pm, cost: cost, backend: backend, npt: npt, ctx: ctx, homeNode: hostNode}
+	if mb, ok := backend.(*core.Backend); ok {
+		vm.nspace = core.NewSpace(pm, mb, npt)
+	}
+	return vm, nil
+}
+
+// NestedSpace returns the replication manager for the nested table, or nil
+// when the VM runs on the native backend.
+func (vm *VM) NestedSpace() *core.Space { return vm.nspace }
+
+// AllocGuestFrame extends guest-physical memory by one frame backed by a
+// host frame on node, and maps it in the nested table.
+func (vm *VM) AllocGuestFrame(node numa.NodeID) (GuestFrame, error) {
+	hf, err := vm.pm.AllocData(node)
+	if err != nil {
+		return 0, err
+	}
+	gf := vm.nextGuestFrame
+	vm.nextGuestFrame++
+	// Nested-table pages are hypervisor state: they are built on the VM's
+	// home node regardless of where the guest frame's data lives.
+	place := pvops.PTPlacement{Primary: vm.homeNode}
+	if vm.nspace != nil {
+		place.Replicas = vm.nspace.Mask()
+	}
+	if err := vm.npt.Map(vm.ctx, gpaOf(gf), pt.Size4K, hf, pt.FlagWrite|pt.FlagUser, place); err != nil {
+		vm.pm.Free(hf)
+		return 0, fmt.Errorf("virt: mapping guest frame %d: %w", gf, err)
+	}
+	vm.backing = append(vm.backing, hf)
+	return gf, nil
+}
+
+// hostFrameOf returns the host frame backing a guest frame.
+func (vm *VM) hostFrameOf(gf GuestFrame) mem.FrameID {
+	if uint64(gf) >= uint64(len(vm.backing)) {
+		panic(fmt.Sprintf("virt: guest frame %d beyond guest memory", gf))
+	}
+	return vm.backing[gf]
+}
+
+// ReplicateNested replicates the nested page-table on the given nodes via
+// the ordinary Mitosis machinery (§7.4: "we can extend Mitosis' design to
+// replicate both guest page-tables and nested page-tables independently").
+func (vm *VM) ReplicateNested(nodes []numa.NodeID) error {
+	if vm.nspace == nil {
+		return fmt.Errorf("virt: nested replication requires the Mitosis backend")
+	}
+	return vm.nspace.SetMask(vm.ctx, nodes)
+}
+
+// nptRootFor returns the nested-table root the given socket's hardware
+// would use.
+func (vm *VM) nptRootFor(socket numa.SocketID) mem.FrameID {
+	if vm.nspace != nil {
+		return vm.nspace.RootFor(socket)
+	}
+	return vm.npt.Root()
+}
+
+// GuestSpace is a guest process's address space: a 4-level guest page-table
+// whose pages are guest-physical frames.
+type GuestSpace struct {
+	vm *VM
+	// roots[socket] is the guest root frame the vCPU on that socket uses;
+	// without gPT replication all entries alias the primary.
+	roots   []GuestFrame
+	primary GuestFrame
+	// replicas[node] records per-node guest-table replicas.
+	replicas map[numa.NodeID]GuestFrame
+	// homeNode is where unreplicated guest-table frames are backed.
+	homeNode numa.NodeID
+}
+
+// NewGuestSpace creates an empty guest page-table with its root backed on
+// homeNode.
+func (vm *VM) NewGuestSpace(homeNode numa.NodeID) (*GuestSpace, error) {
+	root, err := vm.AllocGuestFrame(homeNode)
+	if err != nil {
+		return nil, err
+	}
+	gs := &GuestSpace{
+		vm:       vm,
+		primary:  root,
+		roots:    make([]GuestFrame, vm.pm.Topology().Sockets()),
+		replicas: map[numa.NodeID]GuestFrame{},
+		homeNode: homeNode,
+	}
+	for i := range gs.roots {
+		gs.roots[i] = root
+	}
+	return gs, nil
+}
+
+// gptTable returns the host-memory view of a guest page-table page.
+func (gs *GuestSpace) gptTable(gf GuestFrame) *[512]uint64 {
+	hf := gs.vm.hostFrameOf(gf)
+	// Guest page-table pages live in guest DATA frames; the simulator
+	// stores their payloads in the host frame's table storage, which it
+	// provisions on first use.
+	return gs.vm.ensurePayload(hf)
+}
+
+// ensurePayload returns (allocating on demand) a 512-entry payload for a
+// data frame used as guest page-table storage.
+func (vm *VM) ensurePayload(hf mem.FrameID) *[512]uint64 {
+	if vm.payloads == nil {
+		vm.payloads = make(map[mem.FrameID]*[512]uint64)
+	}
+	p, ok := vm.payloads[hf]
+	if !ok {
+		p = new([512]uint64)
+		vm.payloads[hf] = p
+	}
+	return p
+}
+
+// Map installs gva -> gframe in the guest table (guest-kernel work),
+// allocating intermediate guest-table frames on the guest space's home
+// node. Replicas, if any, are updated eagerly — the guest-level equivalent
+// of the eager PV-Ops propagation.
+func (gs *GuestSpace) Map(gva pt.VirtAddr, gframe GuestFrame, flags pt.PTE) error {
+	if err := gs.mapInTree(gs.primary, gs.homeNode, gva, gframe, flags); err != nil {
+		return err
+	}
+	for node, root := range gs.replicas {
+		if err := gs.mapInTree(root, node, gva, gframe, flags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (gs *GuestSpace) mapInTree(root GuestFrame, node numa.NodeID, gva pt.VirtAddr, gframe GuestFrame, flags pt.PTE) error {
+	cur := root
+	for level := uint8(4); level > 1; level-- {
+		tbl := gs.gptTable(cur)
+		idx := pt.Index(gva, level)
+		e := pt.PTE(tbl[idx])
+		if !e.Present() {
+			child, err := gs.vm.AllocGuestFrame(node)
+			if err != nil {
+				return err
+			}
+			tbl[idx] = uint64(pt.NewPTE(mem.FrameID(child), pt.FlagPresent|pt.FlagWrite|pt.FlagUser))
+			cur = child
+			continue
+		}
+		cur = GuestFrame(e.Frame())
+	}
+	tbl := gs.gptTable(cur)
+	tbl[pt.Index(gva, 1)] = uint64(pt.NewPTE(mem.FrameID(gframe), flags|pt.FlagPresent))
+	return nil
+}
+
+// ReplicateGuest builds a guest-table replica backed by guest frames on
+// each given node (guest-visible NUMA), so each socket's vCPU walks a
+// socket-local guest table.
+func (gs *GuestSpace) ReplicateGuest(nodes []numa.NodeID) error {
+	for _, node := range nodes {
+		if node == gs.homeNode {
+			continue
+		}
+		if _, ok := gs.replicas[node]; ok {
+			continue
+		}
+		copyRoot, err := gs.copyGuestTree(gs.primary, 4, node)
+		if err != nil {
+			return err
+		}
+		gs.replicas[node] = copyRoot
+	}
+	topo := gs.vm.pm.Topology()
+	for s := range gs.roots {
+		node := topo.NodeOf(numa.SocketID(s))
+		if r, ok := gs.replicas[node]; ok {
+			gs.roots[s] = r
+		} else if node == gs.homeNode {
+			gs.roots[s] = gs.primary
+		}
+	}
+	return nil
+}
+
+func (gs *GuestSpace) copyGuestTree(src GuestFrame, level uint8, node numa.NodeID) (GuestFrame, error) {
+	cp, err := gs.vm.AllocGuestFrame(node)
+	if err != nil {
+		return 0, err
+	}
+	srcTbl := gs.gptTable(src)
+	dstTbl := gs.gptTable(cp)
+	for i := 0; i < 512; i++ {
+		e := pt.PTE(srcTbl[i])
+		if !e.Present() {
+			continue
+		}
+		if level > 1 {
+			child, err := gs.copyGuestTree(GuestFrame(e.Frame()), level-1, node)
+			if err != nil {
+				return 0, err
+			}
+			dstTbl[i] = uint64(pt.NewPTE(mem.FrameID(child), e.Flags()))
+			continue
+		}
+		dstTbl[i] = uint64(e)
+	}
+	return cp, nil
+}

@@ -1,0 +1,234 @@
+package virt
+
+import (
+	"testing"
+
+	"github.com/mitosis-project/mitosis-sim/internal/core"
+	"github.com/mitosis-project/mitosis-sim/internal/mem"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+	"github.com/mitosis-project/mitosis-sim/internal/pvops"
+)
+
+type fixture struct {
+	topo *numa.Topology
+	pm   *mem.PhysMem
+	cost *numa.CostModel
+	vm   *VM
+}
+
+func newFixture(t testing.TB, hostNode numa.NodeID) *fixture {
+	t.Helper()
+	topo := numa.NewTopology(4, 2)
+	pm := mem.New(mem.Config{Topology: topo, FramesPerNode: 16384})
+	cost := numa.NewCostModel(topo, numa.DefaultCostParams())
+	be := core.NewBackend(pm, cost, mem.NewPageCache(pm, 0))
+	vm, err := NewVM(pm, cost, be, hostNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{topo: topo, pm: pm, cost: cost, vm: vm}
+}
+
+// buildGuest maps n pages in a fresh guest space, data backed on dataNode.
+func buildGuest(t testing.TB, fx *fixture, gptNode, dataNode numa.NodeID, n int) (*GuestSpace, []pt.VirtAddr) {
+	t.Helper()
+	gs, err := fx.vm.NewGuestSpace(gptNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vas []pt.VirtAddr
+	for i := 0; i < n; i++ {
+		gf, err := fx.vm.AllocGuestFrame(dataNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		va := pt.VirtAddr(uint64(i) * 0x201000) // spread over guest L1 tables
+		if err := gs.Map(va, gf, pt.FlagWrite|pt.FlagUser); err != nil {
+			t.Fatal(err)
+		}
+		vas = append(vas, va)
+	}
+	return gs, vas
+}
+
+func TestWalk2DTranslates(t *testing.T) {
+	fx := newFixture(t, 0)
+	gs, vas := buildGuest(t, fx, 0, 0, 20)
+	for _, va := range vas {
+		res, err := fx.vm.Walk2D(gs, 0, va)
+		if err != nil {
+			t.Fatalf("walk %#x: %v", uint64(va), err)
+		}
+		if res.HostFrame == mem.NilFrame {
+			t.Fatal("no host frame")
+		}
+		// Paper §7.4: up to 24 accesses for a nested walk on x86-64.
+		if res.Accesses != 24 {
+			t.Errorf("accesses = %d, want 24 (4 levels x (4+1) + 4)", res.Accesses)
+		}
+	}
+}
+
+func TestWalk2DFaults(t *testing.T) {
+	fx := newFixture(t, 0)
+	gs, _ := buildGuest(t, fx, 0, 0, 1)
+	if _, err := fx.vm.Walk2D(gs, 0, 0x123456789000); err == nil {
+		t.Fatal("walk of unmapped gva succeeded")
+	}
+}
+
+func TestNestedWalkAllLocalWhenEverythingLocal(t *testing.T) {
+	fx := newFixture(t, 0)
+	gs, vas := buildGuest(t, fx, 0, 0, 5)
+	res, err := fx.vm.Walk2D(gs, 0, vas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteAccesses != 0 {
+		t.Errorf("remote accesses = %d, want 0", res.RemoteAccesses)
+	}
+}
+
+func TestRemoteNestedTableAmplifies(t *testing.T) {
+	// Nested table on node 1, guest tables and data local to socket 0:
+	// every nested-level access is remote — 20 of 24.
+	fx := newFixture(t, 1)
+	gs, vas := buildGuest(t, fx, 0, 0, 5)
+	res, err := fx.vm.Walk2D(gs, 0, vas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteAccesses != 20 {
+		t.Errorf("remote accesses = %d, want 20 (all nested levels)", res.RemoteAccesses)
+	}
+}
+
+func TestReplicateNestedRestoresLocality(t *testing.T) {
+	fx := newFixture(t, 1)
+	gs, vas := buildGuest(t, fx, 0, 0, 10)
+	if err := fx.vm.ReplicateNested([]numa.NodeID{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := fx.vm.Walk2D(gs, 0, vas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RemoteAccesses != 0 {
+		t.Errorf("remote accesses = %d, want 0 after nested replication", res.RemoteAccesses)
+	}
+	// Guest frames allocated after replication keep the nested replicas
+	// consistent.
+	gf, err := fx.vm.AllocGuestFrame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := pt.VirtAddr(0x7000000000)
+	if err := gs.Map(va, gf, pt.FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	for s := numa.SocketID(0); s < 4; s++ {
+		res, err := fx.vm.Walk2D(gs, s, va)
+		if err != nil {
+			t.Fatalf("socket %d: %v", s, err)
+		}
+		if res.HostFrame != fx.vm.hostFrameOf(gf) {
+			t.Errorf("socket %d translated to %d, want %d", s, res.HostFrame, fx.vm.hostFrameOf(gf))
+		}
+	}
+}
+
+func TestReplicateGuestTables(t *testing.T) {
+	// Guest tables on node 1 (remote to socket 0); replicating them onto
+	// node 0 removes the guest-entry remote reads.
+	fx := newFixture(t, 0)
+	gs, vas := buildGuest(t, fx, 1, 0, 10)
+
+	before, err := fx.vm.Walk2D(gs, 0, vas[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.RemoteAccesses == 0 {
+		t.Fatal("expected remote guest-table reads before replication")
+	}
+	if err := gs.ReplicateGuest([]numa.NodeID{0}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := fx.vm.Walk2D(gs, 0, vas[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.HostFrame != before.HostFrame {
+		t.Fatal("guest replication changed the translation")
+	}
+	// With the nested table local (VM home is node 0), replicating the
+	// guest tables removes all remaining remote accesses.
+	if after.RemoteAccesses != 0 {
+		t.Errorf("remote accesses = %d, want 0 after guest replication", after.RemoteAccesses)
+	}
+	if after.RemoteAccesses >= before.RemoteAccesses {
+		t.Errorf("guest replication did not reduce remote accesses (%d -> %d)",
+			before.RemoteAccesses, after.RemoteAccesses)
+	}
+	// Updates after replication propagate to all guest replicas.
+	gf, _ := fx.vm.AllocGuestFrame(0)
+	va := pt.VirtAddr(0x7100000000)
+	if err := gs.Map(va, gf, pt.FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []numa.SocketID{0, 1} {
+		if _, err := fx.vm.Walk2D(gs, s, va); err != nil {
+			t.Fatalf("socket %d: new mapping missing from replica: %v", s, err)
+		}
+	}
+}
+
+func TestBothLevelsReplicated(t *testing.T) {
+	// Worst case: VM and guest initialized on node 1, vCPU runs on socket
+	// 0 — then both levels replicate and the whole 24-access walk is local.
+	fx := newFixture(t, 1)
+	gs, vas := buildGuest(t, fx, 1, 1, 8)
+
+	worst, err := fx.vm.Walk2D(gs, 0, vas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.RemoteAccesses != 24 {
+		t.Errorf("worst case remote accesses = %d, want 24", worst.RemoteAccesses)
+	}
+	if err := fx.vm.ReplicateNested([]numa.NodeID{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gs.ReplicateGuest([]numa.NodeID{0}); err != nil {
+		t.Fatal(err)
+	}
+	best, err := fx.vm.Walk2D(gs, 0, vas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.RemoteAccesses != 0 {
+		t.Errorf("remote accesses = %d, want 0 with both levels replicated", best.RemoteAccesses)
+	}
+	if best.HostFrame != worst.HostFrame {
+		t.Error("replication changed the translation")
+	}
+	if best.Cycles >= worst.Cycles {
+		t.Errorf("replicated walk (%d cycles) not cheaper than worst case (%d)", best.Cycles, worst.Cycles)
+	}
+}
+
+func TestNativeBackendVMHasNoNestedSpace(t *testing.T) {
+	topo := numa.NewTopology(2, 1)
+	pm := mem.New(mem.Config{Topology: topo, FramesPerNode: 4096})
+	cost := numa.NewCostModel(topo, numa.DefaultCostParams())
+	vm, err := NewVM(pm, cost, pvops.NewNative(pm, cost), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.NestedSpace() != nil {
+		t.Error("native VM has a nested replication space")
+	}
+	if err := vm.ReplicateNested([]numa.NodeID{1}); err == nil {
+		t.Error("nested replication succeeded on native backend")
+	}
+}

@@ -1,0 +1,87 @@
+package virt
+
+import (
+	"fmt"
+
+	"github.com/mitosis-project/mitosis-sim/internal/mem"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+)
+
+// Walk2DResult reports one two-dimensional page walk.
+type Walk2DResult struct {
+	// HostFrame is the final translation target.
+	HostFrame mem.FrameID
+	// Cycles is the total walk cost.
+	Cycles numa.Cycles
+	// Accesses counts memory accesses (up to 24 on x86-64: 4 guest levels
+	// x 5 nested accesses each, plus 4 for the final gPA).
+	Accesses int
+	// RemoteAccesses counts accesses that crossed the interconnect.
+	RemoteAccesses int
+}
+
+// nptTranslate walks the nested table (from the socket-local root) for one
+// guest-physical address, charging per-level costs.
+func (vm *VM) nptTranslate(socket numa.SocketID, gpa pt.VirtAddr, res *Walk2DResult) (mem.FrameID, error) {
+	frame := vm.nptRootFor(socket)
+	for level := uint8(4); level >= 1; level-- {
+		res.Accesses++
+		node := vm.pm.NodeOf(frame)
+		res.Cycles += vm.cost.DRAM(socket, node)
+		if node != vm.pm.Topology().NodeOf(socket) {
+			res.RemoteAccesses++
+		}
+		e := pt.ReadEntry(vm.pm, pt.EntryRef{Frame: frame, Index: pt.Index(gpa, level)})
+		if !e.Present() {
+			return mem.NilFrame, fmt.Errorf("virt: nested fault at gPA %#x level %d", uint64(gpa), level)
+		}
+		if level == 1 {
+			return e.Frame(), nil
+		}
+		frame = e.Frame()
+	}
+	panic("virt: nested walk descended past level 1")
+}
+
+// Walk2D performs the full two-dimensional walk for gva on the given
+// socket: for each guest level, the guest-table page's gPA is translated
+// through the nested table (4 accesses) and the guest entry is read (1
+// access); the final leaf gPA is translated once more. No TLB or MMU-cache
+// acceleration is modelled — this is the worst-case walk the paper's §7.4
+// quotes at 24 accesses.
+func (vm *VM) Walk2D(gs *GuestSpace, socket numa.SocketID, gva pt.VirtAddr) (Walk2DResult, error) {
+	var res Walk2DResult
+	topo := vm.pm.Topology()
+	cur := gs.roots[socket]
+	for level := uint8(4); level >= 1; level-- {
+		// Translate the guest-table page's gPA through the nested table.
+		hostFrame, err := vm.nptTranslate(socket, gpaOf(cur), &res)
+		if err != nil {
+			return res, err
+		}
+		// Read the guest entry from the backing host frame.
+		res.Accesses++
+		node := vm.pm.NodeOf(hostFrame)
+		res.Cycles += vm.cost.DRAM(socket, node)
+		if node != topo.NodeOf(socket) {
+			res.RemoteAccesses++
+		}
+		tbl := vm.ensurePayload(hostFrame)
+		e := pt.PTE(tbl[pt.Index(gva, level)])
+		if !e.Present() {
+			return res, fmt.Errorf("virt: guest fault at %#x level %d", uint64(gva), level)
+		}
+		if level == 1 {
+			// Final: translate the leaf's gPA.
+			final, err := vm.nptTranslate(socket, gpaOf(GuestFrame(e.Frame())), &res)
+			if err != nil {
+				return res, err
+			}
+			res.HostFrame = final
+			return res, nil
+		}
+		cur = GuestFrame(e.Frame())
+	}
+	panic("virt: guest walk descended past level 1")
+}

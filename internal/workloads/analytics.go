@@ -1,0 +1,214 @@
+package workloads
+
+import "github.com/mitosis-project/mitosis-sim/internal/pt"
+
+// PageRank models the GAP benchmark's page-rank kernel: a sequential sweep
+// over the edge array with a random gather from the source-rank array per
+// edge, plus a sequential store to the destination ranks.
+type PageRank struct {
+	FootprintBytes uint64
+	Init           InitStyle
+	// Overlap is the exposed fraction of walk latency (see Workload).
+	Overlap float64
+}
+
+// NewPageRank returns the workload-migration variant.
+func NewPageRank() *PageRank {
+	return &PageRank{FootprintBytes: 448 << 20, Init: InitSingle, Overlap: 0.29}
+}
+
+// Name implements Workload.
+func (p *PageRank) Name() string { return "PageRank" }
+
+// Footprint implements Workload.
+func (p *PageRank) Footprint() uint64 { return p.FootprintBytes }
+
+// DataLocality implements Workload: sequential edge scans prefetch well;
+// random rank gathers do not.
+func (p *PageRank) DataLocality() float64 { return 0.4 }
+
+// WalkOverlap implements Workload: gathers partially overlap with the edge scan.
+func (p *PageRank) WalkOverlap() float64 { return p.Overlap }
+
+// Setup implements Workload: edges take 3/4 of memory, ranks 1/4.
+func (p *PageRank) Setup(env *Env) error {
+	edges := p.FootprintBytes / 4 * 3
+	if _, err := env.MapRegion("edges", edges); err != nil {
+		return err
+	}
+	if _, err := env.MapRegion("ranks", p.FootprintBytes-edges); err != nil {
+		return err
+	}
+	if err := env.InitRegion("edges", p.Init); err != nil {
+		return err
+	}
+	return env.InitRegion("ranks", p.Init)
+}
+
+// NewThread implements Workload.
+func (p *PageRank) NewThread(env *Env, thread int) Step {
+	r := env.rng(thread)
+	edges := env.Region("edges")
+	ranks := env.Region("ranks")
+	var cursor uint64
+	phase := 0
+	return func() (pt.VirtAddr, bool) {
+		switch phase {
+		case 0: // sequential edge read
+			va := edges.At(cursor)
+			cursor += 64
+			if cursor >= edges.Size {
+				cursor = 0
+			}
+			phase = 1
+			return va, false
+		case 1: // random source-rank gather
+			phase = 2
+			return ranks.At(alignDown(uint64(r.Int63()) % ranks.Size)), false
+		default: // destination-rank accumulate (store, random-ish)
+			phase = 0
+			return ranks.At(alignDown(uint64(r.Int63()) % ranks.Size)), true
+		}
+	}
+}
+
+// LibLinear models large-scale linear classification: streaming sweeps over
+// the feature matrix with frequent updates to a model vector. Its scaled
+// footprint is large so its 2MB-page tables exceed the scaled LLC
+// (Figure 10b: 1.31x).
+type LibLinear struct {
+	FootprintBytes uint64
+	Init           InitStyle
+	// Overlap is the exposed fraction of walk latency (see Workload).
+	Overlap float64
+}
+
+// NewLibLinear returns the workload-migration variant.
+func NewLibLinear() *LibLinear {
+	return &LibLinear{FootprintBytes: 2304 << 20, Init: InitSingle, Overlap: 0.12}
+}
+
+// Name implements Workload.
+func (l *LibLinear) Name() string { return "LibLinear" }
+
+// Footprint implements Workload.
+func (l *LibLinear) Footprint() uint64 { return l.FootprintBytes }
+
+// DataLocality implements Workload: streaming with a hot model vector.
+func (l *LibLinear) DataLocality() float64 { return 0.5 }
+
+// WalkOverlap implements Workload: sparse gathers partially overlap.
+func (l *LibLinear) WalkOverlap() float64 { return l.Overlap }
+
+// Setup implements Workload.
+func (l *LibLinear) Setup(env *Env) error {
+	features := l.FootprintBytes / 16 * 15
+	if _, err := env.MapRegion("features", features); err != nil {
+		return err
+	}
+	if _, err := env.MapRegion("model", l.FootprintBytes-features); err != nil {
+		return err
+	}
+	if err := env.InitRegion("features", l.Init); err != nil {
+		return err
+	}
+	return env.InitRegion("model", l.Init)
+}
+
+// NewThread implements Workload: dual coordinate descent samples a random
+// instance (a random jump into the feature matrix), reads a short run of
+// its sparse features, then updates a random model coordinate. The random
+// row starts dominate TLB behaviour.
+func (l *LibLinear) NewThread(env *Env, thread int) Step {
+	r := env.rng(thread)
+	features := env.Region("features")
+	model := env.Region("model")
+	var cursor uint64
+	phase := 0
+	return func() (pt.VirtAddr, bool) {
+		switch phase {
+		case 0: // random instance: jump to a random row
+			cursor = alignDown(uint64(r.Int63()) % features.Size)
+			phase = 1
+			return features.At(cursor), false
+		case 1, 2: // stream the row's sparse features
+			phase++
+			cursor += 64
+			if cursor >= features.Size {
+				cursor = 0
+			}
+			return features.At(cursor), false
+		default: // model coordinate update
+			phase = 0
+			return model.At(alignDown(uint64(r.Int63()) % model.Size)), true
+		}
+	}
+}
+
+// Graph500 models BFS on a large generated graph: a sequential frontier
+// scan with random adjacency reads and occasional visited-bit updates.
+// Mostly loads — so with 2MB pages its page-table lines stay cache-resident
+// and it shows no multi-socket gain (Figure 9b: 1.00x).
+type Graph500 struct {
+	FootprintBytes uint64
+	Init           InitStyle
+	// Overlap is the exposed fraction of walk latency (see Workload).
+	Overlap float64
+}
+
+// NewGraph500MS returns the multi-socket variant. The reference code
+// generates the graph on one thread, so page-tables skew heavily toward a
+// single socket (§3.1 observation 2 names Graph500 explicitly).
+func NewGraph500MS() *Graph500 {
+	return &Graph500{FootprintBytes: 768 << 20, Init: InitSingle, Overlap: 0.17}
+}
+
+// Name implements Workload.
+func (g *Graph500) Name() string { return "Graph500" }
+
+// Footprint implements Workload.
+func (g *Graph500) Footprint() uint64 { return g.FootprintBytes }
+
+// DataLocality implements Workload.
+func (g *Graph500) DataLocality() float64 { return 0.3 }
+
+// WalkOverlap implements Workload: independent adjacency reads overlap.
+func (g *Graph500) WalkOverlap() float64 { return g.Overlap }
+
+// Setup implements Workload.
+func (g *Graph500) Setup(env *Env) error {
+	if _, err := env.MapRegion("graph", g.FootprintBytes); err != nil {
+		return err
+	}
+	return env.InitRegion("graph", g.Init)
+}
+
+// NewThread implements Workload: one sequential frontier read, two random
+// adjacency reads, and a visited-bit store every 16th operation.
+func (g *Graph500) NewThread(env *Env, thread int) Step {
+	r := env.rng(thread)
+	graph := env.Region("graph")
+	var cursor uint64
+	var op uint64
+	phase := 0
+	return func() (pt.VirtAddr, bool) {
+		op++
+		switch phase {
+		case 0:
+			va := graph.At(cursor)
+			cursor += 64
+			if cursor >= graph.Size {
+				cursor = 0
+			}
+			phase = 1
+			return va, false
+		case 1:
+			phase = 2
+			return graph.At(alignDown(uint64(r.Int63()) % graph.Size)), false
+		default:
+			phase = 0
+			write := op%16 == 0
+			return graph.At(alignDown(uint64(r.Int63()) % graph.Size)), write
+		}
+	}
+}

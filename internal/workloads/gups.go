@@ -1,0 +1,104 @@
+package workloads
+
+import "github.com/mitosis-project/mitosis-sim/internal/pt"
+
+// GUPS is the HPC Challenge RandomAccess benchmark: read-modify-write
+// updates at uniformly random table locations. It has essentially no
+// locality, so nearly every access misses the TLB — the paper's worst case
+// for page-table placement (3.24x slowdown with remote tables, Figure 10a)
+// and the headline of Figure 1.
+type GUPS struct {
+	// FootprintBytes is the update-table size.
+	FootprintBytes uint64
+	// Init selects the initialization pattern (single-threaded in the
+	// reference implementation).
+	Init InitStyle
+	// Overlap is the exposed fraction of walk latency (see Workload).
+	Overlap float64
+}
+
+// NewGUPS returns GUPS with the scaled workload-migration footprint.
+func NewGUPS() *GUPS {
+	return &GUPS{FootprintBytes: 320 << 20, Init: InitSingle, Overlap: 1.0}
+}
+
+// Name implements Workload.
+func (g *GUPS) Name() string { return "GUPS" }
+
+// Footprint implements Workload.
+func (g *GUPS) Footprint() uint64 { return g.FootprintBytes }
+
+// DataLocality implements Workload: random updates never hit the cache.
+func (g *GUPS) DataLocality() float64 { return 0.0 }
+
+// WalkOverlap implements Workload: every access is a dependent read-modify-write.
+func (g *GUPS) WalkOverlap() float64 { return g.Overlap }
+
+// Setup implements Workload.
+func (g *GUPS) Setup(env *Env) error {
+	if _, err := env.MapRegion("table", g.FootprintBytes); err != nil {
+		return err
+	}
+	return env.InitRegion("table", g.Init)
+}
+
+// NewThread implements Workload: every access is an update (RMW) at a
+// uniformly random 64-bit slot.
+func (g *GUPS) NewThread(env *Env, thread int) Step {
+	r := env.rng(thread)
+	table := env.Region("table")
+	return func() (pt.VirtAddr, bool) {
+		off := alignDown(uint64(r.Int63()) % table.Size)
+		return table.At(off), true
+	}
+}
+
+// STREAM is the sustained-bandwidth benchmark the paper uses as the
+// interfering process (§3.2): long sequential read+write sweeps. The
+// simulator usually models interference through the cost model directly,
+// but STREAM is provided for end-to-end co-location runs.
+type STREAM struct {
+	// FootprintBytes is the combined array size.
+	FootprintBytes uint64
+}
+
+// NewSTREAM returns STREAM with a buffer that defeats all caches.
+func NewSTREAM() *STREAM { return &STREAM{FootprintBytes: 256 << 20} }
+
+// Name implements Workload.
+func (s *STREAM) Name() string { return "STREAM" }
+
+// Footprint implements Workload.
+func (s *STREAM) Footprint() uint64 { return s.FootprintBytes }
+
+// DataLocality implements Workload: streaming never reuses lines.
+func (s *STREAM) DataLocality() float64 { return 0.0 }
+
+// WalkOverlap implements Workload: independent streaming accesses overlap heavily.
+func (s *STREAM) WalkOverlap() float64 { return 0.3 }
+
+// Setup implements Workload.
+func (s *STREAM) Setup(env *Env) error {
+	if _, err := env.MapRegion("stream", s.FootprintBytes); err != nil {
+		return err
+	}
+	return env.InitRegion("stream", InitSingle)
+}
+
+// NewThread implements Workload: a sequential sweep alternating load and
+// store, one cache line at a time (perfect spatial locality: one TLB miss
+// per page).
+func (s *STREAM) NewThread(env *Env, thread int) Step {
+	buf := env.Region("stream")
+	var cursor uint64
+	write := false
+	return func() (pt.VirtAddr, bool) {
+		va := buf.At(cursor)
+		cursor += 64
+		if cursor >= buf.Size {
+			cursor = 0
+		}
+		write = !write
+		return va, write
+	}
+}

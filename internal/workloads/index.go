@@ -1,0 +1,124 @@
+package workloads
+
+import "github.com/mitosis-project/mitosis-sim/internal/pt"
+
+// BTree models database index lookups: each operation chases pointers from
+// a cache-resident set of inner nodes down to a uniformly random leaf. The
+// inner levels are hot (small region, high reuse); the leaves dominate TLB
+// pressure.
+type BTree struct {
+	// FootprintBytes is the total index size; ~2% holds inner nodes.
+	FootprintBytes uint64
+	// InnerAccesses is the number of inner-node hops per lookup.
+	InnerAccesses int
+	Init          InitStyle
+	// Overlap is the exposed fraction of walk latency (see Workload).
+	Overlap float64
+}
+
+// NewBTree returns BTree at the scaled workload-migration footprint.
+func NewBTree() *BTree {
+	return &BTree{FootprintBytes: 320 << 20, InnerAccesses: 2, Init: InitSingle, Overlap: 0.30}
+}
+
+// NewBTreeMS returns the multi-socket variant (§8.1), initialized in
+// parallel by all sockets.
+func NewBTreeMS() *BTree {
+	return &BTree{FootprintBytes: 512 << 20, InnerAccesses: 2, Init: InitPartitioned, Overlap: 0.18}
+}
+
+// Name implements Workload.
+func (b *BTree) Name() string { return "BTree" }
+
+// Footprint implements Workload.
+func (b *BTree) Footprint() uint64 { return b.FootprintBytes }
+
+// DataLocality implements Workload: inner nodes hit, leaves miss; the
+// blended rate reflects the per-lookup mix.
+func (b *BTree) DataLocality() float64 { return 0.45 }
+
+// WalkOverlap implements Workload: pointer chases serialize part of the walk.
+func (b *BTree) WalkOverlap() float64 { return b.Overlap }
+
+// Setup implements Workload.
+func (b *BTree) Setup(env *Env) error {
+	inner := b.FootprintBytes / 50
+	if inner < 1<<20 {
+		inner = 1 << 20
+	}
+	if _, err := env.MapRegion("inner", inner); err != nil {
+		return err
+	}
+	if _, err := env.MapRegion("leaves", b.FootprintBytes-inner); err != nil {
+		return err
+	}
+	if err := env.InitRegion("inner", b.Init); err != nil {
+		return err
+	}
+	return env.InitRegion("leaves", b.Init)
+}
+
+// NewThread implements Workload.
+func (b *BTree) NewThread(env *Env, thread int) Step {
+	r := env.rng(thread)
+	inner := env.Region("inner")
+	leaves := env.Region("leaves")
+	phase := 0
+	return func() (pt.VirtAddr, bool) {
+		if phase < b.InnerAccesses {
+			phase++
+			return inner.At(alignDown(uint64(r.Int63()) % inner.Size)), false
+		}
+		phase = 0
+		return leaves.At(alignDown(uint64(r.Int63()) % leaves.Size)), false
+	}
+}
+
+// HashJoin models the probe phase of a database hash join: a random bucket
+// read followed by one chain-node read, both uniformly distributed over a
+// large hash table. Read-only, no locality.
+type HashJoin struct {
+	FootprintBytes uint64
+	Init           InitStyle
+	// Overlap is the exposed fraction of walk latency (see Workload).
+	Overlap float64
+}
+
+// NewHashJoin returns HashJoin at the scaled workload-migration footprint.
+func NewHashJoin() *HashJoin {
+	return &HashJoin{FootprintBytes: 256 << 20, Init: InitSingle, Overlap: 0.35}
+}
+
+// NewHashJoinMS returns the multi-socket variant.
+func NewHashJoinMS() *HashJoin {
+	return &HashJoin{FootprintBytes: 768 << 20, Init: InitPartitioned, Overlap: 0.09}
+}
+
+// Name implements Workload.
+func (h *HashJoin) Name() string { return "HashJoin" }
+
+// Footprint implements Workload.
+func (h *HashJoin) Footprint() uint64 { return h.FootprintBytes }
+
+// DataLocality implements Workload.
+func (h *HashJoin) DataLocality() float64 { return 0.1 }
+
+// WalkOverlap implements Workload: independent probes give high memory-level parallelism.
+func (h *HashJoin) WalkOverlap() float64 { return h.Overlap }
+
+// Setup implements Workload.
+func (h *HashJoin) Setup(env *Env) error {
+	if _, err := env.MapRegion("hash", h.FootprintBytes); err != nil {
+		return err
+	}
+	return env.InitRegion("hash", h.Init)
+}
+
+// NewThread implements Workload: two dependent random reads per probe.
+func (h *HashJoin) NewThread(env *Env, thread int) Step {
+	r := env.rng(thread)
+	hash := env.Region("hash")
+	return func() (pt.VirtAddr, bool) {
+		return hash.At(alignDown(uint64(r.Int63()) % hash.Size)), false
+	}
+}

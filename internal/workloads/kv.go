@@ -1,0 +1,111 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+)
+
+// kvStore is the shared shape of the in-memory key-value stores the paper
+// evaluates (Memcached and Redis): each operation hashes a key into a
+// uniformly distributed index area, then dereferences the zipf-distributed
+// value object; a fraction of operations are stores.
+type kvStore struct {
+	name           string
+	footprintBytes uint64
+	writeFraction  float64
+	zipfS          float64
+	locality       float64
+	overlap        float64
+	init           InitStyle
+}
+
+// Name implements Workload.
+func (s *kvStore) Name() string { return s.name }
+
+// Footprint implements Workload.
+func (s *kvStore) Footprint() uint64 { return s.footprintBytes }
+
+// DataLocality implements Workload.
+func (s *kvStore) DataLocality() float64 { return s.locality }
+
+// WalkOverlap implements Workload: the value dereference depends on the
+// index lookup, partially serializing walks.
+func (s *kvStore) WalkOverlap() float64 { return s.overlap }
+
+// Setup implements Workload: an index area (~1/8 of memory, like a hash
+// table of pointers) and a value heap.
+func (s *kvStore) Setup(env *Env) error {
+	index := s.footprintBytes / 8
+	if _, err := env.MapRegion("index", index); err != nil {
+		return err
+	}
+	if _, err := env.MapRegion("values", s.footprintBytes-index); err != nil {
+		return err
+	}
+	if err := env.InitRegion("index", s.init); err != nil {
+		return err
+	}
+	return env.InitRegion("values", s.init)
+}
+
+// NewThread implements Workload: alternating index lookup (uniform) and
+// value access (zipf-distributed, or uniform for zipfS == 0; write for a
+// SET).
+func (s *kvStore) NewThread(env *Env, thread int) Step {
+	r := env.rng(thread)
+	index := env.Region("index")
+	values := env.Region("values")
+	const objSize = 512
+	nObjects := values.Size / objSize
+	var nextObj func() uint64
+	if s.zipfS > 0 {
+		zipf := rand.NewZipf(r, s.zipfS, 1, nObjects-1)
+		nextObj = zipf.Uint64
+	} else {
+		nextObj = func() uint64 { return uint64(r.Int63()) % nObjects }
+	}
+	inIndex := true
+	isWrite := false
+	var obj uint64
+	return func() (pt.VirtAddr, bool) {
+		if inIndex {
+			inIndex = false
+			obj = nextObj()
+			isWrite = r.Float64() < s.writeFraction
+			// The index slot for a key is uniformly distributed.
+			return index.At(alignDown(uint64(r.Int63()) % index.Size)), false
+		}
+		inIndex = true
+		return values.At(obj * objSize), isWrite
+	}
+}
+
+// NewMemcached returns the Memcached model for the multi-socket scenario:
+// a GET-heavy object cache initialized by parallel client threads.
+func NewMemcached() Workload {
+	return &kvStore{
+		name:           "Memcached",
+		footprintBytes: 2560 << 20,
+		writeFraction:  0.10,
+		zipfS:          0, // memaslap-style uniform key draw
+		locality:       0.35,
+		overlap:        0.30,
+		init:           InitPartitioned,
+	}
+}
+
+// NewRedis returns the Redis model for the workload-migration scenario:
+// single-threaded, larger write fraction, bigger scaled footprint (its 2MB
+// page-tables exceed the scaled LLC, reproducing Figure 10b's 1.70x).
+func NewRedis() Workload {
+	return &kvStore{
+		name:           "Redis",
+		footprintBytes: 2560 << 20,
+		writeFraction:  0.30,
+		zipfS:          0, // redis-benchmark-style uniform key draw
+		locality:       0.25,
+		overlap:        0.18,
+		init:           InitSingle,
+	}
+}

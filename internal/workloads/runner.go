@@ -1,0 +1,205 @@
+package workloads
+
+import (
+	"fmt"
+
+	"github.com/mitosis-project/mitosis-sim/internal/hw"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+)
+
+// Result aggregates one run's hardware counters.
+type Result struct {
+	// Cycles is the makespan: the maximum per-core cycle count.
+	Cycles numa.Cycles
+	// WalkCycles is the summed page-walk cycles across cores.
+	WalkCycles numa.Cycles
+	// TotalCycles is the summed cycles across cores.
+	TotalCycles numa.Cycles
+	// Walks is the total number of page walks.
+	Walks uint64
+	// Ops is the total operations executed.
+	Ops uint64
+	// RemoteWalkAccesses / WalkMemAccesses / WalkLLCHits aggregate the
+	// walker's memory behaviour.
+	RemoteWalkAccesses uint64
+	WalkMemAccesses    uint64
+	WalkLLCHits        uint64
+	// PerCore retains the raw counters.
+	PerCore []hw.CoreStats
+}
+
+// WalkCycleFraction returns aggregate walk cycles over aggregate cycles —
+// the hashed fraction of the paper's runtime bars.
+func (r *Result) WalkCycleFraction() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64(r.WalkCycles) / float64(r.TotalCycles)
+}
+
+// Run executes opsPerThread operations of w on every core the process is
+// scheduled on, interleaving threads deterministically, and returns the
+// aggregated counters for just this run (the machine's counters are reset
+// first, so Setup/initialization cost is excluded, as in §8.1).
+func Run(env *Env, w Workload, opsPerThread int) (*Result, error) {
+	return run(env, w, opsPerThread, true)
+}
+
+// RunKeepStats is Run without the counter reset: the result includes all
+// cycles accumulated since the last reset, so initialization is measured
+// too (the paper's Table 6 end-to-end configuration).
+func RunKeepStats(env *Env, w Workload, opsPerThread int) (*Result, error) {
+	return run(env, w, opsPerThread, false)
+}
+
+func run(env *Env, w Workload, opsPerThread int, reset bool) (*Result, error) {
+	cores := env.P.Cores()
+	if len(cores) == 0 {
+		return nil, fmt.Errorf("workloads: process not scheduled")
+	}
+	steps := make([]Step, len(cores))
+	for i := range cores {
+		steps[i] = w.NewThread(env, i)
+	}
+	m := env.K.Machine()
+	for _, c := range cores {
+		m.SetDataLocality(c, w.DataLocality())
+		m.SetWalkOverlap(c, w.WalkOverlap())
+	}
+	if reset {
+		m.ResetStats()
+	}
+
+	const chunk = 32
+	remaining := opsPerThread
+	for remaining > 0 {
+		n := chunk
+		if n > remaining {
+			n = remaining
+		}
+		for ti, c := range cores {
+			step := steps[ti]
+			for i := 0; i < n; i++ {
+				va, write := step()
+				if err := m.Access(c, va, write); err != nil {
+					return nil, fmt.Errorf("workloads: %s op on core %d: %w", w.Name(), c, err)
+				}
+			}
+		}
+		remaining -= n
+	}
+	return Collect(env, cores), nil
+}
+
+// Collect gathers the machine counters for the given cores into a Result.
+func Collect(env *Env, cores []numa.CoreID) *Result {
+	m := env.K.Machine()
+	res := &Result{}
+	for _, c := range cores {
+		s := m.Stats(c)
+		res.PerCore = append(res.PerCore, s)
+		if s.Cycles > res.Cycles {
+			res.Cycles = s.Cycles
+		}
+		res.TotalCycles += s.Cycles
+		res.WalkCycles += s.WalkCycles
+		res.Walks += s.Walks
+		res.Ops += s.Ops
+		res.RemoteWalkAccesses += s.WalkRemoteAccesses
+		res.WalkMemAccesses += s.WalkMemAccesses
+		res.WalkLLCHits += s.WalkLLCHits
+	}
+	return res
+}
+
+// MultiSocketSuite returns the six workloads of the paper's multi-socket
+// scenario (§3.1, §8.1) in Figure 4/9 order.
+func MultiSocketSuite() []Workload {
+	return []Workload{
+		NewCannealMS(),
+		NewMemcached(),
+		NewXSBenchMS(),
+		NewGraph500MS(),
+		NewHashJoinMS(),
+		NewBTreeMS(),
+	}
+}
+
+// MigrationSuite returns the eight workloads of the workload-migration
+// scenario (§3.2, §8.2) in Figure 6/10 order.
+func MigrationSuite() []Workload {
+	return []Workload{
+		NewGUPS(),
+		NewBTree(),
+		NewHashJoin(),
+		NewRedis(),
+		NewXSBench(),
+		NewPageRank(),
+		NewLibLinear(),
+		NewCanneal(),
+	}
+}
+
+// Scale multiplies w's footprint by f, preserving every other parameter.
+// Experiments use it for quick-mode runs; note that scaling changes which
+// cache/TLB regime the workload lands in, so shapes are only meaningful at
+// the calibrated default footprints.
+func Scale(w Workload, f float64) Workload {
+	switch v := w.(type) {
+	case *GUPS:
+		v.FootprintBytes = scaleBytes(v.FootprintBytes, f)
+	case *STREAM:
+		v.FootprintBytes = scaleBytes(v.FootprintBytes, f)
+	case *BTree:
+		v.FootprintBytes = scaleBytes(v.FootprintBytes, f)
+	case *HashJoin:
+		v.FootprintBytes = scaleBytes(v.FootprintBytes, f)
+	case *XSBench:
+		v.FootprintBytes = scaleBytes(v.FootprintBytes, f)
+	case *Canneal:
+		v.FootprintBytes = scaleBytes(v.FootprintBytes, f)
+	case *PageRank:
+		v.FootprintBytes = scaleBytes(v.FootprintBytes, f)
+	case *LibLinear:
+		v.FootprintBytes = scaleBytes(v.FootprintBytes, f)
+	case *Graph500:
+		v.FootprintBytes = scaleBytes(v.FootprintBytes, f)
+	case *kvStore:
+		v.footprintBytes = scaleBytes(v.footprintBytes, f)
+	default:
+		panic(fmt.Sprintf("workloads: cannot scale %T", w))
+	}
+	return w
+}
+
+// scaleBytes keeps footprints 2MB-aligned and at least 8MB.
+func scaleBytes(b uint64, f float64) uint64 {
+	s := uint64(float64(b) * f)
+	if s < 8<<20 {
+		s = 8 << 20
+	}
+	return s / (2 << 20) * (2 << 20)
+}
+
+// ByName resolves a workload by its paper name within a scenario suite
+// ("ms" or "wm"); nil if unknown.
+func ByName(name, scenario string) Workload {
+	var suite []Workload
+	switch scenario {
+	case "ms":
+		suite = MultiSocketSuite()
+	case "wm":
+		suite = MigrationSuite()
+	default:
+		suite = append(MultiSocketSuite(), MigrationSuite()...)
+	}
+	for _, w := range suite {
+		if w.Name() == name {
+			return w
+		}
+	}
+	if name == "STREAM" {
+		return NewSTREAM()
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package workloads
+
+import "github.com/mitosis-project/mitosis-sim/internal/pt"
+
+// XSBench is the Monte Carlo neutronics macroscopic-cross-section lookup
+// kernel: each lookup reads the unionized energy grid and a nuclide grid at
+// effectively random positions. Read-only with very poor locality — the
+// workload with the paper's largest multi-socket gain (1.34x, Figure 9a).
+type XSBench struct {
+	FootprintBytes uint64
+	Init           InitStyle
+	// Overlap is the exposed fraction of walk latency (see Workload).
+	Overlap float64
+}
+
+// NewXSBench returns the workload-migration variant.
+func NewXSBench() *XSBench {
+	return &XSBench{FootprintBytes: 384 << 20, Init: InitSingle, Overlap: 0.13}
+}
+
+// NewXSBenchMS returns the multi-socket variant. XSBench's grid is built by
+// the main thread (single-threaded init), concentrating page-tables on one
+// socket — the skew Mitosis then removes.
+func NewXSBenchMS() *XSBench {
+	return &XSBench{FootprintBytes: 1280 << 20, Init: InitSingle, Overlap: 0.85}
+}
+
+// Name implements Workload.
+func (x *XSBench) Name() string { return "XSBench" }
+
+// Footprint implements Workload.
+func (x *XSBench) Footprint() uint64 { return x.FootprintBytes }
+
+// DataLocality implements Workload.
+func (x *XSBench) DataLocality() float64 { return 0.05 }
+
+// WalkOverlap implements Workload: the multi-socket variant's dependent
+// grid lookups expose nearly all walk latency; the smaller migration
+// variant pipelines lookups.
+func (x *XSBench) WalkOverlap() float64 { return x.Overlap }
+
+// Setup implements Workload.
+func (x *XSBench) Setup(env *Env) error {
+	if _, err := env.MapRegion("grid", x.FootprintBytes); err != nil {
+		return err
+	}
+	return env.InitRegion("grid", x.Init)
+}
+
+// NewThread implements Workload: uniformly random read-only grid lookups.
+func (x *XSBench) NewThread(env *Env, thread int) Step {
+	r := env.rng(thread)
+	grid := env.Region("grid")
+	return func() (pt.VirtAddr, bool) {
+		return grid.At(alignDown(uint64(r.Int63()) % grid.Size)), false
+	}
+}
+
+// Canneal is the PARSEC simulated-annealing netlist router: each move reads
+// two random netlist elements and swaps them (two random writes). The high
+// store fraction makes its page-table lines ping-pong between sockets in
+// the multi-socket scenario, so it keeps its NUMA sensitivity even with
+// 2MB pages (Figure 9b: 1.14x).
+type Canneal struct {
+	FootprintBytes uint64
+	Init           InitStyle
+	// Overlap is the exposed fraction of walk latency (see Workload).
+	Overlap float64
+}
+
+// NewCanneal returns the workload-migration variant (large scaled
+// footprint: its 2MB-page tables exceed the scaled LLC, Figure 10b: 2.35x).
+func NewCanneal() *Canneal {
+	return &Canneal{FootprintBytes: 3 << 30, Init: InitSingle, Overlap: 0.35}
+}
+
+// NewCannealMS returns the multi-socket variant.
+func NewCannealMS() *Canneal {
+	return &Canneal{FootprintBytes: 2304 << 20, Init: InitPartitioned, Overlap: 0.7}
+}
+
+// Name implements Workload.
+func (c *Canneal) Name() string { return "Canneal" }
+
+// Footprint implements Workload.
+func (c *Canneal) Footprint() uint64 { return c.FootprintBytes }
+
+// DataLocality implements Workload.
+func (c *Canneal) DataLocality() float64 { return 0.1 }
+
+// WalkOverlap implements Workload: swap pairs serialize partially.
+func (c *Canneal) WalkOverlap() float64 { return c.Overlap }
+
+// Setup implements Workload.
+func (c *Canneal) Setup(env *Env) error {
+	if _, err := env.MapRegion("netlist", c.FootprintBytes); err != nil {
+		return err
+	}
+	return env.InitRegion("netlist", c.Init)
+}
+
+// NewThread implements Workload: read element A, read element B, write A,
+// write B — a 50% store fraction over a uniformly random working set.
+func (c *Canneal) NewThread(env *Env, thread int) Step {
+	r := env.rng(thread)
+	netlist := env.Region("netlist")
+	var a, b uint64
+	phase := 0
+	return func() (pt.VirtAddr, bool) {
+		switch phase {
+		case 0:
+			a = alignDown(uint64(r.Int63()) % netlist.Size)
+			phase = 1
+			return netlist.At(a), false
+		case 1:
+			b = alignDown(uint64(r.Int63()) % netlist.Size)
+			phase = 2
+			return netlist.At(b), false
+		case 2:
+			phase = 3
+			return netlist.At(a), true
+		default:
+			phase = 0
+			return netlist.At(b), true
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package mitosis is the public facade of mitosis-sim, a from-scratch Go
+// reproduction of "Mitosis: Transparently Self-Replicating Page-Tables for
+// Large-Memory Machines" (Achermann et al., ASPLOS 2020).
+//
+// The library simulates a multi-socket NUMA machine — physical memory,
+// x86-64 radix page-tables, per-core TLBs, MMU caches, a per-socket LLC
+// model for page-table lines, and a hardware page-walker with NUMA-aware
+// cycle costs — together with the OS memory subsystem Mitosis lives in:
+// demand paging, placement policies, transparent huge pages, AutoNUMA-style
+// data migration, and a scheduler. On top of that substrate it implements
+// the paper's contribution: transparent page-table replication and
+// migration behind a PV-Ops-style interception layer, with the paper's
+// system-wide and per-process policies.
+//
+// Quick start:
+//
+//	sys := mitosis.NewSystem(mitosis.SystemConfig{})
+//	p, _ := sys.Launch(mitosis.ProcessConfig{Name: "app", Sockets: mitosis.AllSockets})
+//	base, _ := p.Mmap(256<<20, true)
+//	p.ReplicatePageTables()                  // Mitosis on, all sockets
+//	p.Access(base, true)                     // runs against the simulated MMU
+//	fmt.Println(sys.Report(p))
+//
+// The internal packages carry the full implementation; this facade exposes
+// the workflow the examples and paper experiments need. See DESIGN.md for
+// the architecture and EXPERIMENTS.md for the paper-versus-measured
+// results.
+package mitosis
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mitosis-project/mitosis-sim/internal/core"
+	"github.com/mitosis-project/mitosis-sim/internal/kernel"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+)
+
+// SystemConfig configures a simulated machine + kernel.
+type SystemConfig struct {
+	// Sockets and CoresPerSocket shape the machine; zero selects the
+	// paper's 4-socket/14-core evaluation platform.
+	Sockets, CoresPerSocket int
+	// MemoryPerNode is each node's capacity in bytes (rounded down to
+	// whole 2MB blocks); zero selects 4GB.
+	MemoryPerNode uint64
+	// THP enables transparent huge pages.
+	THP bool
+	// FiveLevel selects 5-level paging instead of 4-level.
+	FiveLevel bool
+}
+
+// System is a simulated NUMA machine running the Mitosis-enabled kernel.
+type System struct {
+	k *kernel.Kernel
+}
+
+// NewSystem boots a machine.
+func NewSystem(cfg SystemConfig) *System {
+	var topo *numa.Topology
+	if cfg.Sockets != 0 || cfg.CoresPerSocket != 0 {
+		s, c := cfg.Sockets, cfg.CoresPerSocket
+		if s == 0 {
+			s = 4
+		}
+		if c == 0 {
+			c = 14
+		}
+		topo = numa.NewTopology(s, c)
+	}
+	var frames uint64
+	if cfg.MemoryPerNode != 0 {
+		frames = cfg.MemoryPerNode / (2 << 20) * 512
+	}
+	levels := uint8(0)
+	if cfg.FiveLevel {
+		levels = 5
+	}
+	k := kernel.New(kernel.Config{Topology: topo, FramesPerNode: frames, Levels: levels})
+	k.SetTHP(cfg.THP)
+	// The facade's workflow is per-process replication control.
+	k.Sysctl().Mode = core.ModePerProcess
+	k.Sysctl().PageCacheTarget = 64
+	k.ApplySysctl()
+	return &System{k: k}
+}
+
+// Kernel exposes the underlying simulated kernel for advanced use
+// (experiments, policy knobs, hardware counters).
+func (s *System) Kernel() *kernel.Kernel { return s.k }
+
+// AllSockets schedules a process with one worker core on every socket.
+const AllSockets = -1
+
+// ProcessConfig configures Launch.
+type ProcessConfig struct {
+	// Name labels the process.
+	Name string
+	// Sockets is the socket to run on, or AllSockets for one worker per
+	// socket (the multi-socket scenario).
+	Sockets int
+	// Interleave selects interleaved data placement instead of
+	// first-touch.
+	Interleave bool
+}
+
+// Proc is a running simulated process.
+type Proc struct {
+	sys *System
+	p   *kernel.Process
+}
+
+// Launch creates and schedules a process.
+func (s *System) Launch(cfg ProcessConfig) (*Proc, error) {
+	pol := kernel.FirstTouch
+	if cfg.Interleave {
+		pol = kernel.Interleave
+	}
+	home := numa.SocketID(0)
+	if cfg.Sockets > 0 {
+		home = numa.SocketID(cfg.Sockets)
+	}
+	p, err := s.k.CreateProcess(kernel.ProcessOpts{Name: cfg.Name, Home: home, DataPolicy: pol})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Sockets == AllSockets {
+		topo := s.k.Topology()
+		cores := make([]numa.CoreID, topo.Sockets())
+		for i := range cores {
+			cores[i] = topo.FirstCoreOf(numa.SocketID(i))
+		}
+		err = s.k.RunOn(p, cores)
+	} else {
+		err = s.k.RunOn(p, []numa.CoreID{s.k.Topology().FirstCoreOf(home)})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Proc{sys: s, p: p}, nil
+}
+
+// Process exposes the underlying kernel process.
+func (pr *Proc) Process() *kernel.Process { return pr.p }
+
+// Mmap maps an anonymous region of the given size and returns its base.
+func (pr *Proc) Mmap(size uint64, populate bool) (uint64, error) {
+	va, err := pr.sys.k.Mmap(pr.p, size, kernel.MmapOpts{
+		Writable: true,
+		THP:      pr.sys.k.THP(),
+		Populate: populate,
+	})
+	return uint64(va), err
+}
+
+// Munmap unmaps the region starting at base.
+func (pr *Proc) Munmap(base uint64) error {
+	return pr.sys.k.Munmap(pr.p, pt.VirtAddr(base))
+}
+
+// Access executes one memory operation on the process's first core.
+func (pr *Proc) Access(va uint64, write bool) error {
+	cores := pr.p.Cores()
+	if len(cores) == 0 {
+		return fmt.Errorf("mitosis: process not scheduled")
+	}
+	return pr.sys.k.Machine().Access(cores[0], pt.VirtAddr(va), write)
+}
+
+// AccessOn executes one memory operation on the process's idx-th worker.
+func (pr *Proc) AccessOn(worker int, va uint64, write bool) error {
+	cores := pr.p.Cores()
+	if worker < 0 || worker >= len(cores) {
+		return fmt.Errorf("mitosis: worker %d out of range [0,%d)", worker, len(cores))
+	}
+	return pr.sys.k.Machine().Access(cores[worker], pt.VirtAddr(va), write)
+}
+
+// ReplicatePageTables enables Mitosis replication on every socket —
+// numactl --pgtablerepl=all.
+func (pr *Proc) ReplicatePageTables() error {
+	nodes := make([]numa.NodeID, pr.sys.k.Topology().Nodes())
+	for i := range nodes {
+		nodes[i] = numa.NodeID(i)
+	}
+	return pr.p.SetReplicationMask(nodes)
+}
+
+// ReplicateOn enables replication on the given NUMA nodes only.
+func (pr *Proc) ReplicateOn(nodes ...int) error {
+	ns := make([]numa.NodeID, len(nodes))
+	for i, n := range nodes {
+		ns[i] = numa.NodeID(n)
+	}
+	return pr.p.SetReplicationMask(ns)
+}
+
+// CollapseReplicas disables replication, returning to a single table.
+func (pr *Proc) CollapseReplicas() error {
+	return pr.p.SetReplicationMask(nil)
+}
+
+// Migrate moves the process to another socket. Data always follows (as
+// commodity NUMA balancing would eventually arrange); page-tables follow
+// only when migratePT is true — the capability Mitosis adds.
+func (pr *Proc) Migrate(socket int, migratePT bool) error {
+	return pr.sys.k.MigrateProcess(pr.p, numa.SocketID(socket), kernel.MigrateOpts{
+		Data:       true,
+		PageTables: migratePT,
+	})
+}
+
+// Stats is a summary of a process's hardware counters.
+type Stats struct {
+	Ops        uint64
+	Cycles     uint64
+	WalkCycles uint64
+	Walks      uint64
+	// RemoteWalkFraction is the fraction of page-table DRAM reads that
+	// crossed the interconnect.
+	RemoteWalkFraction float64
+	// Replicated reports whether page-table replicas currently exist.
+	Replicated bool
+}
+
+// Stats aggregates the process's counters across its cores.
+func (pr *Proc) Stats() Stats {
+	var st Stats
+	m := pr.sys.k.Machine()
+	var walkMem, walkRemote uint64
+	for _, c := range pr.p.Cores() {
+		cs := m.Stats(c)
+		st.Ops += cs.Ops
+		st.Cycles += uint64(cs.Cycles)
+		st.WalkCycles += uint64(cs.WalkCycles)
+		st.Walks += cs.Walks
+		walkMem += cs.WalkMemAccesses
+		walkRemote += cs.WalkRemoteAccesses
+	}
+	if walkMem > 0 {
+		st.RemoteWalkFraction = float64(walkRemote) / float64(walkMem)
+	}
+	st.Replicated = pr.p.Space().Replicated()
+	return st
+}
+
+// ResetStats zeroes the machine counters (e.g., after initialization).
+func (pr *Proc) ResetStats() { pr.sys.k.Machine().ResetStats() }
+
+// Report renders a short human-readable counter summary.
+func (s *System) Report(pr *Proc) string {
+	st := pr.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "process %q: %d ops, %d cycles\n", pr.p.Name, st.Ops, st.Cycles)
+	if st.Cycles > 0 {
+		fmt.Fprintf(&b, "  page walks: %d (%d cycles, %.1f%% of runtime)\n",
+			st.Walks, st.WalkCycles, 100*float64(st.WalkCycles)/float64(st.Cycles))
+	}
+	fmt.Fprintf(&b, "  remote page-table accesses: %.0f%%\n", st.RemoteWalkFraction*100)
+	fmt.Fprintf(&b, "  page-table replication: %v (nodes %v)\n",
+		st.Replicated, pr.p.Space().ReplicaNodes())
+	return b.String()
+}

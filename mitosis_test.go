@@ -1,0 +1,90 @@
+package mitosis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	sys := NewSystem(SystemConfig{Sockets: 4, CoresPerSocket: 2, MemoryPerNode: 256 << 20})
+	p, err := sys.Launch(ProcessConfig{Name: "app", Sockets: AllSockets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.Mmap(32<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ReplicatePageTables(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if !st.Replicated {
+		t.Error("not replicated after ReplicatePageTables")
+	}
+	p.ResetStats()
+	for i := uint64(0); i < 1000; i++ {
+		if err := p.AccessOn(int(i%4), base+i*4096%(32<<20), i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = p.Stats()
+	if st.Ops != 1000 {
+		t.Errorf("ops = %d, want 1000", st.Ops)
+	}
+	// Replicated tables: every page walk stays socket-local.
+	if st.RemoteWalkFraction != 0 {
+		t.Errorf("remote walk fraction = %v, want 0 with replication", st.RemoteWalkFraction)
+	}
+	if !strings.Contains(sys.Report(p), "replication: true") {
+		t.Error("report missing replication state")
+	}
+}
+
+func TestMigrationFlow(t *testing.T) {
+	sys := NewSystem(SystemConfig{Sockets: 2, CoresPerSocket: 2, MemoryPerNode: 512 << 20})
+	p, err := sys.Launch(ProcessConfig{Name: "app", Sockets: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.Mmap(16<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Migrate(1, true); err != nil {
+		t.Fatal(err)
+	}
+	p.ResetStats()
+	for i := uint64(0); i < 2000; i++ {
+		if err := p.Access(base+(i*4096)%(16<<20), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.RemoteWalkFraction != 0 {
+		t.Errorf("remote walks after PT migration = %v, want 0", st.RemoteWalkFraction)
+	}
+}
+
+func TestCollapse(t *testing.T) {
+	sys := NewSystem(SystemConfig{Sockets: 2, CoresPerSocket: 1, MemoryPerNode: 128 << 20})
+	p, err := sys.Launch(ProcessConfig{Name: "app", Sockets: AllSockets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Mmap(8<<20, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ReplicateOn(1); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Stats().Replicated {
+		t.Fatal("not replicated")
+	}
+	if err := p.CollapseReplicas(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().Replicated {
+		t.Error("still replicated after collapse")
+	}
+}
