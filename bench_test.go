@@ -13,6 +13,7 @@ import (
 
 	"github.com/mitosis-project/mitosis-sim/internal/core"
 	"github.com/mitosis-project/mitosis-sim/internal/experiments"
+	"github.com/mitosis-project/mitosis-sim/internal/hw"
 	"github.com/mitosis-project/mitosis-sim/internal/kernel"
 	"github.com/mitosis-project/mitosis-sim/internal/mem"
 	"github.com/mitosis-project/mitosis-sim/internal/metrics"
@@ -261,8 +262,39 @@ func BenchmarkMicroAccessTLBHit(b *testing.B) {
 	}
 }
 
+// BenchmarkMicroAccessBatchTLBHit measures the batched fast path: the same
+// L1-TLB-hit op stream issued through AccessBatch, which amortizes the
+// per-op context and stats overhead.
+func BenchmarkMicroAccessBatchTLBHit(b *testing.B) {
+	k := kernel.New(kernel.Config{FramesPerNode: 1 << 16})
+	p, err := k.CreateProcess(kernel.ProcessOpts{Name: "micro", Home: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := k.RunOn(p, []numa.CoreID{0}); err != nil {
+		b.Fatal(err)
+	}
+	base, err := k.Mmap(p, 1<<20, kernel.MmapOpts{Writable: true, Populate: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := k.Machine()
+	const chunk = 512
+	ops := make([]hw.AccessOp, chunk)
+	for i := range ops {
+		ops[i] = hw.AccessOp{VA: base}
+	}
+	b.ResetTimer()
+	for done := 0; done < b.N; done += chunk {
+		if err := m.AccessBatch(0, ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m.DrainCoherence([]numa.CoreID{0})
+}
+
 // BenchmarkMicroAccessTLBMiss measures a full simulated page walk per
-// operation (random accesses over a large region).
+// operation (random batched accesses over a large region).
 func BenchmarkMicroAccessTLBMiss(b *testing.B) {
 	k := kernel.New(kernel.Config{FramesPerNode: 1 << 18})
 	p, err := k.CreateProcess(kernel.ProcessOpts{Name: "micro", Home: 0})
@@ -279,13 +311,56 @@ func BenchmarkMicroAccessTLBMiss(b *testing.B) {
 	}
 	m := k.Machine()
 	rng := uint64(12345)
+	const chunk = 512
+	ops := make([]hw.AccessOp, chunk)
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		rng = rng*6364136223846793005 + 1442695040888963407
-		va := base + pt.VirtAddr(rng%size)&^63
-		if err := m.Access(0, va, false); err != nil {
+	for done := 0; done < b.N; done += chunk {
+		for i := range ops {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			ops[i] = hw.AccessOp{VA: base + pt.VirtAddr(rng%size)&^63}
+		}
+		if err := m.AccessBatch(0, ops); err != nil {
 			b.Fatal(err)
 		}
+	}
+	m.DrainCoherence([]numa.CoreID{0})
+}
+
+// BenchmarkMicroEngineParallelGUPS measures the full parallel engine on a
+// 4-socket GUPS run (the acceptance workload of the engine refactor).
+func BenchmarkMicroEngineParallelGUPS(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		m    workloads.Mode
+	}{{"seq", workloads.Sequential}, {"par", workloads.Parallel}} {
+		b.Run(mode.name, func(b *testing.B) {
+			k := kernel.New(kernel.Config{})
+			p, err := k.CreateProcess(kernel.ProcessOpts{Name: "gups", Home: 0})
+			if err != nil {
+				b.Fatal(err)
+			}
+			topo := k.Topology()
+			cores := make([]numa.CoreID, topo.Sockets())
+			for s := range cores {
+				cores[s] = topo.FirstCoreOf(numa.SocketID(s))
+			}
+			if err := k.RunOn(p, cores); err != nil {
+				b.Fatal(err)
+			}
+			w := workloads.NewGUPS()
+			env := workloads.NewEnv(k, p, false, 42)
+			if err := w.Setup(env); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := workloads.RunWith(env, w, 20000, workloads.EngineConfig{Mode: mode.m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Ops), "sim-ops")
+			}
+		})
 	}
 }
 

@@ -1,18 +1,25 @@
 // mitosis-bench regenerates the Mitosis paper's tables and figures on the
-// simulated machine.
+// simulated machine and benchmarks the simulator's own execution engine.
 //
 // Usage:
 //
-//	mitosis-bench [-ops N] [-seed S] [-quick] [experiment ...]
+//	mitosis-bench [-ops N] [-seed S] [-quick] [-json DIR] [experiment ...]
 //
 // Experiments: fig1 fig3 fig4 fig6 fig9a fig9b fig10a fig10b fig11
-// table4 table5 table6 ablations, or "all" (default).
+// table4 table5 table6 ablations engine, or "all" (default).
+//
+// With -json DIR, every target additionally writes DIR/BENCH_<target>.json
+// containing the wall-clock time of the target, the simulator throughput
+// (for the engine benchmark), and the structured simulated-cycle results —
+// the machine-readable perf trajectory tracked across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"github.com/mitosis-project/mitosis-sim/internal/experiments"
@@ -22,6 +29,7 @@ func main() {
 	ops := flag.Int("ops", 0, "measured operations per thread (0 = default)")
 	seed := flag.Int64("seed", 0, "random seed (0 = default)")
 	quick := flag.Bool("quick", false, "reduced scale smoke run (shapes not meaningful)")
+	jsonDir := flag.String("json", "", "directory for machine-readable BENCH_<target>.json output (empty = off)")
 	flag.Parse()
 
 	cfg := experiments.Config{Ops: *ops, Seed: *seed}
@@ -35,27 +43,69 @@ func main() {
 	targets := flag.Args()
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
 		targets = []string{"fig1", "fig3", "fig4", "fig6", "fig9a", "fig9b",
-			"fig10a", "fig10b", "fig11", "table4", "table5", "table6", "ablations"}
+			"fig10a", "fig10b", "fig11", "table4", "table5", "table6",
+			"ablations", "engine"}
 	}
 
 	for _, target := range targets {
 		start := time.Now()
-		out, err := run(cfg, target)
+		out, payload, err := run(cfg, target)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mitosis-bench: %s: %v\n", target, err)
 			os.Exit(1)
 		}
+		wall := time.Since(start)
 		fmt.Println(out)
-		fmt.Printf("[%s completed in %v]\n\n", target, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s completed in %v]\n\n", target, wall.Round(time.Millisecond))
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, target, cfg, wall, payload); err != nil {
+				fmt.Fprintf(os.Stderr, "mitosis-bench: %s: writing json: %v\n", target, err)
+				os.Exit(1)
+			}
+		}
 	}
 }
 
-func run(cfg experiments.Config, target string) (string, error) {
+// textResult wraps targets whose natural output is formatted text.
+type textResult struct {
+	Text string `json:"text"`
+}
+
+// benchRecord is the machine-readable per-target output.
+type benchRecord struct {
+	Target  string             `json:"target"`
+	Config  experiments.Config `json:"config"`
+	WallSec float64            `json:"wall_sec"`
+	// Result carries the target's structured simulated-cycle output
+	// (figure bars, table rows, or the engine benchmark record).
+	Result any `json:"result"`
+}
+
+func writeJSON(dir, target string, cfg experiments.Config, wall time.Duration, payload any) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rec := benchRecord{Target: target, Config: cfg, WallSec: wall.Seconds(), Result: payload}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+target+".json")
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// run executes one target, returning its human-readable output plus the
+// structured payload for -json.
+func run(cfg experiments.Config, target string) (string, any, error) {
 	switch target {
 	case "fig1":
-		return experiments.RunFig1(cfg)
+		out, err := experiments.RunFig1(cfg)
+		// fig1/fig3 are genuinely textual (composite summary, PT dump);
+		// wrap them so every BENCH_*.json result is a JSON object.
+		return out, textResult{Text: out}, err
 	case "fig3":
-		return experiments.RunFig3(cfg)
+		out, err := experiments.RunFig3(cfg)
+		return out, textResult{Text: out}, err
 	case "fig4":
 		t, err := experiments.RunFig4(cfg)
 		return str(t, err)
@@ -78,15 +128,20 @@ func run(cfg experiments.Config, target string) (string, error) {
 		f, err := experiments.RunFig11(cfg)
 		return str(f, err)
 	case "table4":
-		return experiments.RunTable4().String(), nil
+		t := experiments.RunTable4()
+		return t.String(), t, nil
 	case "table5":
 		t, err := experiments.RunTable5(cfg)
 		return str(t, err)
 	case "table6":
 		t, err := experiments.RunTable6(cfg)
 		return str(t, err)
+	case "engine":
+		r, err := experiments.RunEngineBench(cfg)
+		return str(r, err)
 	case "ablations":
 		out := ""
+		var payloads []any
 		for _, f := range []func(experiments.Config) (fmt.Stringer, error){
 			wrap(experiments.RunAblationPropagation),
 			wrap(experiments.RunAblationFiveLevel),
@@ -97,21 +152,22 @@ func run(cfg experiments.Config, target string) (string, error) {
 		} {
 			s, err := f(cfg)
 			if err != nil {
-				return "", err
+				return "", nil, err
 			}
 			out += s.String() + "\n"
+			payloads = append(payloads, s)
 		}
-		return out, nil
+		return out, payloads, nil
 	default:
-		return "", fmt.Errorf("unknown experiment %q", target)
+		return "", nil, fmt.Errorf("unknown experiment %q", target)
 	}
 }
 
-func str(s fmt.Stringer, err error) (string, error) {
+func str[T fmt.Stringer](s T, err error) (string, any, error) {
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
-	return s.String(), nil
+	return s.String(), s, nil
 }
 
 func wrap[T fmt.Stringer](f func(experiments.Config) (T, error)) func(experiments.Config) (fmt.Stringer, error) {

@@ -43,11 +43,12 @@ func main() {
 		}
 		p.ResetStats()
 		r := rand.New(rand.NewSource(7))
-		for i := 0; i < ops; i++ {
-			va := base + uint64(r.Int63())%size&^63
-			if err := p.Access(va, true); err != nil {
-				log.Fatal(err)
-			}
+		batch := make([]mitosis.AccessOp, ops)
+		for i := range batch {
+			batch[i] = mitosis.AccessOp{VA: base + uint64(r.Int63())%size&^63, Write: true}
+		}
+		if err := p.AccessBatch(0, batch); err != nil {
+			log.Fatal(err)
 		}
 		return p.Stats().Cycles
 	}

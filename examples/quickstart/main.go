@@ -33,10 +33,21 @@ func main() {
 	run := func(label string) {
 		p.ResetStats()
 		r := rand.New(rand.NewSource(1))
-		for i := 0; i < 200000; i++ {
-			va := base + uint64(r.Int63())%size&^63
-			if err := p.AccessOn(i%4, va, i%4 == 0); err != nil {
-				log.Fatal(err)
+		// Interleave the four workers in rounds of chunked batches (the
+		// engine's default round length), so worker 0's stores still
+		// contend with the other sockets' walks mid-run, while each
+		// round costs one simulator call per worker instead of 32.
+		const ops, chunk = 200000, 32
+		batch := make([]mitosis.AccessOp, chunk)
+		for done := 0; done < ops; done += 4 * chunk {
+			for w := 0; w < 4; w++ {
+				for i := range batch {
+					va := base + uint64(r.Int63())%size&^63
+					batch[i] = mitosis.AccessOp{VA: va, Write: w == 0}
+				}
+				if err := p.AccessBatch(w, batch); err != nil {
+					log.Fatal(err)
+				}
 			}
 		}
 		st := p.Stats()

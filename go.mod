@@ -1,0 +1,3 @@
+module github.com/mitosis-project/mitosis-sim
+
+go 1.24

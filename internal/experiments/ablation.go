@@ -107,7 +107,7 @@ func RunAblationFiveLevel(cfg Config) (*metrics.Table, error) {
 				}
 			}
 			k.SetInterference(nodeB, true)
-			res, err := workloads.Run(env, w, cfg.Ops)
+			res, err := workloads.RunWith(env, w, cfg.Ops, cfg.engine())
 			if err != nil {
 				return nil, err
 			}
@@ -195,7 +195,7 @@ func RunAblationAutoPolicy(cfg Config) (*metrics.Table, error) {
 	}
 	policy := core.DefaultAutoPolicy()
 
-	before, err := workloads.Run(env, w, cfg.Ops)
+	before, err := workloads.RunWith(env, w, cfg.Ops, cfg.engine())
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +216,7 @@ func RunAblationAutoPolicy(cfg Config) (*metrics.Table, error) {
 			return nil, err
 		}
 	}
-	after, err := workloads.Run(env, w, cfg.Ops)
+	after, err := workloads.RunWith(env, w, cfg.Ops, cfg.engine())
 	if err != nil {
 		return nil, err
 	}

@@ -42,7 +42,7 @@ func RunAblationAsyncReplication(cfg Config) (*metrics.Table, error) {
 		if err := w.Setup(env); err != nil {
 			return nil, err
 		}
-		if _, err := workloads.Run(env, w, cfg.Warmup); err != nil {
+		if _, err := workloads.RunWith(env, w, cfg.Warmup, cfg.engine()); err != nil {
 			return nil, err
 		}
 
@@ -100,7 +100,7 @@ func RunAblationAsyncReplication(cfg Config) (*metrics.Table, error) {
 			copyWork = blocked
 		}
 
-		res, err := workloads.Run(env, w, cfg.Ops)
+		res, err := workloads.RunWith(env, w, cfg.Ops, cfg.engine())
 		if err != nil {
 			return nil, err
 		}

@@ -45,6 +45,15 @@ type Config struct {
 	// calibrated scale; quick tests use smaller values (shapes are then
 	// not meaningful).
 	Scale float64
+	// Engine selects the execution engine mode for measured runs. The
+	// default (workloads.Auto) parallelizes multi-socket runs; results
+	// are identical across modes by the engine's determinism contract.
+	Engine workloads.Mode
+}
+
+// engine returns the run configuration for this experiment config.
+func (c Config) engine() workloads.EngineConfig {
+	return workloads.EngineConfig{Mode: c.Engine}
 }
 
 // Quick returns a configuration for fast smoke runs (unit tests).

@@ -72,13 +72,13 @@ func msRun(cfg Config, w workloads.Workload, pol MSPolicy, thp bool) (*workloads
 		}
 	}
 	// Warmup to steady state (and to give AutoNUMA access samples).
-	if _, err := workloads.Run(env, w, cfg.Warmup); err != nil {
+	if _, err := workloads.RunWith(env, w, cfg.Warmup, cfg.engine()); err != nil {
 		return nil, nil, runErr("warmup", err)
 	}
 	if pol.AutoNUMA {
 		k.AutoNUMAScan(p, kernel.DefaultAutoNUMAConfig())
 	}
-	res, err := workloads.Run(env, w, cfg.Ops)
+	res, err := workloads.RunWith(env, w, cfg.Ops, cfg.engine())
 	if err != nil {
 		return nil, nil, runErr("measure", err)
 	}
@@ -176,10 +176,10 @@ func wmRun(cfg Config, w workloads.Workload, c WMConfig, thp bool, fragmentation
 	if c.Interfere {
 		k.SetInterference(nodeB, true)
 	}
-	if _, err := workloads.Run(env, w, cfg.Warmup); err != nil {
+	if _, err := workloads.RunWith(env, w, cfg.Warmup, cfg.engine()); err != nil {
 		return nil, nil, runErr("warmup", err)
 	}
-	res, err := workloads.Run(env, w, cfg.Ops)
+	res, err := workloads.RunWith(env, w, cfg.Ops, cfg.engine())
 	if err != nil {
 		return nil, nil, runErr("measure", err)
 	}

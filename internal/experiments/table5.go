@@ -165,7 +165,7 @@ func RunTable6(cfg Config) (*metrics.Table, error) {
 			}
 			// Measure end-to-end: init cycles are already on the core;
 			// run WITHOUT resetting stats.
-			if _, err := workloads.RunKeepStats(envObj, w, cfg.Ops); err != nil {
+			if _, err := workloads.RunKeepStatsWith(envObj, w, cfg.Ops, cfg.engine()); err != nil {
 				return nil, err
 			}
 			cycles[i] = float64(k.Machine().Stats(p.Cores()[0]).Cycles)

@@ -26,6 +26,7 @@ package hw
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/mitosis-project/mitosis-sim/internal/mem"
 	"github.com/mitosis-project/mitosis-sim/internal/mmucache"
@@ -80,6 +81,21 @@ func (s *CoreStats) WalkCycleFraction() float64 {
 	return float64(s.WalkCycles) / float64(s.Cycles)
 }
 
+// merge adds o's counters into s. AccessBatch accumulates a whole batch
+// into a stack-local CoreStats and merges once, so the hot loop touches
+// one cache line instead of re-loading the core's long-lived stats.
+func (s *CoreStats) merge(o *CoreStats) {
+	s.Ops += o.Ops
+	s.Cycles += o.Cycles
+	s.WalkCycles += o.WalkCycles
+	s.Walks += o.Walks
+	s.WalkMemAccesses += o.WalkMemAccesses
+	s.WalkLLCHits += o.WalkLLCHits
+	s.WalkRemoteAccesses += o.WalkRemoteAccesses
+	s.Faults += o.Faults
+	s.FaultCycles += o.FaultCycles
+}
+
 type coreState struct {
 	cr3    mem.FrameID
 	levels uint8
@@ -96,6 +112,21 @@ type coreState struct {
 	walkOverlap float64
 	rng         uint64
 	stats       CoreStats
+	// pending buffers the page-table lines this core's store walks took
+	// exclusive ownership of since the last coherence apply. The batch
+	// engine applies them to other sockets' LLCs at round barriers (a
+	// deterministic point); the single-op Access path applies them
+	// immediately. Events accumulate across batches until an apply step
+	// clears them.
+	pending []mmucache.LineID
+	// busy is 1 while an Access or AccessBatch executes on this core;
+	// engaged is 1 for the whole duration of a parallel engine run
+	// (BeginConcurrent/EndConcurrent), covering the instants between a
+	// worker's consecutive batches. The kernel's fault path consults
+	// both (CoreBusy) to decide whether a process's cores are quiescent
+	// enough to collapse its page-table replicas under memory pressure.
+	busy    atomic.Int32
+	engaged atomic.Int32
 }
 
 // Config assembles a Machine.
@@ -242,17 +273,107 @@ func (m *Machine) MaxCycles(cores []numa.CoreID) numa.Cycles {
 	return maxCy
 }
 
+// AccessOp is one memory operation of a batch: a virtual address and the
+// load/store direction.
+type AccessOp struct {
+	VA    pt.VirtAddr
+	Write bool
+}
+
 // Access executes one memory operation on core at va. It consults the TLB,
 // walks the page-table on a miss (taking page faults through the fault
 // handler as needed), charges all cycle costs, and samples data-frame
-// access statistics for the kernel's NUMA balancer.
+// access statistics for the kernel's NUMA balancer. Cross-socket coherence
+// (store walks invalidating page-table lines cached by other sockets) is
+// applied immediately, so a sequence of Access calls behaves exactly like
+// the original per-op engine.
+//
+// Access and AccessBatch on the same core are not safe for concurrent use;
+// different cores may run concurrently (the parallel engine's contract —
+// see DESIGN.md for which operations additionally require quiescence).
 func (m *Machine) Access(core numa.CoreID, va pt.VirtAddr, write bool) error {
 	c := m.core(core)
 	if c.cr3 == mem.NilFrame {
 		return ErrNoContext
 	}
 	socket := m.topo.SocketOf(core)
-	c.stats.Ops++
+	c.busy.Store(1)
+	err := m.accessOne(c, core, socket, va, write, &c.stats)
+	c.busy.Store(0)
+	for _, line := range c.pending {
+		m.invalidateOthers(socket, line)
+	}
+	c.pending = c.pending[:0]
+	return err
+}
+
+// AccessBatch executes a batch of memory operations on core, amortizing the
+// per-op overhead (core/context resolution, stats plumbing) across the
+// batch. Cross-socket invalidations triggered by store walks are NOT
+// applied inline: they accumulate in the core's coherence buffer — across
+// batches, until the caller runs an apply step — DrainCoherence for the
+// simple case, or the ApplyCoherenceTo/ClearCoherence pair the parallel
+// engine uses at round barriers. Deferring the invalidations to a
+// deterministic point is what makes concurrent per-core batches produce
+// bit-identical counters to a sequential run.
+//
+// On error, ops executed before the failing one remain charged, mirroring a
+// partially executed instruction stream.
+func (m *Machine) AccessBatch(core numa.CoreID, ops []AccessOp) error {
+	c := m.core(core)
+	if c.cr3 == mem.NilFrame {
+		return ErrNoContext
+	}
+	socket := m.topo.SocketOf(core)
+	c.busy.Store(1)
+	var delta CoreStats
+	var err error
+	for i := range ops {
+		if err = m.accessOne(c, core, socket, ops[i].VA, ops[i].Write, &delta); err != nil {
+			break
+		}
+	}
+	c.stats.merge(&delta)
+	c.busy.Store(0)
+	return err
+}
+
+// CoreBusy reports whether core is executing an Access/AccessBatch or is
+// enrolled in a concurrent engine run. The kernel's memory-pressure path
+// uses it to avoid tearing down page-table replicas (and reloading CR3)
+// under cores that may be mid-batch. The per-batch busy flag alone would
+// race: a worker's flag drops between consecutive batches of the same
+// round, so concurrent runs additionally pin their cores with
+// BeginConcurrent for the whole run.
+func (m *Machine) CoreBusy(core numa.CoreID) bool {
+	c := m.core(core)
+	return c.busy.Load() != 0 || c.engaged.Load() != 0
+}
+
+// BeginConcurrent marks the given cores as enrolled in a concurrent
+// engine run until EndConcurrent: batches will execute on them from other
+// goroutines, so quiescence-requiring paths (replica reclaim) must treat
+// them as busy even between batches. Sequential runs need no enrollment —
+// a fault there is the only execution in flight, exactly the pre-engine
+// regime.
+func (m *Machine) BeginConcurrent(cores []numa.CoreID) {
+	for _, core := range cores {
+		m.core(core).engaged.Store(1)
+	}
+}
+
+// EndConcurrent clears the enrollment set by BeginConcurrent.
+func (m *Machine) EndConcurrent(cores []numa.CoreID) {
+	for _, core := range cores {
+		m.core(core).engaged.Store(0)
+	}
+}
+
+// accessOne is the shared per-op path of Access and AccessBatch. Cycle and
+// counter charges go to st (the caller's accumulator); coherence ownership
+// events go to c.pending.
+func (m *Machine) accessOne(c *coreState, core numa.CoreID, socket numa.SocketID, va pt.VirtAddr, write bool, st *CoreStats) error {
+	st.Ops++
 	cycles := m.cost.PipelineOp()
 
 	entry, hit := c.tlb.Lookup(va)
@@ -270,13 +391,14 @@ func (m *Machine) Access(core numa.CoreID, va pt.VirtAddr, write bool) error {
 		cycles += m.cost.L2TLBHit()
 		frame = entry.Frame(va)
 	case tlb.Miss:
-		leaf, size, walkCy, err := m.walk(core, va, write)
+		leaf, size, walkCy, err := m.walk(c, core, socket, va, write, st)
 		if err != nil {
+			st.Cycles += cycles
 			return err
 		}
 		walkCy = numa.Cycles(float64(walkCy) * c.walkOverlap)
-		c.stats.Walks++
-		c.stats.WalkCycles += walkCy
+		st.Walks++
+		st.WalkCycles += walkCy
 		cycles += walkCy
 		c.tlb.Insert(va, leaf, size)
 		e := tlb.Entry{VPN: uint64(va) >> uint(sizeShift(size)), Leaf: leaf, Size: size}
@@ -285,50 +407,43 @@ func (m *Machine) Access(core numa.CoreID, va pt.VirtAddr, write bool) error {
 
 	// Data access cost: statistically cached, else DRAM at the frame's
 	// node (with interference).
+	node := m.pm.NodeOf(frame)
 	if m.nextRand(c) < c.dataHitRate {
 		cycles += m.cost.LLCHit()
 	} else {
-		cycles += m.cost.DRAM(socket, m.pm.NodeOf(frame))
+		cycles += m.cost.DRAM(socket, node)
 	}
 
 	// Sample the access for the kernel's NUMA balancer (AutoNUMA).
-	meta := m.pm.Meta(frame)
-	meta.AccessSocket = socket
-	if m.pm.NodeOf(frame) == m.topo.NodeOf(socket) {
-		meta.LocalAccesses++
-	} else {
-		meta.RemoteAccesses++
-	}
+	m.pm.SampleAccess(frame, socket, node == m.topo.NodeOf(socket))
 
-	c.stats.Cycles += cycles
+	st.Cycles += cycles
 	return nil
 }
 
 // walk performs the hardware page walk for va on core, including fault
 // handling and retry. Returns the leaf PTE, its page size, and the walk's
-// cycle cost (fault handling is charged separately to the core).
-func (m *Machine) walk(core numa.CoreID, va pt.VirtAddr, write bool) (pt.PTE, pt.PageSize, numa.Cycles, error) {
-	c := m.core(core)
-	socket := m.topo.SocketOf(core)
+// cycle cost (fault handling is charged separately, to st).
+func (m *Machine) walk(c *coreState, core numa.CoreID, socket numa.SocketID, va pt.VirtAddr, write bool, st *CoreStats) (pt.PTE, pt.PageSize, numa.Cycles, error) {
 	const maxFaults = 4
 	faults := 0
 
 	for {
-		leaf, size, cy, ok := m.walkOnce(c, socket, va, write)
+		leaf, size, cy, ok := m.walkOnce(c, socket, va, write, st)
 		if ok {
 			return leaf, size, cy, nil
 		}
 		// Page fault: charge the partial walk, then trap to the kernel.
-		c.stats.WalkCycles += cy
-		c.stats.Cycles += cy
+		st.WalkCycles += cy
+		st.Cycles += cy
 		faults++
 		if m.fault == nil || faults > maxFaults {
 			return 0, 0, 0, fmt.Errorf("%w: core %d va %#x", ErrSegfault, core, uint64(va))
 		}
-		c.stats.Faults++
+		st.Faults++
 		faultCy, err := m.fault.HandleFault(core, va, write)
-		c.stats.FaultCycles += faultCy
-		c.stats.Cycles += faultCy
+		st.FaultCycles += faultCy
+		st.Cycles += faultCy
 		if err != nil {
 			return 0, 0, 0, fmt.Errorf("%w: core %d va %#x: %v", ErrSegfault, core, uint64(va), err)
 		}
@@ -337,7 +452,7 @@ func (m *Machine) walk(core numa.CoreID, va pt.VirtAddr, write bool) (pt.PTE, pt
 
 // walkOnce is a single traversal attempt. ok=false means a non-present
 // entry was hit (page fault).
-func (m *Machine) walkOnce(c *coreState, socket numa.SocketID, va pt.VirtAddr, write bool) (pt.PTE, pt.PageSize, numa.Cycles, bool) {
+func (m *Machine) walkOnce(c *coreState, socket numa.SocketID, va pt.VirtAddr, write bool, st *CoreStats) (pt.PTE, pt.PageSize, numa.Cycles, bool) {
 	level := c.levels
 	frame := c.cr3
 	if resume, child, hit := c.psc.Lookup(va, c.levels); hit {
@@ -347,7 +462,7 @@ func (m *Machine) walkOnce(c *coreState, socket numa.SocketID, va pt.VirtAddr, w
 	var cy numa.Cycles
 	for ; level >= 1; level-- {
 		idx := pt.Index(va, level)
-		cy += m.ptRead(c, socket, frame, idx)
+		cy += m.ptRead(c, socket, frame, idx, st)
 		ref := pt.EntryRef{Frame: frame, Index: idx}
 		e := pt.ReadEntry(m.pm, ref)
 		if !e.Present() {
@@ -361,20 +476,23 @@ func (m *Machine) walkOnce(c *coreState, socket numa.SocketID, va pt.VirtAddr, w
 				return 0, 0, cy, false
 			}
 			// Hardware sets Accessed (and Dirty on store) in THIS
-			// replica only, with a raw store that bypasses the OS
-			// write interface (§5.4).
+			// replica only, with a raw locked OR that bypasses the OS
+			// write interface (§5.4). Concurrent walkers on other
+			// cores must not lose each other's bits.
 			flags := pt.FlagAccessed
 			if write {
 				flags |= pt.FlagDirty
 			}
 			if e.Flags()&flags != flags {
-				pt.WriteEntryRaw(m.pm, ref, e.WithFlags(flags))
+				pt.OrEntryFlagsRaw(m.pm, ref, flags)
 			}
 			if write {
 				// A store-path walk acquires the leaf line exclusively
 				// (Dirty-bit semantics), invalidating copies cached by
-				// other sockets. Read walks leave the line shared.
-				m.invalidateOthers(socket, mmucache.LineOf(frame, idx))
+				// other sockets. Read walks leave the line shared. The
+				// ownership event is buffered; Access applies it
+				// immediately, batches at the next coherence apply.
+				c.pending = append(c.pending, mmucache.LineOf(frame, idx))
 			}
 			size := pt.Size4K
 			switch level {
@@ -385,7 +503,9 @@ func (m *Machine) walkOnce(c *coreState, socket numa.SocketID, va pt.VirtAddr, w
 			}
 			return e.WithFlags(flags), size, cy, true
 		}
-		pt.WriteEntryRaw(m.pm, ref, e.WithFlags(pt.FlagAccessed))
+		if !e.Accessed() {
+			pt.OrEntryFlagsRaw(m.pm, ref, pt.FlagAccessed)
+		}
 		c.psc.Insert(va, level, e.Frame())
 		frame = e.Frame()
 	}
@@ -394,16 +514,16 @@ func (m *Machine) walkOnce(c *coreState, socket numa.SocketID, va pt.VirtAddr, w
 
 // ptRead charges one page-table entry read: LLC hit or DRAM at the table
 // page's node.
-func (m *Machine) ptRead(c *coreState, socket numa.SocketID, frame mem.FrameID, idx int) numa.Cycles {
+func (m *Machine) ptRead(c *coreState, socket numa.SocketID, frame mem.FrameID, idx int, st *CoreStats) numa.Cycles {
 	line := mmucache.LineOf(frame, idx)
 	if m.llcs[socket].Access(line) {
-		c.stats.WalkLLCHits++
+		st.WalkLLCHits++
 		return m.cost.LLCHit()
 	}
 	node := m.pm.NodeOf(frame)
-	c.stats.WalkMemAccesses++
+	st.WalkMemAccesses++
 	if node != m.topo.NodeOf(socket) {
-		c.stats.WalkRemoteAccesses++
+		st.WalkRemoteAccesses++
 	}
 	return m.cost.DRAM(socket, node)
 }
@@ -414,6 +534,52 @@ func (m *Machine) invalidateOthers(owner numa.SocketID, line mmucache.LineID) {
 		if numa.SocketID(s) != owner {
 			m.llcs[s].Invalidate(line)
 		}
+	}
+}
+
+// DrainCoherence applies the coherence events buffered by AccessBatch on
+// the given cores, in core order, then clears the buffers. Call it at a
+// quiescent point (no batch in flight on any core). The order is part of
+// the determinism contract: a fixed core list yields a fixed sequence of
+// LLC invalidations.
+func (m *Machine) DrainCoherence(cores []numa.CoreID) {
+	for _, core := range cores {
+		c := m.core(core)
+		owner := m.topo.SocketOf(core)
+		for _, line := range c.pending {
+			m.invalidateOthers(owner, line)
+		}
+		c.pending = c.pending[:0]
+	}
+}
+
+// ApplyCoherenceTo applies buffered coherence events from the given cores
+// (in the given order) to target's LLC only, skipping cores that live on
+// target — a socket's own store walks do not invalidate its own cache.
+// The parallel engine has every socket run this against its own LLC at a
+// round barrier, so the apply phase parallelizes across targets while each
+// LLC still sees events in the canonical core order. Buffers are left in
+// place (other targets still need them); clear them afterwards with
+// ClearCoherence at the same barrier.
+func (m *Machine) ApplyCoherenceTo(target numa.SocketID, cores []numa.CoreID) {
+	llc := m.llcs[target]
+	for _, core := range cores {
+		if m.topo.SocketOf(core) == target {
+			continue
+		}
+		for _, line := range m.core(core).pending {
+			llc.Invalidate(line)
+		}
+	}
+}
+
+// ClearCoherence drops the buffered coherence events of the given cores
+// without applying them. Use only after every target socket has run
+// ApplyCoherenceTo (or to discard events deliberately).
+func (m *Machine) ClearCoherence(cores []numa.CoreID) {
+	for _, core := range cores {
+		c := m.core(core)
+		c.pending = c.pending[:0]
 	}
 }
 

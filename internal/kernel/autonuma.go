@@ -48,7 +48,7 @@ func (k *Kernel) AutoNUMAScan(p *Process, cfg AutoNUMAConfig) int {
 				meta.LocalAccesses, meta.RemoteAccesses = 0, 0
 				return
 			}
-			target := k.topo.NodeOf(meta.AccessSocket)
+			target := k.topo.NodeOf(numa.SocketID(meta.AccessSocket))
 			if target == k.pm.NodeOf(leaf.Frame()) {
 				meta.LocalAccesses, meta.RemoteAccesses = 0, 0
 				return

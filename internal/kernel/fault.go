@@ -17,7 +17,18 @@ var ErrPermission = errors.New("kernel: write to read-only mapping")
 // where possible), installs the translation through the PV-Ops backend
 // (which propagates to replicas when Mitosis is on), and returns the cycle
 // cost of the fault.
+//
+// The handler is re-entrant across cores: concurrent faults serialize on
+// the kernel's fault lock, and the already-mapped check in populateOne
+// resolves the race where two cores fault on the same page (the loser finds
+// the winner's translation and simply retries its walk).
 func (k *Kernel) HandleFault(core numa.CoreID, va pt.VirtAddr, write bool) (numa.Cycles, error) {
+	k.faultMu.Lock()
+	k.faultCore = core
+	defer func() {
+		k.faultCore = -1
+		k.faultMu.Unlock()
+	}()
 	p := k.current[core]
 	if p == nil {
 		return 0, ErrNoProcess

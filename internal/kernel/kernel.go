@@ -13,6 +13,7 @@ package kernel
 
 import (
 	"errors"
+	"sync"
 
 	"github.com/mitosis-project/mitosis-sim/internal/core"
 	"github.com/mitosis-project/mitosis-sim/internal/hw"
@@ -95,6 +96,21 @@ type Kernel struct {
 	sysctl core.Sysctl
 	thp    bool
 
+	// faultMu serializes the page-fault path (the simulator's mmap_sem):
+	// cores executing parallel access batches may fault concurrently, and
+	// the fault path touches shared state — the process's mapper and
+	// meter, the frame allocator, the page cache and the PV-Ops backend.
+	// All other kernel entry points (syscalls, migration, replication
+	// control) require quiescence: call them only when no access batch is
+	// in flight.
+	faultMu sync.Mutex
+	// faultCore is the core whose fault is currently being handled
+	// (valid only under faultMu; -1 otherwise). The memory-pressure
+	// reclaim path may safely tear down replicas of a process whose only
+	// busy core is the faulting one — that core is parked in the handler
+	// and re-reads CR3 when its walk retries.
+	faultCore numa.CoreID
+
 	nextPID   int
 	procs     map[int]*Process
 	current   []*Process // per core
@@ -143,17 +159,18 @@ func New(cfg Config) *Kernel {
 	})
 	cache := mem.NewPageCache(pm, 0)
 	k := &Kernel{
-		topo:    topo,
-		cost:    cost,
-		pm:      pm,
-		machine: machine,
-		backend: core.NewBackend(pm, cost, cache),
-		cache:   cache,
-		costs:   costs,
-		levels:  levels,
-		nextPID: 1,
-		procs:   make(map[int]*Process),
-		current: make([]*Process, topo.Cores()),
+		topo:      topo,
+		cost:      cost,
+		pm:        pm,
+		machine:   machine,
+		backend:   core.NewBackend(pm, cost, cache),
+		cache:     cache,
+		costs:     costs,
+		levels:    levels,
+		faultCore: -1,
+		nextPID:   1,
+		procs:     make(map[int]*Process),
+		current:   make([]*Process, topo.Cores()),
 	}
 	machine.SetFaultHandler(k)
 	return k

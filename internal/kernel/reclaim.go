@@ -12,16 +12,24 @@ import (
 // ReclaimReplicas tears down page-table replicas to free memory — the
 // paper's §5.5: kept replicas are "lazily deallocated in case physical
 // memory is becoming scarce". Replicas are pure caches of the primary
-// table, so dropping them is always safe; affected processes fall back to
-// walking the primary remotely until replication is re-enabled.
-// It returns the number of frames freed.
+// table, so dropping them is always safe for a quiescent process;
+// affected processes fall back to walking the primary remotely until
+// replication is re-enabled. It returns the number of frames freed.
+//
+// When invoked from the concurrent fault path, processes with a core
+// mid-batch (other than the faulting core itself) are skipped: collapsing
+// them would free replica pages their walkers may still hold pointers
+// into, and reloading their CR3s would race with the running batches. A
+// real kernel would quiesce those CPUs with IPIs; the simulator instead
+// leaves such replicas in place and lets the allocation fail if nothing
+// else is reclaimable.
 func (k *Kernel) ReclaimReplicas() uint64 {
 	var before uint64
 	for n := 0; n < k.topo.Nodes(); n++ {
 		before += k.pm.FreeFrames(numa.NodeID(n))
 	}
 	for _, p := range k.procs {
-		if !p.space.Replicated() {
+		if !p.space.Replicated() || k.replicaHolderBusy(p) {
 			continue
 		}
 		p.space.Collapse(p.opCtx())
@@ -35,6 +43,18 @@ func (k *Kernel) ReclaimReplicas() uint64 {
 		after += k.pm.FreeFrames(numa.NodeID(n))
 	}
 	return after - before
+}
+
+// replicaHolderBusy reports whether p has a core currently executing an
+// access batch, excluding the core whose fault is being handled (that one
+// is parked in the fault handler and re-reads CR3 on walk retry).
+func (k *Kernel) replicaHolderBusy(p *Process) bool {
+	for _, c := range p.cores {
+		if c != k.faultCore && k.machine.CoreBusy(c) {
+			return true
+		}
+	}
+	return false
 }
 
 // allocDataReclaiming allocates a data frame, reclaiming replicas once if

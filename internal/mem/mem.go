@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
 )
@@ -88,18 +90,24 @@ type FrameMeta struct {
 	// 0 otherwise. Used by dumps and by replica maintenance.
 	PTLevel uint8
 	// AccessSocket is the socket that most recently touched this data
-	// frame; sampled by the machine for AutoNUMA-style migration.
-	AccessSocket numa.SocketID
+	// frame; sampled by the machine for AutoNUMA-style migration. Stored
+	// as int32 so concurrent cores can update it with SampleAccess; read
+	// it only at quiescent points (the AutoNUMA scan).
+	AccessSocket int32
 	// RemoteAccesses counts sampled accesses from non-local sockets since
-	// the last AutoNUMA scan.
+	// the last AutoNUMA scan. Updated atomically by SampleAccess.
 	RemoteAccesses uint32
 	// LocalAccesses counts sampled accesses from the local socket since
-	// the last AutoNUMA scan.
+	// the last AutoNUMA scan. Updated atomically by SampleAccess.
 	LocalAccesses uint32
 }
 
 // node-local allocator state
 type nodeState struct {
+	// mu guards all allocator state of this node. Locking is per-node so
+	// that concurrent fault paths targeting different nodes do not
+	// serialize on a global allocator lock.
+	mu         sync.Mutex
 	base       FrameID // first frame of this node
 	frames     uint64  // total frames
 	free       uint64  // currently free frames
@@ -119,7 +127,14 @@ type PhysMem struct {
 	framesPerNode uint64
 	nodes         []nodeState
 	meta          []FrameMeta
-	tables        map[FrameID]*[PTEntries]uint64
+	// tables holds the payload of every page-table frame, indexed by
+	// frame number. A flat slice (rather than a map) lets concurrent page
+	// walkers read table pointers while the allocator publishes new ones:
+	// distinct elements never alias, and a newly written element becomes
+	// visible to walkers through the atomic PTE store that links the new
+	// table into a parent entry (release/acquire via pt.WriteEntryRaw /
+	// pt.ReadEntry).
+	tables []*[PTEntries]uint64
 }
 
 // Config configures a PhysMem.
@@ -145,7 +160,7 @@ func New(cfg Config) *PhysMem {
 		framesPerNode: cfg.FramesPerNode,
 		nodes:         make([]nodeState, n),
 		meta:          make([]FrameMeta, cfg.FramesPerNode*uint64(n)),
-		tables:        make(map[FrameID]*[PTEntries]uint64),
+		tables:        make([]*[PTEntries]uint64, cfg.FramesPerNode*uint64(n)),
 	}
 	for i := range pm.meta {
 		pm.meta[i].ReplicaNext = NilFrame
@@ -193,35 +208,68 @@ func (pm *PhysMem) Meta(f FrameID) *FrameMeta {
 
 // Table returns the 512-entry payload of page-table frame f. It panics if f
 // does not hold a page table: reading a data frame as a page table is a
-// simulator bug, not a runtime condition.
+// simulator bug, not a runtime condition. The nil check (rather than a Kind
+// check) keeps this hot-path lookup free of the metadata the allocator
+// mutates, so concurrent walkers only touch the published table pointer.
 func (pm *PhysMem) Table(f FrameID) *[PTEntries]uint64 {
 	pm.checkFrame(f)
-	if pm.meta[f].Kind != KindPageTable {
+	t := pm.tables[f]
+	if t == nil {
 		panic(fmt.Sprintf("mem: frame %d holds %v, not a page table", f, pm.meta[f].Kind))
 	}
-	return pm.tables[f]
+	return t
+}
+
+// SampleAccess records one data access to frame f from the given socket for
+// the AutoNUMA balancer. It is the only FrameMeta mutation allowed while
+// other cores run: all fields involved are updated atomically.
+func (pm *PhysMem) SampleAccess(f FrameID, socket numa.SocketID, local bool) {
+	pm.checkFrame(f)
+	m := &pm.meta[f]
+	atomic.StoreInt32(&m.AccessSocket, int32(socket))
+	if local {
+		atomic.AddUint32(&m.LocalAccesses, 1)
+	} else {
+		atomic.AddUint32(&m.RemoteAccesses, 1)
+	}
 }
 
 // FreeFrames returns the number of free frames on node n.
 func (pm *PhysMem) FreeFrames(n numa.NodeID) uint64 {
-	return pm.node(n).free
+	ns := pm.node(n)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.free
 }
 
 // AllocatedPT returns the number of live page-table frames on node n.
-func (pm *PhysMem) AllocatedPT(n numa.NodeID) uint64 { return pm.node(n).allocPT }
+func (pm *PhysMem) AllocatedPT(n numa.NodeID) uint64 {
+	ns := pm.node(n)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.allocPT
+}
 
 // AllocatedData returns the number of live data frames on node n.
-func (pm *PhysMem) AllocatedData(n numa.NodeID) uint64 { return pm.node(n).allocData }
+func (pm *PhysMem) AllocatedData(n numa.NodeID) uint64 {
+	ns := pm.node(n)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.allocData
+}
 
 // AllocData allocates one 4KB data frame on node n.
 func (pm *PhysMem) AllocData(n numa.NodeID) (FrameID, error) {
-	f, err := pm.allocSingle(n)
+	ns := pm.node(n)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	f, err := pm.allocSingle(ns)
 	if err != nil {
 		return NilFrame, err
 	}
 	m := &pm.meta[f]
 	m.Kind = KindData
-	pm.node(n).allocData++
+	ns.allocData++
 	return f, nil
 }
 
@@ -231,7 +279,10 @@ func (pm *PhysMem) AllocPageTable(n numa.NodeID, level uint8) (FrameID, error) {
 	if level < 1 || level > 5 {
 		panic(fmt.Sprintf("mem: page-table level %d out of range [1,5]", level))
 	}
-	f, err := pm.allocSingle(n)
+	ns := pm.node(n)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	f, err := pm.allocSingle(ns)
 	if err != nil {
 		return NilFrame, err
 	}
@@ -239,7 +290,7 @@ func (pm *PhysMem) AllocPageTable(n numa.NodeID, level uint8) (FrameID, error) {
 	m.Kind = KindPageTable
 	m.PTLevel = level
 	pm.tables[f] = new([PTEntries]uint64)
-	pm.node(n).allocPT++
+	ns.allocPT++
 	return f, nil
 }
 
@@ -248,6 +299,8 @@ func (pm *PhysMem) AllocPageTable(n numa.NodeID, level uint8) (FrameID, error) {
 // fragmented.
 func (pm *PhysMem) AllocHuge(n numa.NodeID) (FrameID, error) {
 	ns := pm.node(n)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
 	groups := len(ns.groupFree)
 	if groups == 0 {
 		return NilFrame, ErrNoContiguous
@@ -279,6 +332,10 @@ func (pm *PhysMem) AllocHuge(n numa.NodeID) (FrameID, error) {
 // or tail through Free is a bug; use FreeHuge.
 func (pm *PhysMem) Free(f FrameID) {
 	pm.checkFrame(f)
+	n := pm.NodeOf(f)
+	ns := pm.node(n)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
 	m := &pm.meta[f]
 	if m.Kind == KindFree {
 		panic(fmt.Sprintf("mem: double free of frame %d", f))
@@ -286,14 +343,12 @@ func (pm *PhysMem) Free(f FrameID) {
 	if m.HugeHead || m.HugeTail {
 		panic(fmt.Sprintf("mem: frame %d belongs to a huge page; use FreeHuge", f))
 	}
-	n := pm.NodeOf(f)
-	ns := pm.node(n)
 	switch m.Kind {
 	case KindData:
 		ns.allocData--
 	case KindPageTable:
 		ns.allocPT--
-		delete(pm.tables, f)
+		pm.tables[f] = nil
 	}
 	*m = FrameMeta{Kind: KindFree, ReplicaNext: NilFrame}
 	pm.clearBit(ns, uint64(f-ns.base))
@@ -304,11 +359,13 @@ func (pm *PhysMem) Free(f FrameID) {
 // FreeHuge releases the 2MB block whose head frame is base.
 func (pm *PhysMem) FreeHuge(base FrameID) {
 	pm.checkFrame(base)
+	n := pm.NodeOf(base)
+	ns := pm.node(n)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
 	if !pm.meta[base].HugeHead {
 		panic(fmt.Sprintf("mem: frame %d is not a huge-page head", base))
 	}
-	n := pm.NodeOf(base)
-	ns := pm.node(n)
 	for off := FrameID(0); off < HugeFrames; off++ {
 		f := base + off
 		m := &pm.meta[f]
@@ -326,6 +383,9 @@ func (pm *PhysMem) FreeHuge(base FrameID) {
 // allocated; only the huge markers are cleared.
 func (pm *PhysMem) SplitHuge(base FrameID) {
 	pm.checkFrame(base)
+	ns := pm.node(pm.NodeOf(base))
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
 	if !pm.meta[base].HugeHead {
 		panic(fmt.Sprintf("mem: frame %d is not a huge-page head", base))
 	}
@@ -344,6 +404,8 @@ func (pm *PhysMem) Fragment(n numa.NodeID, fraction float64, r *rand.Rand) {
 		panic(fmt.Sprintf("mem: fragmentation fraction %v out of [0,1]", fraction))
 	}
 	ns := pm.node(n)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
 	for g := range ns.fragmented {
 		if r.Float64() < fraction {
 			ns.fragmented[g] = true
@@ -354,17 +416,18 @@ func (pm *PhysMem) Fragment(n numa.NodeID, fraction float64, r *rand.Rand) {
 // DefragNode clears all fragmentation marks on node n.
 func (pm *PhysMem) DefragNode(n numa.NodeID) {
 	ns := pm.node(n)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
 	for g := range ns.fragmented {
 		ns.fragmented[g] = false
 	}
 }
 
-// allocSingle finds one free 4KB frame on node n. It prefers groups that are
-// already partially used so that fully-free 2MB groups are preserved for
-// huge-page allocation (a simplified buddy-allocator anti-fragmentation
-// heuristic).
-func (pm *PhysMem) allocSingle(n numa.NodeID) (FrameID, error) {
-	ns := pm.node(n)
+// allocSingle finds one free 4KB frame on node ns, whose mutex the caller
+// holds. It prefers groups that are already partially used so that
+// fully-free 2MB groups are preserved for huge-page allocation (a
+// simplified buddy-allocator anti-fragmentation heuristic).
+func (pm *PhysMem) allocSingle(ns *nodeState) (FrameID, error) {
 	if ns.free == 0 {
 		return NilFrame, ErrOutOfMemory
 	}

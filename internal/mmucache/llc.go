@@ -2,6 +2,7 @@ package mmucache
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/mitosis-project/mitosis-sim/internal/mem"
 )
@@ -46,9 +47,13 @@ type llcSet struct {
 // coherence traffic is what keeps multi-socket workloads missing the LLC on
 // page walks even when the table would fit.
 type LLC struct {
+	// mu guards sets and Stats: an LLC is shared by every core of its
+	// socket, and remote sockets' write walks invalidate lines in it.
+	mu   sync.Mutex
 	sets []llcSet
 	mask uint64
-	// Stats counts cache behaviour.
+	// Stats counts cache behaviour. Read it (or assign to it) only at
+	// quiescent points; concurrent updates go through the methods below.
 	Stats LLCStats
 }
 
@@ -79,7 +84,9 @@ func NewLLC(cfg LLCConfig) *LLC {
 func (l *LLC) set(id LineID) *llcSet { return &l.sets[uint64(id)&l.mask] }
 
 // Access looks up line id, inserting it on a miss. It returns true on hit.
+// The explicit unlocks keep this walk-path hot spot free of defer overhead.
 func (l *LLC) Access(id LineID) bool {
+	l.mu.Lock()
 	s := l.set(id)
 	for i := range s.lines {
 		if s.valid[i] && s.lines[i] == id {
@@ -88,6 +95,7 @@ func (l *LLC) Access(id LineID) bool {
 			copy(s.valid[1:i+1], s.valid[:i])
 			s.lines[0], s.valid[0] = id, true
 			l.Stats.Hits++
+			l.mu.Unlock()
 			return true
 		}
 	}
@@ -95,24 +103,29 @@ func (l *LLC) Access(id LineID) bool {
 	copy(s.valid[1:], s.valid[:len(s.valid)-1])
 	s.lines[0], s.valid[0] = id, true
 	l.Stats.Misses++
+	l.mu.Unlock()
 	return false
 }
 
 // Invalidate drops line id if present (a writer on another socket took
 // ownership).
 func (l *LLC) Invalidate(id LineID) {
+	l.mu.Lock()
 	s := l.set(id)
 	for i := range s.lines {
 		if s.valid[i] && s.lines[i] == id {
 			s.valid[i] = false
 			l.Stats.Invalidates++
-			return
+			break
 		}
 	}
+	l.mu.Unlock()
 }
 
 // Flush empties the cache.
 func (l *LLC) Flush() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	for i := range l.sets {
 		for j := range l.sets[i].valid {
 			l.sets[i].valid[j] = false

@@ -11,6 +11,7 @@ package pt
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/mitosis-project/mitosis-sim/internal/mem"
 )
@@ -189,14 +190,25 @@ type EntryRef struct {
 	Index int
 }
 
-// ReadEntry reads the entry at ref from physical memory.
+// ReadEntry reads the entry at ref from physical memory. The load is
+// atomic: hardware page walkers on other cores may concurrently set
+// Accessed/Dirty bits in the same entry, and an atomic 8-byte load is
+// exactly what a real MMU's table walk performs — entries are never torn.
 func ReadEntry(pm *mem.PhysMem, ref EntryRef) PTE {
-	return PTE(pm.Table(ref.Frame)[ref.Index])
+	return PTE(atomic.LoadUint64(&pm.Table(ref.Frame)[ref.Index]))
 }
 
 // WriteEntryRaw stores the entry at ref directly, with no replica
 // propagation. Only pvops backends may call this; all other code must go
-// through a pvops.Backend.
+// through a pvops.Backend. The store is atomic for the same reason
+// ReadEntry's load is.
 func WriteEntryRaw(pm *mem.PhysMem, ref EntryRef, e PTE) {
-	pm.Table(ref.Frame)[ref.Index] = uint64(e)
+	atomic.StoreUint64(&pm.Table(ref.Frame)[ref.Index], uint64(e))
+}
+
+// OrEntryFlagsRaw sets flag bits in the entry at ref with an atomic
+// read-modify-write — the walker's locked Accessed/Dirty update. Two cores
+// walking the same entry concurrently must not lose each other's bits.
+func OrEntryFlagsRaw(pm *mem.PhysMem, ref EntryRef, flags PTE) {
+	atomic.OrUint64(&pm.Table(ref.Frame)[ref.Index], uint64(flags))
 }

@@ -1,0 +1,172 @@
+package workloads
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/mitosis-project/mitosis-sim/internal/hw"
+	"github.com/mitosis-project/mitosis-sim/internal/kernel"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+)
+
+// engineRun executes one workload on a fresh kernel under the given engine
+// mode and returns the full Result, including the raw per-core counters.
+func engineRun(t *testing.T, mk func() Workload, mode Mode, sockets, coresPerSocket, ops int) *Result {
+	t.Helper()
+	k := kernel.New(kernel.Config{
+		Topology:      numa.NewTopology(sockets, coresPerSocket),
+		FramesPerNode: 65536,
+	})
+	w := shrink(mk())
+	p, err := k.CreateProcess(kernel.ProcessOpts{Name: w.Name(), Home: 0, DataLocality: w.DataLocality()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cores []numa.CoreID
+	for s := 0; s < sockets; s++ {
+		for i := 0; i < coresPerSocket; i++ {
+			cores = append(cores, k.Topology().FirstCoreOf(numa.SocketID(s))+numa.CoreID(i))
+		}
+	}
+	if err := k.RunOn(p, cores); err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(k, p, false, 42)
+	if err := w.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunWith(env, w, ops, EngineConfig{Mode: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestParallelMatchesSequential is the engine's determinism contract: the
+// parallel engine must produce byte-identical counters to the sequential
+// reference engine, across workload families — GUPS (uniform writes), a
+// key-value store (zipf reads with hot objects), and a scientific code
+// (XSBench's cross-section lookups).
+func TestParallelMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() Workload
+	}{
+		{"GUPS", func() Workload { return NewGUPS() }},
+		{"kv-Memcached", NewMemcached},
+		{"scientific-XSBench", func() Workload { return NewXSBenchMS() }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			seq := engineRun(t, c.mk, Sequential, 4, 1, 4000)
+			par := engineRun(t, c.mk, Parallel, 4, 1, 4000)
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("parallel result diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+			}
+			if seq.Ops != 4*4000 {
+				t.Errorf("Ops = %d, want %d", seq.Ops, 4*4000)
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSequentialSharedLLC pins the harder half of the
+// contract: multiple cores per socket share an LLC, so the engine must
+// serialize same-socket cores in canonical order to stay deterministic.
+func TestParallelMatchesSequentialSharedLLC(t *testing.T) {
+	mk := func() Workload { return NewGUPS() }
+	seq := engineRun(t, mk, Sequential, 4, 2, 2000)
+	par := engineRun(t, mk, Parallel, 4, 2, 2000)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel result diverged with 2 cores/socket:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestParallelRepeatable: two parallel runs with identical inputs must be
+// identical to each other (no scheduling nondeterminism leaks into
+// counters).
+func TestParallelRepeatable(t *testing.T) {
+	mk := func() Workload { return NewRedis() }
+	a := engineRun(t, mk, Parallel, 4, 1, 3000)
+	b := engineRun(t, mk, Parallel, 4, 1, 3000)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("two parallel runs diverged:\na: %+v\nb: %+v", a, b)
+	}
+}
+
+// TestParallelStress hammers the shared state the parallel engine must
+// protect: 4 sockets x 2 cores issue concurrent batches against one
+// address space that is NOT pre-populated, so the cores race through the
+// demand-paging fault path (allocator, page cache, mapper, meter) while
+// walking and mutating one shared page-table. Run under -race this is the
+// engine's data-race certification; the counter checks below only assert
+// conservation, not determinism (fault-time allocation order is
+// scheduling-dependent by design).
+func TestParallelStress(t *testing.T) {
+	const sockets, perSocket = 4, 2
+	k := kernel.New(kernel.Config{
+		Topology:      numa.NewTopology(sockets, perSocket),
+		FramesPerNode: 65536,
+	})
+	p, err := k.CreateProcess(kernel.ProcessOpts{Name: "stress", Home: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cores []numa.CoreID
+	for c := numa.CoreID(0); int(c) < sockets*perSocket; c++ {
+		cores = append(cores, c)
+	}
+	if err := k.RunOn(p, cores); err != nil {
+		t.Fatal(err)
+	}
+	const size = 32 << 20
+	base, err := k.Mmap(p, size, kernel.MmapOpts{Writable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := k.Machine()
+	const rounds, chunk = 50, 64
+	var wg sync.WaitGroup
+	errs := make([]error, len(cores))
+	for ci, c := range cores {
+		wg.Add(1)
+		go func(ci int, c numa.CoreID) {
+			defer wg.Done()
+			rng := uint64(ci)*0x9E3779B97F4A7C15 + 1
+			ops := make([]hw.AccessOp, chunk)
+			for r := 0; r < rounds; r++ {
+				for i := range ops {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					ops[i].VA = base + pt.VirtAddr(rng%size)&^4095
+					ops[i].Write = rng&1 == 0
+				}
+				if err := m.AccessBatch(c, ops); err != nil {
+					errs[ci] = err
+					return
+				}
+			}
+		}(ci, c)
+	}
+	wg.Wait()
+	m.ClearCoherence(cores)
+	for ci, err := range errs {
+		if err != nil {
+			t.Fatalf("core %d: %v", cores[ci], err)
+		}
+	}
+	var totalOps, totalFaults uint64
+	for _, c := range cores {
+		s := m.Stats(c)
+		totalOps += s.Ops
+		totalFaults += s.Faults
+	}
+	if want := uint64(len(cores) * rounds * chunk); totalOps != want {
+		t.Errorf("total ops = %d, want %d", totalOps, want)
+	}
+	if totalFaults == 0 {
+		t.Error("stress run took no page faults — fault path not exercised")
+	}
+}

@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"fmt"
+	"runtime"
 
 	"github.com/mitosis-project/mitosis-sim/internal/hw"
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
@@ -37,22 +38,84 @@ func (r *Result) WalkCycleFraction() float64 {
 	return float64(r.WalkCycles) / float64(r.TotalCycles)
 }
 
+// Mode selects how the execution engine schedules the simulated cores.
+type Mode int
+
+const (
+	// Auto picks Parallel when the run spans more than one socket and the
+	// host has spare CPUs, Sequential otherwise. Safe because the two
+	// modes are counter-identical by construction.
+	Auto Mode = iota
+	// Sequential runs every core on the calling goroutine, in canonical
+	// order — the reference engine.
+	Sequential
+	// Parallel runs each socket's cores on a dedicated goroutine, with
+	// round barriers keeping the result identical to Sequential.
+	Parallel
+)
+
+// DefaultChunk is the engine's default round length: ops per core between
+// coherence barriers. It matches the original per-op engine's round-robin
+// interleave granularity, so cross-socket page-table line invalidations
+// land with at most one round of latency.
+const DefaultChunk = 32
+
+// EngineConfig tunes the batched execution engine.
+type EngineConfig struct {
+	// Mode is the scheduling mode (default Auto).
+	Mode Mode
+	// Chunk is the number of operations each core executes per round
+	// (default DefaultChunk). Both modes use the same chunk, and results
+	// are only comparable between runs with equal chunks: the chunk is
+	// the modeled cross-socket invalidation latency.
+	Chunk int
+}
+
 // Run executes opsPerThread operations of w on every core the process is
 // scheduled on, interleaving threads deterministically, and returns the
 // aggregated counters for just this run (the machine's counters are reset
-// first, so Setup/initialization cost is excluded, as in §8.1).
+// first, so Setup/initialization cost is excluded, as in §8.1). It uses
+// the engine in Auto mode; use RunWith to pick a mode explicitly.
 func Run(env *Env, w Workload, opsPerThread int) (*Result, error) {
-	return run(env, w, opsPerThread, true)
+	return run(env, w, opsPerThread, true, EngineConfig{})
 }
 
 // RunKeepStats is Run without the counter reset: the result includes all
 // cycles accumulated since the last reset, so initialization is measured
 // too (the paper's Table 6 end-to-end configuration).
 func RunKeepStats(env *Env, w Workload, opsPerThread int) (*Result, error) {
-	return run(env, w, opsPerThread, false)
+	return run(env, w, opsPerThread, false, EngineConfig{})
 }
 
-func run(env *Env, w Workload, opsPerThread int, reset bool) (*Result, error) {
+// RunWith is Run under an explicit engine configuration. Sequential and
+// Parallel produce bit-identical Results for the same inputs: the engine's
+// determinism contract (see DESIGN.md).
+func RunWith(env *Env, w Workload, opsPerThread int, cfg EngineConfig) (*Result, error) {
+	return run(env, w, opsPerThread, true, cfg)
+}
+
+// RunKeepStatsWith is RunKeepStats under an explicit engine configuration.
+func RunKeepStatsWith(env *Env, w Workload, opsPerThread int, cfg EngineConfig) (*Result, error) {
+	return run(env, w, opsPerThread, false, cfg)
+}
+
+// run drives the batched execution engine.
+//
+// Execution proceeds in rounds. Each round, every core executes one chunk
+// of operations via Machine.AccessBatch — per-core state (TLB, PSC, RNG,
+// counters) is fully sharded, and each socket's cores run serialized in
+// canonical order on their socket's goroutine, so the shared per-socket
+// LLC sees a deterministic access sequence. Store walks buffer their
+// cross-socket line invalidations; at the round barrier each socket
+// applies the buffered events (again in canonical core order) to its own
+// LLC. No state crosses sockets mid-round except the page-table A/D bits
+// and AutoNUMA samples, whose update order cannot affect any counter —
+// which is why Sequential and Parallel modes are counter-identical.
+//
+// Operation generation stays on the driving goroutine: workload Step
+// closures are single-threaded by contract, and generating in canonical
+// core order keeps the op streams independent of the mode.
+func run(env *Env, w Workload, opsPerThread int, reset bool, cfg EngineConfig) (*Result, error) {
 	cores := env.P.Cores()
 	if len(cores) == 0 {
 		return nil, fmt.Errorf("workloads: process not scheduled")
@@ -70,25 +133,190 @@ func run(env *Env, w Workload, opsPerThread int, reset bool) (*Result, error) {
 		m.ResetStats()
 	}
 
-	const chunk = 32
+	chunk := cfg.Chunk
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	// Group core indices by socket, in order of first appearance; within a
+	// group the cores keep their list order. The nested group/core order
+	// is the canonical order of the run.
+	topo := env.K.Topology()
+	var groups [][]int
+	var groupSockets []numa.SocketID
+	groupOf := make(map[numa.SocketID]int)
+	for i, c := range cores {
+		s := topo.SocketOf(c)
+		g, ok := groupOf[s]
+		if !ok {
+			g = len(groups)
+			groupOf[s] = g
+			groups = append(groups, nil)
+			groupSockets = append(groupSockets, s)
+		}
+		groups[g] = append(groups[g], i)
+	}
+	parallel := false
+	switch cfg.Mode {
+	case Parallel:
+		parallel = true
+	case Auto:
+		parallel = len(groups) > 1 && runtime.GOMAXPROCS(0) > 1
+	}
+
+	bufs := make([][]hw.AccessOp, len(cores))
+	for i := range bufs {
+		bufs[i] = make([]hw.AccessOp, chunk)
+	}
+	errs := make([]error, len(cores))
+
+	eng := &engine{
+		m: m, cores: cores, groups: groups, sockets: groupSockets,
+		allSockets: topo.Sockets(), bufs: bufs, errs: errs,
+	}
+	if parallel {
+		// Pin the cores for the whole run so the kernel's memory-pressure
+		// reclaim treats them as busy even between a worker's batches.
+		m.BeginConcurrent(cores)
+		defer m.EndConcurrent(cores)
+		eng.startWorkers()
+		defer eng.stopWorkers()
+	}
+
 	remaining := opsPerThread
 	for remaining > 0 {
-		n := chunk
-		if n > remaining {
-			n = remaining
-		}
-		for ti, c := range cores {
+		n := min(chunk, remaining)
+		// Generate this round's ops in canonical core order.
+		for ti := range cores {
+			buf := bufs[ti][:n]
 			step := steps[ti]
-			for i := 0; i < n; i++ {
-				va, write := step()
-				if err := m.Access(c, va, write); err != nil {
-					return nil, fmt.Errorf("workloads: %s op on core %d: %w", w.Name(), c, err)
-				}
+			for i := range buf {
+				buf[i].VA, buf[i].Write = step()
+			}
+		}
+		eng.round(n, parallel)
+		// Errors surface in canonical order so both modes report the
+		// same failure for the same inputs.
+		for ti, c := range cores {
+			if errs[ti] != nil {
+				return nil, fmt.Errorf("workloads: %s op on core %d: %w", w.Name(), c, errs[ti])
 			}
 		}
 		remaining -= n
 	}
 	return Collect(env, cores), nil
+}
+
+// engine holds one run's scheduling state.
+type engine struct {
+	m          *hw.Machine
+	cores      []numa.CoreID
+	groups     [][]int // core indices per socket group, canonical order
+	sockets    []numa.SocketID
+	allSockets int
+	bufs       [][]hw.AccessOp
+	errs       []error
+
+	compute []chan int // per worker: ops this round; closed = exit
+	done    []chan struct{}
+	apply   []chan struct{}
+	applied []chan struct{}
+}
+
+// computeGroup runs one round's batches for group g.
+func (e *engine) computeGroup(g, n int) {
+	for _, ti := range e.groups[g] {
+		if e.errs[ti] == nil {
+			e.errs[ti] = e.m.AccessBatch(e.cores[ti], e.bufs[ti][:n])
+		}
+	}
+}
+
+// applyIdle applies buffered coherence to sockets that run no cores (their
+// LLCs may still cache lines of the shared page-table).
+func (e *engine) applyIdle() {
+	for s := 0; s < e.allSockets; s++ {
+		idle := true
+		for _, gs := range e.sockets {
+			if gs == numa.SocketID(s) {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			e.m.ApplyCoherenceTo(numa.SocketID(s), e.cores)
+		}
+	}
+}
+
+// round executes one chunk on every core plus the coherence barrier.
+// In parallel mode the coordinator goroutine doubles as group 0's worker,
+// so a machine with n busy sockets needs only n-1 handoff pairs per phase.
+func (e *engine) round(n int, parallel bool) {
+	if !parallel {
+		for g := range e.groups {
+			e.computeGroup(g, n)
+		}
+		for _, s := range e.sockets {
+			e.m.ApplyCoherenceTo(s, e.cores)
+		}
+		e.applyIdle()
+		e.m.ClearCoherence(e.cores)
+		return
+	}
+	for _, c := range e.compute {
+		c <- n
+	}
+	e.computeGroup(0, n)
+	for _, c := range e.done {
+		<-c
+	}
+	// Every batch of the round has completed: release the apply phase.
+	for _, c := range e.apply {
+		c <- struct{}{}
+	}
+	e.m.ApplyCoherenceTo(e.sockets[0], e.cores)
+	e.applyIdle()
+	for _, c := range e.applied {
+		<-c
+	}
+	// Every target socket has applied this round's events: drop them so
+	// the next round's batches start from empty buffers.
+	e.m.ClearCoherence(e.cores)
+}
+
+// startWorkers launches one goroutine per socket group except group 0,
+// which the coordinator runs itself.
+func (e *engine) startWorkers() {
+	n := len(e.groups) - 1
+	e.compute = make([]chan int, n)
+	e.done = make([]chan struct{}, n)
+	e.apply = make([]chan struct{}, n)
+	e.applied = make([]chan struct{}, n)
+	for i := 0; i < n; i++ {
+		e.compute[i] = make(chan int)
+		e.done[i] = make(chan struct{})
+		e.apply[i] = make(chan struct{})
+		e.applied[i] = make(chan struct{})
+		go func(i, g int) {
+			for ops := range e.compute[i] {
+				e.computeGroup(g, ops)
+				e.done[i] <- struct{}{}
+				// Compute everywhere has finished once the
+				// coordinator releases the apply phase; applying to
+				// this socket's LLC is now race-free.
+				<-e.apply[i]
+				e.m.ApplyCoherenceTo(e.sockets[g], e.cores)
+				e.applied[i] <- struct{}{}
+			}
+		}(i, i+1)
+	}
+}
+
+// stopWorkers shuts the worker goroutines down.
+func (e *engine) stopWorkers() {
+	for _, c := range e.compute {
+		close(c)
+	}
 }
 
 // Collect gathers the machine counters for the given cores into a Result.

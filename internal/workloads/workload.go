@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"github.com/mitosis-project/mitosis-sim/internal/hw"
 	"github.com/mitosis-project/mitosis-sim/internal/kernel"
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
 	"github.com/mitosis-project/mitosis-sim/internal/pt"
@@ -155,13 +156,35 @@ func (e *Env) InitRegion(name string, style InitStyle) error {
 	}
 }
 
+// touchRange writes one op per page of [base, base+size) through the batch
+// API: initialization is single-threaded, so each batch's buffered
+// invalidations are drained before the next core takes over, preserving
+// the per-op engine's cache state exactly.
 func (e *Env) touchRange(core numa.CoreID, base pt.VirtAddr, size, step uint64) error {
+	m := e.K.Machine()
+	const batch = 512
+	ops := make([]hw.AccessOp, 0, batch)
+	flush := func() error {
+		if len(ops) == 0 {
+			return nil
+		}
+		err := m.AccessBatch(core, ops)
+		m.DrainCoherence([]numa.CoreID{core})
+		if err != nil {
+			return fmt.Errorf("workloads: init touch on core %d: %w", core, err)
+		}
+		ops = ops[:0]
+		return nil
+	}
 	for off := uint64(0); off < size; off += step {
-		if err := e.K.Machine().Access(core, base+pt.VirtAddr(off), true); err != nil {
-			return fmt.Errorf("workloads: init touch at %#x: %w", uint64(base)+off, err)
+		ops = append(ops, hw.AccessOp{VA: base + pt.VirtAddr(off), Write: true})
+		if len(ops) == batch {
+			if err := flush(); err != nil {
+				return err
+			}
 		}
 	}
-	return nil
+	return flush()
 }
 
 // rng derives a deterministic per-thread generator.

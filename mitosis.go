@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"github.com/mitosis-project/mitosis-sim/internal/core"
+	"github.com/mitosis-project/mitosis-sim/internal/hw"
 	"github.com/mitosis-project/mitosis-sim/internal/kernel"
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
 	"github.com/mitosis-project/mitosis-sim/internal/pt"
@@ -175,6 +176,36 @@ func (pr *Proc) AccessOn(worker int, va uint64, write bool) error {
 		return fmt.Errorf("mitosis: worker %d out of range [0,%d)", worker, len(cores))
 	}
 	return pr.sys.k.Machine().Access(cores[worker], pt.VirtAddr(va), write)
+}
+
+// AccessOp is one memory operation of a batch: a virtual address and the
+// load/store direction.
+type AccessOp struct {
+	VA    uint64
+	Write bool
+}
+
+// AccessBatch executes a batch of memory operations on the process's
+// idx-th worker, amortizing the simulator's per-op overhead. It is
+// equivalent to (but much faster than) calling AccessOn per element.
+// Batches for different workers may run concurrently from their own
+// goroutines; such runs are race-free but not bit-reproducible (use the
+// internal workloads engine for deterministic parallel runs). All other
+// Proc and System methods require quiescence: call them only when no
+// batch is in flight.
+func (pr *Proc) AccessBatch(worker int, ops []AccessOp) error {
+	cores := pr.p.Cores()
+	if worker < 0 || worker >= len(cores) {
+		return fmt.Errorf("mitosis: worker %d out of range [0,%d)", worker, len(cores))
+	}
+	hops := make([]hw.AccessOp, len(ops))
+	for i, op := range ops {
+		hops[i] = hw.AccessOp{VA: pt.VirtAddr(op.VA), Write: op.Write}
+	}
+	m := pr.sys.k.Machine()
+	err := m.AccessBatch(cores[worker], hops)
+	m.DrainCoherence([]numa.CoreID{cores[worker]})
+	return err
 }
 
 // ReplicatePageTables enables Mitosis replication on every socket —

@@ -41,6 +41,50 @@ func TestQuickstartFlow(t *testing.T) {
 	}
 }
 
+// TestAccessBatchFacade: the batch API must charge the same counters as
+// the per-op API for the same op stream.
+func TestAccessBatchFacade(t *testing.T) {
+	mkProc := func() (*System, *Proc, uint64) {
+		sys := NewSystem(SystemConfig{Sockets: 4, CoresPerSocket: 2, MemoryPerNode: 256 << 20})
+		p, err := sys.Launch(ProcessConfig{Name: "batch", Sockets: AllSockets})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := p.Mmap(32<<20, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys, p, base
+	}
+
+	_, single, base := mkProc()
+	single.ResetStats()
+	for i := uint64(0); i < 2000; i++ {
+		if err := single.AccessOn(0, base+i*4096%(32<<20), i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, batched, base2 := mkProc()
+	batched.ResetStats()
+	ops := make([]AccessOp, 2000)
+	for i := range ops {
+		ops[i] = AccessOp{VA: base2 + uint64(i)*4096%(32<<20), Write: i%2 == 0}
+	}
+	if err := batched.AccessBatch(0, ops); err != nil {
+		t.Fatal(err)
+	}
+
+	if s, b := single.Stats(), batched.Stats(); s != b {
+		t.Errorf("batch stats diverged from per-op stats:\nsingle: %+v\nbatch:  %+v", s, b)
+	}
+
+	// Out-of-range worker must error.
+	if err := batched.AccessBatch(99, ops[:1]); err == nil {
+		t.Error("AccessBatch accepted an out-of-range worker")
+	}
+}
+
 func TestMigrationFlow(t *testing.T) {
 	sys := NewSystem(SystemConfig{Sockets: 2, CoresPerSocket: 2, MemoryPerNode: 512 << 20})
 	p, err := sys.Launch(ProcessConfig{Name: "app", Sockets: 0})
