@@ -3,15 +3,19 @@
 //
 // Usage:
 //
-//	mitosis-bench [-ops N] [-seed S] [-quick] [-json DIR] [experiment ...]
+//	mitosis-bench [-ops N] [-seed S] [-quick] [-json DIR] [-policy LIST] [experiment ...]
 //
 // Experiments: fig1 fig3 fig4 fig6 fig9a fig9b fig10a fig10b fig11
-// table4 table5 table6 ablations engine, or "all" (default).
+// table4 table5 table6 ablations engine policy, or "all" (default).
 //
 // With -json DIR, every target additionally writes DIR/BENCH_<target>.json
 // containing the wall-clock time of the target, the simulator throughput
 // (for the engine benchmark), and the structured simulated-cycle results —
-// the machine-readable perf trajectory tracked across commits.
+// the machine-readable perf trajectory tracked across commits. The policy
+// target's records carry per-run policy names, replica-count timelines and
+// remote-walk-cycle fractions, so BENCH_policy.json tracks replication-
+// policy regressions. -policy restricts the policy target to a
+// comma-separated subset of none,static,ondemand,costadaptive.
 package main
 
 import (
@@ -20,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
+	"strings"
 	"time"
 
 	"github.com/mitosis-project/mitosis-sim/internal/experiments"
@@ -30,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "random seed (0 = default)")
 	quick := flag.Bool("quick", false, "reduced scale smoke run (shapes not meaningful)")
 	jsonDir := flag.String("json", "", "directory for machine-readable BENCH_<target>.json output (empty = off)")
+	policyList := flag.String("policy", "", "comma-separated replication policies for the policy target (empty = all)")
 	flag.Parse()
 
 	cfg := experiments.Config{Ops: *ops, Seed: *seed}
@@ -39,17 +46,32 @@ func main() {
 			cfg.Ops = *ops
 		}
 	}
+	var policies []string
+	if *policyList != "" {
+		known := experiments.PolicyComparisonNames()
+		for _, name := range strings.Split(*policyList, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !slices.Contains(known, name) {
+				fmt.Fprintf(os.Stderr, "mitosis-bench: unknown policy %q (have %v)\n", name, known)
+				os.Exit(2)
+			}
+			policies = append(policies, name)
+		}
+	}
 
 	targets := flag.Args()
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
 		targets = []string{"fig1", "fig3", "fig4", "fig6", "fig9a", "fig9b",
 			"fig10a", "fig10b", "fig11", "table4", "table5", "table6",
-			"ablations", "engine"}
+			"ablations", "policy", "engine"}
 	}
 
 	for _, target := range targets {
 		start := time.Now()
-		out, payload, err := run(cfg, target)
+		out, payload, err := run(cfg, target, policies)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mitosis-bench: %s: %v\n", target, err)
 			os.Exit(1)
@@ -58,7 +80,7 @@ func main() {
 		fmt.Println(out)
 		fmt.Printf("[%s completed in %v]\n\n", target, wall.Round(time.Millisecond))
 		if *jsonDir != "" {
-			if err := writeJSON(*jsonDir, target, cfg, wall, payload); err != nil {
+			if err := writeJSON(*jsonDir, target, cfg, *policyList, wall, payload); err != nil {
 				fmt.Fprintf(os.Stderr, "mitosis-bench: %s: writing json: %v\n", target, err)
 				os.Exit(1)
 			}
@@ -76,16 +98,20 @@ type benchRecord struct {
 	Target  string             `json:"target"`
 	Config  experiments.Config `json:"config"`
 	WallSec float64            `json:"wall_sec"`
+	// Policy is the -policy selection the run used (empty = all built-in
+	// policies); the policy target's Result rows carry the per-run policy
+	// name, replica-count timeline and remote-walk-cycle fraction.
+	Policy string `json:"policy,omitempty"`
 	// Result carries the target's structured simulated-cycle output
 	// (figure bars, table rows, or the engine benchmark record).
 	Result any `json:"result"`
 }
 
-func writeJSON(dir, target string, cfg experiments.Config, wall time.Duration, payload any) error {
+func writeJSON(dir, target string, cfg experiments.Config, policy string, wall time.Duration, payload any) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	rec := benchRecord{Target: target, Config: cfg, WallSec: wall.Seconds(), Result: payload}
+	rec := benchRecord{Target: target, Config: cfg, WallSec: wall.Seconds(), Policy: policy, Result: payload}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		return err
@@ -96,7 +122,7 @@ func writeJSON(dir, target string, cfg experiments.Config, wall time.Duration, p
 
 // run executes one target, returning its human-readable output plus the
 // structured payload for -json.
-func run(cfg experiments.Config, target string) (string, any, error) {
+func run(cfg experiments.Config, target string, policies []string) (string, any, error) {
 	switch target {
 	case "fig1":
 		out, err := experiments.RunFig1(cfg)
@@ -139,6 +165,9 @@ func run(cfg experiments.Config, target string) (string, any, error) {
 	case "engine":
 		r, err := experiments.RunEngineBench(cfg)
 		return str(r, err)
+	case "policy":
+		pc, err := experiments.RunPolicyComparison(cfg, policies)
+		return str(pc, err)
 	case "ablations":
 		out := ""
 		var payloads []any

@@ -24,10 +24,11 @@ import (
 // process's replication mask (so new page-table pages replicate there
 // too), and only then should the socket's CR3 switch to the new root.
 type IncrementalReplication struct {
-	space *Space
-	node  numa.NodeID
-	queue []incWork
-	done  bool
+	space   *Space
+	node    numa.NodeID
+	queue   []incWork
+	done    bool
+	aborted bool
 	// PagesCopied counts replica pages created so far.
 	PagesCopied int
 }
@@ -62,11 +63,30 @@ func (s *Space) StartIncrementalReplication(ctx *pvops.OpCtx, node numa.NodeID) 
 // Done reports whether the replica is complete.
 func (ir *IncrementalReplication) Done() bool { return ir.done }
 
+// Node returns the target node of the replication.
+func (ir *IncrementalReplication) Node() numa.NodeID { return ir.node }
+
+// Abort abandons an unfinished replication: the partially built replica
+// tree is torn down (every already-copied page unlinked from its ring and
+// freed) so no interior pointer dangles. A no-op once the copy is done or
+// already aborted. The job cannot be resumed.
+func (ir *IncrementalReplication) Abort(ctx *pvops.OpCtx) {
+	if ir.done || ir.aborted {
+		return
+	}
+	ir.space.teardownNode(ctx, ir.node)
+	ir.queue = nil
+	ir.aborted = true
+}
+
 // Step copies up to maxPages page-table pages. It returns true when the
 // replica is complete. The cycle cost lands on ctx — pass a context billed
 // to a background thread (or DMA engine) to keep it off the application's
 // critical path.
 func (ir *IncrementalReplication) Step(ctx *pvops.OpCtx, maxPages int) (bool, error) {
+	if ir.aborted {
+		return false, fmt.Errorf("core: Step on aborted replication to node %d", ir.node)
+	}
 	if ir.done {
 		return true, nil
 	}

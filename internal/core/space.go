@@ -119,6 +119,10 @@ func (s *Space) treePages() []mem.FrameID {
 	return pages
 }
 
+// PTPageCount returns the number of pages in the primary table tree — the
+// size of the copy a replication commits to (policy cost input).
+func (s *Space) PTPageCount() int { return len(s.treePages()) }
+
 // pureOn reports whether every page of the primary tree lives on node.
 func (s *Space) pureOn(node numa.NodeID) bool {
 	for _, pg := range s.treePages() {

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+
+	"github.com/mitosis-project/mitosis-sim/internal/core"
+	"github.com/mitosis-project/mitosis-sim/internal/kernel"
+	"github.com/mitosis-project/mitosis-sim/internal/metrics"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/workloads"
+)
+
+// ReplicaPoint is one change point of the replica-count timeline: from
+// Round on, Replicas nodes hold a copy of the table (primary included).
+type ReplicaPoint struct {
+	Round    int `json:"round"`
+	Replicas int `json:"replicas"`
+}
+
+// PolicyRow is one policy's outcome in the comparison.
+type PolicyRow struct {
+	Policy      string  `json:"policy"`
+	CyclesPerOp float64 `json:"cycles_per_op"`
+	// RemoteWalkCycleFraction is remote page-table DRAM cycles over total
+	// cycles for the measured run.
+	RemoteWalkCycleFraction float64 `json:"remote_walk_cycle_fraction"`
+	// ReplicaPTPages counts the replica page-table pages created over the
+	// whole run — the memory the policy spent.
+	ReplicaPTPages uint64 `json:"replica_pt_pages"`
+	// FinalReplicaNodes lists the nodes holding a copy at the end.
+	FinalReplicaNodes []int `json:"final_replica_nodes"`
+	// Actions is the applied action log (dynamic policies only).
+	Actions []string `json:"actions,omitempty"`
+	// ReplicaTimeline is the change-point-compressed replica count per
+	// policy tick (dynamic policies only).
+	ReplicaTimeline []ReplicaPoint `json:"replica_timeline,omitempty"`
+	// BackgroundKCycles is the copy work done off the critical path by the
+	// policy engine's background replication (dynamic policies only).
+	BackgroundKCycles float64 `json:"background_kcycles,omitempty"`
+}
+
+// PolicyComparison is the policy-comparison driver's result: one
+// single-socket-heavy workload with a stranded remote page-table (the
+// paper's §3.2 placement), run under each replication policy.
+type PolicyComparison struct {
+	Workload string      `json:"workload"`
+	Rows     []PolicyRow `json:"rows"`
+}
+
+// String renders the comparison as a table.
+func (pc *PolicyComparison) String() string {
+	t := &metrics.Table{
+		Title: fmt.Sprintf("Replication-policy comparison (%s, 1 socket, page-table stranded remote)", pc.Workload),
+		Note:  "dynamic policies tick at the engine's round barriers; replicas build incrementally",
+		Columns: []string{"Policy", "cyc/op", "remote-walk%", "replica PT pages",
+			"final copies", "actions"},
+	}
+	for _, r := range pc.Rows {
+		actions := "-"
+		if len(r.Actions) > 0 {
+			actions = strings.Join(r.Actions, " ")
+		}
+		t.AddRow(r.Policy,
+			fmt.Sprintf("%.0f", r.CyclesPerOp),
+			metrics.Pct(r.RemoteWalkCycleFraction),
+			fmt.Sprintf("%d", r.ReplicaPTPages),
+			fmt.Sprintf("%v", r.FinalReplicaNodes),
+			actions)
+	}
+	return t.String()
+}
+
+// PolicyComparisonNames lists the rows RunPolicyComparison produces by
+// default: a no-replication baseline plus the built-in policies.
+func PolicyComparisonNames() []string {
+	return []string{"none", "static", "ondemand", "costadaptive"}
+}
+
+// RunPolicyComparison compares the replication policies on a
+// single-socket-heavy GUPS whose page-table is stranded on a remote node
+// while its data is local — the paper's workload-migration placement
+// (§3.2), which is exactly where a dynamic policy should replicate to the
+// one active socket instead of everywhere. "static" is the compatibility
+// baseline (full-machine mask decided up front, the Sysctl semantics);
+// "ondemand" should end with strictly fewer replica pages while keeping
+// the remote-walk cycle fraction close. only filters the rows ("" or nil
+// selects all).
+func RunPolicyComparison(cfg Config, only []string) (*PolicyComparison, error) {
+	cfg = cfg.fill()
+	pc := &PolicyComparison{Workload: "GUPS"}
+	for _, name := range PolicyComparisonNames() {
+		if len(only) > 0 && !slices.Contains(only, name) {
+			continue
+		}
+		row, err := runPolicyRow(cfg, name)
+		if err != nil {
+			return nil, runErr("policy "+name, err)
+		}
+		pc.Rows = append(pc.Rows, row)
+	}
+	return pc, nil
+}
+
+// runPolicyRow measures one policy on a fresh machine.
+func runPolicyRow(cfg Config, name string) (PolicyRow, error) {
+	row := PolicyRow{Policy: name}
+	k := cfg.newKernel(false)
+	k.Sysctl().Mode = core.ModePerProcess
+	k.Sysctl().PageCacheTarget = 64
+	k.ApplySysctl()
+	w := cfg.workload(workloads.NewGUPS())
+	// Threads and data on socket 0, every page-table page forced to node 1:
+	// the stranded-table configuration.
+	p, err := k.CreateProcess(kernel.ProcessOpts{
+		Name: w.Name(), Home: 0,
+		DataPolicy: kernel.Bind, BindNode: 0,
+		PTPolicy: kernel.PTFixed, PTNode: 1,
+		DataLocality: w.DataLocality(),
+	})
+	if err != nil {
+		return row, err
+	}
+	if err := k.RunOn(p, []numa.CoreID{k.Topology().FirstCoreOf(0)}); err != nil {
+		return row, err
+	}
+	env := workloads.NewEnv(k, p, false, cfg.Seed)
+	if err := w.Setup(env); err != nil {
+		return row, err
+	}
+
+	ecfg := cfg.engine()
+	var eng *kernel.PolicyEngine
+	switch name {
+	case "none":
+		// No replication ever: the RPI baseline.
+	case "static":
+		// The pre-refactor semantics: the mask is decided once, up front,
+		// for the whole machine; the attached Static policy never acts.
+		pol, err := k.NewPolicy("static")
+		if err != nil {
+			return row, err
+		}
+		eng = k.AttachPolicy(p, pol, kernel.PolicyEngineConfig{})
+		ecfg.Ticker = eng
+		if err := p.SetReplicationMask(allNodes(k)); err != nil {
+			return row, err
+		}
+	default:
+		pol, err := k.NewPolicy(name)
+		if err != nil {
+			return row, err
+		}
+		eng = k.AttachPolicy(p, pol, kernel.PolicyEngineConfig{})
+		ecfg.Ticker = eng
+	}
+
+	res, err := workloads.RunWith(env, w, cfg.Ops, ecfg)
+	if err != nil {
+		return row, err
+	}
+	row.CyclesPerOp = float64(res.TotalCycles) / float64(res.Ops)
+	row.RemoteWalkCycleFraction = res.RemoteWalkCycleFraction()
+	row.ReplicaPTPages = k.Backend().Stats.ReplicaPTPages
+	for _, n := range p.Space().ReplicaNodes() {
+		row.FinalReplicaNodes = append(row.FinalReplicaNodes, int(n))
+	}
+	if eng != nil {
+		for _, rec := range eng.ActionLog() {
+			row.Actions = append(row.Actions, rec.String())
+		}
+		row.ReplicaTimeline = compressTimeline(eng.ReplicaTimeline())
+		row.BackgroundKCycles = float64(eng.BackgroundCycles()) / 1e3
+	}
+	return row, nil
+}
+
+// compressTimeline reduces a per-tick replica count series to its change
+// points (tick is 1-based).
+func compressTimeline(tl []int) []ReplicaPoint {
+	var out []ReplicaPoint
+	for i, v := range tl {
+		if i == 0 || tl[i-1] != v {
+			out = append(out, ReplicaPoint{Round: i + 1, Replicas: v})
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"slices"
+	"testing"
+)
+
+// TestPolicyComparisonQuick pins the policy engine's acceptance shape on
+// the stranded-table scenario: the no-replication baseline pays heavily
+// for remote walks; OnDemand creates strictly fewer replica pages than the
+// static full-machine mask while keeping the remote-walk cycle fraction
+// within 10 percentage points of full replication.
+func TestPolicyComparisonQuick(t *testing.T) {
+	pc, err := RunPolicyComparison(Quick(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]PolicyRow{}
+	for _, r := range pc.Rows {
+		rows[r.Policy] = r
+	}
+	for _, name := range PolicyComparisonNames() {
+		if _, ok := rows[name]; !ok {
+			t.Fatalf("missing row %q in %v", name, pc.Rows)
+		}
+	}
+	none, static, od := rows["none"], rows["static"], rows["ondemand"]
+
+	// The baseline demonstrates the problem the policies solve.
+	if none.RemoteWalkCycleFraction < 0.10 {
+		t.Errorf("no-replication baseline spends only %.1f%% on remote walks; scenario too easy",
+			none.RemoteWalkCycleFraction*100)
+	}
+	if none.ReplicaPTPages != 0 {
+		t.Errorf("baseline created %d replica pages", none.ReplicaPTPages)
+	}
+
+	// Static replicates everywhere; OnDemand only where the process runs.
+	if static.ReplicaPTPages == 0 {
+		t.Fatal("static policy created no replicas")
+	}
+	if od.ReplicaPTPages == 0 {
+		t.Fatal("ondemand policy created no replicas")
+	}
+	if od.ReplicaPTPages >= static.ReplicaPTPages {
+		t.Errorf("ondemand created %d replica pages, want strictly fewer than static's %d",
+			od.ReplicaPTPages, static.ReplicaPTPages)
+	}
+	if od.RemoteWalkCycleFraction > static.RemoteWalkCycleFraction+0.10 {
+		t.Errorf("ondemand remote-walk fraction %.1f%% not within 10pp of static's %.1f%%",
+			od.RemoteWalkCycleFraction*100, static.RemoteWalkCycleFraction*100)
+	}
+	if len(od.Actions) == 0 || len(od.ReplicaTimeline) == 0 {
+		t.Errorf("ondemand row missing telemetry: actions %v, timeline %v",
+			od.Actions, od.ReplicaTimeline)
+	}
+
+	// The filter restricts rows.
+	sub, err := RunPolicyComparison(Quick(), []string{"none", "ondemand"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, r := range sub.Rows {
+		got = append(got, r.Policy)
+	}
+	if !slices.Equal(got, []string{"none", "ondemand"}) {
+		t.Errorf("filtered rows = %v, want [none ondemand]", got)
+	}
+
+	if s := pc.String(); len(s) == 0 {
+		t.Error("empty rendering")
+	}
+}

@@ -66,6 +66,15 @@ type CoreStats struct {
 	WalkLLCHits uint64
 	// WalkRemoteAccesses counts page-table DRAM reads to a remote node.
 	WalkRemoteAccesses uint64
+	// WalkRemoteCycles is the raw DRAM latency of the remote page-table
+	// reads in WalkRemoteAccesses, before walk-overlap scaling — the
+	// walk-locality feed replication policies consume.
+	WalkRemoteCycles numa.Cycles
+	// DataMemAccesses counts data accesses that went to DRAM (missed the
+	// statistically modelled cache hierarchy).
+	DataMemAccesses uint64
+	// DataRemoteAccesses counts data DRAM accesses to a remote node.
+	DataRemoteAccesses uint64
 	// Faults counts page faults taken.
 	Faults uint64
 	// FaultCycles is the time spent in fault handling.
@@ -92,8 +101,30 @@ func (s *CoreStats) merge(o *CoreStats) {
 	s.WalkMemAccesses += o.WalkMemAccesses
 	s.WalkLLCHits += o.WalkLLCHits
 	s.WalkRemoteAccesses += o.WalkRemoteAccesses
+	s.WalkRemoteCycles += o.WalkRemoteCycles
+	s.DataMemAccesses += o.DataMemAccesses
+	s.DataRemoteAccesses += o.DataRemoteAccesses
 	s.Faults += o.Faults
 	s.FaultCycles += o.FaultCycles
+}
+
+// Sub returns the counter-wise difference s - o. Policy engines use it to
+// turn cumulative counters into per-interval deltas.
+func (s CoreStats) Sub(o CoreStats) CoreStats {
+	return CoreStats{
+		Ops:                s.Ops - o.Ops,
+		Cycles:             s.Cycles - o.Cycles,
+		WalkCycles:         s.WalkCycles - o.WalkCycles,
+		Walks:              s.Walks - o.Walks,
+		WalkMemAccesses:    s.WalkMemAccesses - o.WalkMemAccesses,
+		WalkLLCHits:        s.WalkLLCHits - o.WalkLLCHits,
+		WalkRemoteAccesses: s.WalkRemoteAccesses - o.WalkRemoteAccesses,
+		WalkRemoteCycles:   s.WalkRemoteCycles - o.WalkRemoteCycles,
+		DataMemAccesses:    s.DataMemAccesses - o.DataMemAccesses,
+		DataRemoteAccesses: s.DataRemoteAccesses - o.DataRemoteAccesses,
+		Faults:             s.Faults - o.Faults,
+		FaultCycles:        s.FaultCycles - o.FaultCycles,
+	}
 }
 
 type coreState struct {
@@ -237,6 +268,17 @@ func (m *Machine) SetWalkOverlap(core numa.CoreID, exposed float64) {
 
 // Stats returns a copy of core's counters.
 func (m *Machine) Stats(core numa.CoreID) CoreStats { return m.core(core).stats }
+
+// SocketStats aggregates the counters of every core of socket s — the
+// per-socket telemetry feed replication policies tick on. Call it only at a
+// quiescent point (no batch in flight on s's cores).
+func (m *Machine) SocketStats(s numa.SocketID) CoreStats {
+	var agg CoreStats
+	for _, c := range m.topo.CoresOf(s) {
+		agg.merge(&m.cores[c].stats)
+	}
+	return agg
+}
 
 // TLBStats returns core's TLB counters.
 func (m *Machine) TLBStats(core numa.CoreID) tlb.Stats { return m.core(core).tlb.Stats }
@@ -412,6 +454,10 @@ func (m *Machine) accessOne(c *coreState, core numa.CoreID, socket numa.SocketID
 		cycles += m.cost.LLCHit()
 	} else {
 		cycles += m.cost.DRAM(socket, node)
+		st.DataMemAccesses++
+		if node != m.topo.NodeOf(socket) {
+			st.DataRemoteAccesses++
+		}
 	}
 
 	// Sample the access for the kernel's NUMA balancer (AutoNUMA).
@@ -522,10 +568,12 @@ func (m *Machine) ptRead(c *coreState, socket numa.SocketID, frame mem.FrameID, 
 	}
 	node := m.pm.NodeOf(frame)
 	st.WalkMemAccesses++
+	cy := m.cost.DRAM(socket, node)
 	if node != m.topo.NodeOf(socket) {
 		st.WalkRemoteAccesses++
+		st.WalkRemoteCycles += cy
 	}
-	return m.cost.DRAM(socket, node)
+	return cy
 }
 
 // invalidateOthers drops the line from every socket's LLC except the owner.

@@ -1,0 +1,100 @@
+package hw
+
+import (
+	"testing"
+
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+	"github.com/mitosis-project/mitosis-sim/internal/pvops"
+)
+
+// TestWalkLocalityCounters pins the per-socket walk-locality feed: a walk
+// through a remote page-table charges WalkRemoteCycles at raw remote-DRAM
+// latency, a local walk charges none.
+func TestWalkLocalityCounters(t *testing.T) {
+	fx := newFixture(t)
+	local := pt.VirtAddr(0x1000)
+	remote := pt.VirtAddr(0x400000000) // distinct L4 subtree
+	fx.mapPage(t, local, 0)
+	// Build the remote page's whole table path on node 2.
+	f, err := fx.pm.AllocData(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.mp.Map(fx.ctx, remote, pt.Size4K, f, pt.FlagWrite|pt.FlagUser,
+		pvops.PTPlacement{Primary: 2}); err != nil {
+		t.Fatal(err)
+	}
+	fx.m.LoadContext(0, fx.mp.Root(), 4)
+
+	if err := fx.m.Access(0, local, false); err != nil {
+		t.Fatal(err)
+	}
+	st := fx.m.Stats(0)
+	// The root sits on node 0 (fixture primary): a same-socket walk may
+	// still read locally-placed levels, but the leaf path of `local` is
+	// entirely node 0, so no remote cycles.
+	if st.WalkRemoteCycles != 0 || st.WalkRemoteAccesses != 0 {
+		t.Fatalf("local walk charged remote: %d cycles / %d accesses",
+			st.WalkRemoteCycles, st.WalkRemoteAccesses)
+	}
+	if st.DataMemAccesses == 0 {
+		t.Error("data DRAM access not counted (hit rate is 0)")
+	}
+	if st.DataRemoteAccesses != 0 {
+		t.Errorf("local data access counted as remote")
+	}
+
+	if err := fx.m.Access(0, remote, false); err != nil {
+		t.Fatal(err)
+	}
+	st = fx.m.Stats(0)
+	if st.WalkRemoteAccesses == 0 {
+		t.Fatal("remote walk not counted")
+	}
+	want := numa.Cycles(st.WalkRemoteAccesses) * fx.cost.Params().RemoteDRAM
+	if st.WalkRemoteCycles != want {
+		t.Errorf("WalkRemoteCycles = %d, want %d (%d accesses x remote latency)",
+			st.WalkRemoteCycles, want, st.WalkRemoteAccesses)
+	}
+	if st.DataRemoteAccesses == 0 {
+		t.Error("remote data access not counted")
+	}
+}
+
+// TestSocketStatsAggregates: SocketStats merges exactly the socket's own
+// cores, and Sub yields per-interval deltas.
+func TestSocketStatsAggregates(t *testing.T) {
+	fx := newFixture(t) // 4 sockets x 2 cores
+	va := pt.VirtAddr(0x1000)
+	fx.mapPage(t, va, 0)
+	for _, c := range []numa.CoreID{0, 1, 2} { // sockets 0,0,1
+		fx.m.LoadContext(c, fx.mp.Root(), 4)
+		if err := fx.m.Access(c, va, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s0 := fx.m.SocketStats(0)
+	if want := fx.m.Stats(0).Ops + fx.m.Stats(1).Ops; s0.Ops != want {
+		t.Errorf("socket 0 Ops = %d, want %d", s0.Ops, want)
+	}
+	s1 := fx.m.SocketStats(1)
+	if s1.Ops != 1 {
+		t.Errorf("socket 1 Ops = %d, want 1", s1.Ops)
+	}
+	if s3 := fx.m.SocketStats(3); s3.Ops != 0 {
+		t.Errorf("idle socket 3 Ops = %d, want 0", s3.Ops)
+	}
+
+	prev := fx.m.SocketStats(0)
+	if err := fx.m.Access(0, va, false); err != nil {
+		t.Fatal(err)
+	}
+	d := fx.m.SocketStats(0).Sub(prev)
+	if d.Ops != 1 {
+		t.Errorf("delta Ops = %d, want 1", d.Ops)
+	}
+	if d.Cycles == 0 {
+		t.Error("delta charged no cycles")
+	}
+}

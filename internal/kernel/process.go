@@ -94,6 +94,15 @@ type Process struct {
 	home         numa.SocketID
 	dataLocality float64
 
+	// policyEngine is the attached replication-policy engine, if any;
+	// memory-pressure reclaim consults its policy before tearing replicas
+	// down.
+	policyEngine *PolicyEngine
+	// bgRepl counts in-flight background replications (incremental copies
+	// started but not yet finished or aborted). Reclaim must not collapse
+	// the replica rings under an unfinished copy.
+	bgRepl int
+
 	nextMmap  pt.VirtAddr
 	intlvNext int
 
@@ -161,6 +170,9 @@ func (k *Kernel) DestroyProcess(p *Process) {
 
 // Space returns the process's Mitosis replication state.
 func (p *Process) Space() *core.Space { return p.space }
+
+// PolicyEngine returns the attached replication-policy engine, or nil.
+func (p *Process) PolicyEngine() *PolicyEngine { return p.policyEngine }
 
 // Mapper returns the process's page-table mapper.
 func (p *Process) Mapper() *pvops.Mapper { return p.mapper }

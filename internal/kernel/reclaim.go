@@ -2,6 +2,7 @@ package kernel
 
 import (
 	"fmt"
+	"slices"
 
 	"github.com/mitosis-project/mitosis-sim/internal/core"
 	"github.com/mitosis-project/mitosis-sim/internal/mem"
@@ -22,7 +23,14 @@ import (
 // into, and reloading their CR3s would race with the running batches. A
 // real kernel would quiesce those CPUs with IPIs; the simulator instead
 // leaves such replicas in place and lets the allocation fail if nothing
-// else is reclaimable.
+// else is reclaimable. Processes mid-incremental-replication are skipped
+// for the same structural reason: the copy job holds references into the
+// rings a collapse would free.
+//
+// A process with an attached replication-policy engine is reclaimed on the
+// policy's terms: only the replica nodes its ReclaimAdvisor volunteers are
+// torn down (hot replicas survive). Processes without a policy keep the
+// legacy behaviour — every idle replica goes.
 func (k *Kernel) ReclaimReplicas() uint64 {
 	var before uint64
 	for n := 0; n < k.topo.Nodes(); n++ {
@@ -32,8 +40,18 @@ func (k *Kernel) ReclaimReplicas() uint64 {
 		if !p.space.Replicated() || k.replicaHolderBusy(p) {
 			continue
 		}
-		p.space.Collapse(p.opCtx())
-		p.requestedMask = nil
+		victims := reclaimVictims(p)
+		if len(victims) == 0 {
+			continue
+		}
+		keep := slices.DeleteFunc(slices.Clone(p.space.Mask()), func(n numa.NodeID) bool {
+			return slices.Contains(victims, n)
+		})
+		// A shrinking mask only tears down; it cannot fail.
+		if err := p.space.SetMask(p.opCtx(), keep); err != nil {
+			panic(fmt.Sprintf("kernel: reclaim teardown: %v", err))
+		}
+		p.requestedMask = slices.Clone(p.space.Mask())
 		k.reloadContexts(p)
 	}
 	// The reservation pool is the next victim.
@@ -45,10 +63,28 @@ func (k *Kernel) ReclaimReplicas() uint64 {
 	return after - before
 }
 
-// replicaHolderBusy reports whether p has a core currently executing an
-// access batch, excluding the core whose fault is being handled (that one
-// is parked in the fault handler and re-reads CR3 on walk retry).
+// reclaimVictims resolves which of p's replica nodes memory pressure may
+// take: the active policy's choice when it implements core.ReclaimAdvisor,
+// the whole mask otherwise.
+func reclaimVictims(p *Process) []numa.NodeID {
+	mask := p.space.Mask()
+	if p.policyEngine != nil {
+		if adv, ok := p.policyEngine.Policy().(core.ReclaimAdvisor); ok {
+			return adv.ReclaimVictims(mask)
+		}
+	}
+	return mask
+}
+
+// replicaHolderBusy reports whether p's replicas are pinned: a core is
+// currently executing an access batch (excluding the core whose fault is
+// being handled — that one is parked in the handler and re-reads CR3 on
+// walk retry), or an incremental replication is mid-copy (its job queue
+// holds frames a collapse would free).
 func (k *Kernel) replicaHolderBusy(p *Process) bool {
+	if p.bgRepl > 0 {
+		return true
+	}
 	for _, c := range p.cores {
 		if c != k.faultCore && k.machine.CoreBusy(c) {
 			return true
@@ -76,12 +112,17 @@ func (k *Kernel) allocDataReclaiming(preferred numa.NodeID) (mem.FrameID, error)
 // background context (a kthread on the target socket), and the process
 // keeps running against its existing tables meanwhile. Call
 // FinishBackgroundReplication once Step reports completion.
+// While the copy is in flight the process counts as a busy replica holder
+// (replicaHolderBusy), so memory-pressure reclaim will not collapse the
+// rings under it. Balance every successful Start with either
+// FinishBackgroundReplication or AbortBackgroundReplication.
 func (k *Kernel) StartBackgroundReplication(p *Process, node numa.NodeID) (*core.IncrementalReplication, *pvops.OpCtx, error) {
 	bgCtx := &pvops.OpCtx{Socket: k.topo.SocketOfNode(node), Meter: &pvops.Meter{}}
 	ir, err := p.space.StartIncrementalReplication(bgCtx, node)
 	if err != nil {
 		return nil, nil, fmt.Errorf("kernel: background replication: %w", err)
 	}
+	p.bgRepl++
 	return ir, bgCtx, nil
 }
 
@@ -90,6 +131,21 @@ func (k *Kernel) StartBackgroundReplication(p *Process, node numa.NodeID) (*core
 // the target socket starts using its local root.
 func (k *Kernel) FinishBackgroundReplication(p *Process, ir *core.IncrementalReplication) {
 	ir.Finish()
+	k.endBackgroundReplication(p)
 	p.requestedMask = append([]numa.NodeID(nil), p.space.Mask()...)
 	k.reloadContexts(p)
+}
+
+// AbortBackgroundReplication abandons an unfinished background replica,
+// tearing down the partial copy and unpinning the process for reclaim.
+func (k *Kernel) AbortBackgroundReplication(p *Process, ir *core.IncrementalReplication, ctx *pvops.OpCtx) {
+	ir.Abort(ctx)
+	k.endBackgroundReplication(p)
+}
+
+// endBackgroundReplication drops one in-flight replication from p's count.
+func (k *Kernel) endBackgroundReplication(p *Process) {
+	if p.bgRepl > 0 {
+		p.bgRepl--
+	}
 }

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"slices"
 	"testing"
 
 	"github.com/mitosis-project/mitosis-sim/internal/core"
@@ -90,6 +91,134 @@ func TestOOMFaultTriggersReclaim(t *testing.T) {
 	// And memory really is exhausted now.
 	if got := k.pm.FreeFrames(0) + k.pm.FreeFrames(1); got != 0 {
 		t.Errorf("%d frames still free after OOM loop", got)
+	}
+}
+
+// TestReclaimSkipsMidIncrementalReplication: a process with an unfinished
+// incremental replication is a busy replica holder — collapsing its rings
+// would free pages the copy job still references.
+func TestReclaimSkipsMidIncrementalReplication(t *testing.T) {
+	k := newTestKernel(t)
+	k.Sysctl().Mode = core.ModePerProcess
+	k.Sysctl().PageCacheTarget = 64
+	k.ApplySysctl()
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Mmap(p, 8<<20, MmapOpts{Writable: true, Populate: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetReplicationMask([]numa.NodeID{1}); err != nil {
+		t.Fatal(err)
+	}
+	ir, bgCtx, err := k.StartBackgroundReplication(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.Step(bgCtx, 2); err != nil { // partial copy in flight
+		t.Fatal(err)
+	}
+	if !k.replicaHolderBusy(p) {
+		t.Fatal("process not busy while mid-incremental-replication")
+	}
+	k.ReclaimReplicas()
+	if !p.Space().Replicated() {
+		t.Fatal("reclaim collapsed replicas under an in-flight incremental copy")
+	}
+	// Finishing unpins the process; reclaim may now take everything.
+	for {
+		done, err := ir.Step(bgCtx, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done {
+			break
+		}
+	}
+	k.FinishBackgroundReplication(p, ir)
+	if k.replicaHolderBusy(p) {
+		t.Fatal("process still busy after finish")
+	}
+	k.ReclaimReplicas()
+	if p.Space().Replicated() {
+		t.Errorf("replicas survived reclaim after finish: %v", p.Space().Mask())
+	}
+}
+
+// TestAbortBackgroundReplicationUnpins: aborting a copy tears down the
+// partial replica and releases the reclaim pin.
+func TestAbortBackgroundReplicationUnpins(t *testing.T) {
+	k := newTestKernel(t)
+	k.Sysctl().Mode = core.ModePerProcess
+	k.Sysctl().PageCacheTarget = 64
+	k.ApplySysctl()
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Mmap(p, 8<<20, MmapOpts{Writable: true, Populate: true}); err != nil {
+		t.Fatal(err)
+	}
+	baseline := k.pm.AllocatedPT(3)
+	ir, bgCtx, err := k.StartBackgroundReplication(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ir.Step(bgCtx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !k.replicaHolderBusy(p) {
+		t.Fatal("not pinned while copy in flight")
+	}
+	k.AbortBackgroundReplication(p, ir, bgCtx)
+	if k.replicaHolderBusy(p) {
+		t.Error("still pinned after abort")
+	}
+	if got := k.pm.AllocatedPT(3); got != baseline {
+		t.Errorf("partial replica leaked: node 3 has %d PT pages, want %d", got, baseline)
+	}
+	if slices.Contains(p.Space().Mask(), 3) {
+		t.Errorf("aborted node joined the mask: %v", p.Space().Mask())
+	}
+}
+
+// TestReclaimConsultsPolicy: with a policy engine attached, memory
+// pressure tears down only the replicas the policy volunteers.
+func TestReclaimConsultsPolicy(t *testing.T) {
+	k := newTestKernel(t)
+	k.Sysctl().Mode = core.ModePerProcess
+	k.Sysctl().PageCacheTarget = 64
+	k.ApplySysctl()
+	p := newProc(t, k, ProcessOpts{Home: 0})
+	if err := k.RunOnSocket(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Mmap(p, 8<<20, MmapOpts{Writable: true, Populate: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetReplicationMask([]numa.NodeID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Prime the policy: socket 1 walking hard (hot replica), socket 2 idle
+	// (cold for one tick) — exactly what a tick after the last run would
+	// have recorded.
+	pol := core.NewOnDemand(core.DefaultOnDemandConfig())
+	tl := &core.Telemetry{
+		PrimaryNode: 0, Mask: []numa.NodeID{1, 2},
+		Sockets: make([]core.SocketSample, 4),
+	}
+	for i := range tl.Sockets {
+		tl.Sockets[i].Socket = numa.SocketID(i)
+		tl.Sockets[i].Node = numa.NodeID(i)
+	}
+	tl.Sockets[1].Walks = 1000
+	pol.Decide(tl)
+	k.AttachPolicy(p, pol, PolicyEngineConfig{})
+
+	k.ReclaimReplicas()
+	if got := p.Space().Mask(); !slices.Equal(got, []numa.NodeID{1}) {
+		t.Errorf("mask after policy-mediated reclaim = %v, want [1] (hot kept, cold taken)", got)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/mitosis-project/mitosis-sim/internal/core"
 	"github.com/mitosis-project/mitosis-sim/internal/hw"
 	"github.com/mitosis-project/mitosis-sim/internal/kernel"
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
@@ -93,6 +94,211 @@ func TestParallelRepeatable(t *testing.T) {
 	b := engineRun(t, mk, Parallel, 4, 1, 3000)
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("two parallel runs diverged:\na: %+v\nb: %+v", a, b)
+	}
+}
+
+// policyRun executes GUPS on a 4-socket machine with a replication-policy
+// engine ticking at the round barriers, under the given engine mode. The
+// table skews to socket 0 (InitSingle first-touch), so sockets 1-3 walk
+// remote until the policy replicates to them.
+func policyRun(t *testing.T, policyName string, mode Mode, ops int) (*Result, []kernel.ActionRecord, []int) {
+	t.Helper()
+	k := kernel.New(kernel.Config{
+		Topology:      numa.NewTopology(4, 1),
+		FramesPerNode: 65536,
+	})
+	k.Sysctl().PageCacheTarget = 64
+	k.ApplySysctl()
+	w := shrink(func() Workload { return NewGUPS() }())
+	p, err := k.CreateProcess(kernel.ProcessOpts{Name: w.Name(), Home: 0, DataLocality: w.DataLocality()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cores []numa.CoreID
+	for s := 0; s < 4; s++ {
+		cores = append(cores, k.Topology().FirstCoreOf(numa.SocketID(s)))
+	}
+	if err := k.RunOn(p, cores); err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(k, p, false, 42)
+	if err := w.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := k.NewPolicy(policyName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := k.AttachPolicy(p, pol, kernel.PolicyEngineConfig{StepPages: 8})
+	res, err := RunWith(env, w, ops, EngineConfig{Mode: mode, Ticker: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, eng.ActionLog(), eng.ReplicaTimeline()
+}
+
+// TestPolicyDeterminismAcrossEngines extends the determinism contract to
+// the policy engine: identical counters AND identical policy action logs
+// across Sequential, Parallel and Auto on a 4-socket GUPS run whose
+// OnDemand policy replicates mid-run.
+func TestPolicyDeterminismAcrossEngines(t *testing.T) {
+	const ops = 4000
+	seqRes, seqLog, seqTL := policyRun(t, "ondemand", Sequential, ops)
+	parRes, parLog, parTL := policyRun(t, "ondemand", Parallel, ops)
+	autoRes, autoLog, autoTL := policyRun(t, "ondemand", Auto, ops)
+
+	if len(seqLog) == 0 {
+		t.Fatal("OnDemand never acted: the determinism check is vacuous")
+	}
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Errorf("parallel counters diverged from sequential:\nseq: %+v\npar: %+v", seqRes, parRes)
+	}
+	if !reflect.DeepEqual(seqRes, autoRes) {
+		t.Errorf("auto counters diverged from sequential:\nseq: %+v\nauto: %+v", seqRes, autoRes)
+	}
+	if !reflect.DeepEqual(seqLog, parLog) || !reflect.DeepEqual(seqLog, autoLog) {
+		t.Errorf("action logs diverged:\nseq:  %v\npar:  %v\nauto: %v", seqLog, parLog, autoLog)
+	}
+	if !reflect.DeepEqual(seqTL, parTL) || !reflect.DeepEqual(seqTL, autoTL) {
+		t.Errorf("replica timelines diverged:\nseq:  %v\npar:  %v\nauto: %v", seqTL, parTL, autoTL)
+	}
+}
+
+// TestStaticPolicyIsCounterTransparent: attaching the Static policy engine
+// (the pre-refactor compatibility baseline) must reproduce the counters of
+// a run with no policy engine at all, bit for bit, in both modes.
+func TestStaticPolicyIsCounterTransparent(t *testing.T) {
+	const ops = 4000
+	for _, mode := range []Mode{Sequential, Parallel} {
+		bare := engineRun(t, func() Workload { return NewGUPS() }, mode, 4, 1, ops)
+		withStatic, log, _ := policyRun(t, "static", mode, ops)
+		if len(log) != 0 {
+			t.Fatalf("static policy acted: %v", log)
+		}
+		if !reflect.DeepEqual(bare, withStatic) {
+			t.Errorf("mode %v: static policy perturbed counters:\nbare:   %+v\nstatic: %+v",
+				mode, bare, withStatic)
+		}
+	}
+}
+
+// TestPolicyMigrationRebindsEngine: a CostAdaptive tick that migrates the
+// process mid-run must rebind the engine's threads to the new cores, with
+// Sequential and Parallel agreeing on every counter.
+func TestPolicyMigrationRebindsEngine(t *testing.T) {
+	run := func(mode Mode) (*Result, []kernel.ActionRecord, numa.SocketID) {
+		k := kernel.New(kernel.Config{
+			Topology:      numa.NewTopology(4, 1),
+			FramesPerNode: 65536,
+		})
+		k.Sysctl().PageCacheTarget = 64
+		k.ApplySysctl()
+		w := shrink(func() Workload { return NewGUPS() }())
+		// Threads on socket 2; data and table land on node 0 (Bind +
+		// PTFixed): the cost model should migrate the threads to socket 0
+		// rather than copy the table next to remote data.
+		p, err := k.CreateProcess(kernel.ProcessOpts{
+			Name: w.Name(), Home: 2,
+			DataPolicy: kernel.Bind, BindNode: 0,
+			PTPolicy: kernel.PTFixed, PTNode: 0,
+			DataLocality: w.DataLocality(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.RunOn(p, []numa.CoreID{k.Topology().FirstCoreOf(2)}); err != nil {
+			t.Fatal(err)
+		}
+		env := NewEnv(k, p, false, 42)
+		if err := w.Setup(env); err != nil {
+			t.Fatal(err)
+		}
+		pol, err := k.NewPolicy("costadaptive")
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := k.AttachPolicy(p, pol, kernel.PolicyEngineConfig{})
+		res, err := RunWith(env, w, 3000, EngineConfig{Mode: mode, Ticker: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, eng.ActionLog(), k.Topology().SocketOf(p.Cores()[0])
+	}
+	seqRes, seqLog, seqSock := run(Sequential)
+	parRes, parLog, parSock := run(Parallel)
+	if seqSock != 0 || parSock != 0 {
+		t.Fatalf("process not migrated to socket 0 (seq %d, par %d); log %v", seqSock, parSock, seqLog)
+	}
+	if len(seqLog) == 0 {
+		t.Fatal("cost-adaptive policy never acted")
+	}
+	if !reflect.DeepEqual(seqRes, parRes) {
+		t.Errorf("rebind broke determinism:\nseq: %+v\npar: %+v", seqRes, parRes)
+	}
+	if !reflect.DeepEqual(seqLog, parLog) {
+		t.Errorf("action logs diverged:\nseq: %v\npar: %v", seqLog, parLog)
+	}
+}
+
+// TestPolicyEngineReuseAcrossRuns: reusing one attached engine for a
+// second RunWith must not corrupt the telemetry deltas — ResetStats zeroes
+// the machine counters between runs, and the engine's snapshots must
+// resynchronize (RunStart) instead of underflowing. Leftover in-flight
+// copies must be drained at run end (RunEnd) so the process is not pinned
+// against reclaim forever.
+func TestPolicyEngineReuseAcrossRuns(t *testing.T) {
+	k := kernel.New(kernel.Config{
+		Topology:      numa.NewTopology(4, 1),
+		FramesPerNode: 65536,
+	})
+	k.Sysctl().PageCacheTarget = 64
+	k.ApplySysctl()
+	w := shrink(func() Workload { return NewGUPS() }())
+	p, err := k.CreateProcess(kernel.ProcessOpts{Name: w.Name(), Home: 0, DataLocality: w.DataLocality()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cores []numa.CoreID
+	for s := 0; s < 4; s++ {
+		cores = append(cores, k.Topology().FirstCoreOf(numa.SocketID(s)))
+	}
+	if err := k.RunOn(p, cores); err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(k, p, false, 42)
+	if err := w.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	pol, err := k.NewPolicy("ondemand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// StepPages 1 keeps a copy in flight across many ticks, so the first
+	// short run ends with unfinished jobs.
+	eng := k.AttachPolicy(p, pol, kernel.PolicyEngineConfig{StepPages: 1})
+	if _, err := RunWith(env, w, 96, EngineConfig{Mode: Sequential, Ticker: eng}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.InFlight() != 0 {
+		t.Fatalf("%d replications still in flight after the run ended", eng.InFlight())
+	}
+	firstActions := len(eng.ActionLog())
+
+	// Second run with the same engine: ResetStats has zeroed the counters
+	// the engine snapshotted. Deltas must stay sane — a few replicate
+	// actions at most, never a flood from underflowed telemetry.
+	if _, err := RunWith(env, w, 96, EngineConfig{Mode: Sequential, Ticker: eng}); err != nil {
+		t.Fatal(err)
+	}
+	newActions := len(eng.ActionLog()) - firstActions
+	if newActions > 4 {
+		t.Errorf("second run applied %d actions — telemetry deltas look corrupted; log %v",
+			newActions, eng.ActionLog())
+	}
+	for _, rec := range eng.ActionLog() {
+		if rec.Action.Kind == core.ActionMigrate {
+			t.Errorf("spurious migration from a multi-socket process: %v", rec)
+		}
 	}
 }
 

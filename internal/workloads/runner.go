@@ -3,6 +3,7 @@ package workloads
 import (
 	"fmt"
 	"runtime"
+	"slices"
 
 	"github.com/mitosis-project/mitosis-sim/internal/hw"
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
@@ -25,6 +26,9 @@ type Result struct {
 	RemoteWalkAccesses uint64
 	WalkMemAccesses    uint64
 	WalkLLCHits        uint64
+	// RemoteWalkCycles is the raw DRAM latency of remote page-table reads
+	// (pre overlap scaling) — the walk-locality signal policies tick on.
+	RemoteWalkCycles numa.Cycles
 	// PerCore retains the raw counters.
 	PerCore []hw.CoreStats
 }
@@ -36,6 +40,15 @@ func (r *Result) WalkCycleFraction() float64 {
 		return 0
 	}
 	return float64(r.WalkCycles) / float64(r.TotalCycles)
+}
+
+// RemoteWalkCycleFraction returns remote page-table DRAM cycles over
+// aggregate cycles — the locality metric replication policies optimize.
+func (r *Result) RemoteWalkCycleFraction() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64(r.RemoteWalkCycles) / float64(r.TotalCycles)
 }
 
 // Mode selects how the execution engine schedules the simulated cores.
@@ -60,6 +73,25 @@ const (
 // land with at most one round of latency.
 const DefaultChunk = 32
 
+// RoundTicker runs kernel-side policy work at the engine's round barriers
+// — the deterministic quiescent points where no access batch is in flight,
+// so replication state, CR3s and the scheduler may be touched freely.
+// kernel.PolicyEngine implements it.
+//
+// A ticker may additionally implement RunStart() (called once after the
+// counter reset, before the first round — snapshot resynchronization) and
+// RunEnd() (called when the run finishes, successfully or not — cleanup of
+// in-flight background work). Both hooks run at quiescent points.
+type RoundTicker interface {
+	// Tick is called after round (1-based) has fully completed: batches
+	// executed, coherence applied and cleared. An error aborts the run.
+	Tick(round int) error
+}
+
+// runStarter and runEnder are the optional RoundTicker lifecycle hooks.
+type runStarter interface{ RunStart() }
+type runEnder interface{ RunEnd() }
+
 // EngineConfig tunes the batched execution engine.
 type EngineConfig struct {
 	// Mode is the scheduling mode (default Auto).
@@ -69,6 +101,14 @@ type EngineConfig struct {
 	// are only comparable between runs with equal chunks: the chunk is
 	// the modeled cross-socket invalidation latency.
 	Chunk int
+	// Ticker, if set, fires at round barriers (every TickEvery rounds) —
+	// the clock of the replication-policy engine. Ticks run identically
+	// in Sequential and Parallel modes, preserving the determinism
+	// contract. If a tick migrates the process, the engine rebinds its
+	// threads to the new cores for the next round.
+	Ticker RoundTicker
+	// TickEvery is the tick period in rounds (default 1: every barrier).
+	TickEvery int
 }
 
 // Run executes opsPerThread operations of w on every core the process is
@@ -116,7 +156,7 @@ func RunKeepStatsWith(env *Env, w Workload, opsPerThread int, cfg EngineConfig) 
 // closures are single-threaded by contract, and generating in canonical
 // core order keeps the op streams independent of the mode.
 func run(env *Env, w Workload, opsPerThread int, reset bool, cfg EngineConfig) (*Result, error) {
-	cores := env.P.Cores()
+	cores := slices.Clone(env.P.Cores())
 	if len(cores) == 0 {
 		return nil, fmt.Errorf("workloads: process not scheduled")
 	}
@@ -137,24 +177,18 @@ func run(env *Env, w Workload, opsPerThread int, reset bool, cfg EngineConfig) (
 	if chunk <= 0 {
 		chunk = DefaultChunk
 	}
-	// Group core indices by socket, in order of first appearance; within a
-	// group the cores keep their list order. The nested group/core order
-	// is the canonical order of the run.
-	topo := env.K.Topology()
-	var groups [][]int
-	var groupSockets []numa.SocketID
-	groupOf := make(map[numa.SocketID]int)
-	for i, c := range cores {
-		s := topo.SocketOf(c)
-		g, ok := groupOf[s]
-		if !ok {
-			g = len(groups)
-			groupOf[s] = g
-			groups = append(groups, nil)
-			groupSockets = append(groupSockets, s)
-		}
-		groups[g] = append(groups[g], i)
+	tickEvery := cfg.TickEvery
+	if tickEvery <= 0 {
+		tickEvery = 1
 	}
+	if rs, ok := cfg.Ticker.(runStarter); ok {
+		rs.RunStart()
+	}
+	if re, ok := cfg.Ticker.(runEnder); ok {
+		defer re.RunEnd()
+	}
+	topo := env.K.Topology()
+	groups, groupSockets := groupBySocket(topo, cores)
 	parallel := false
 	switch cfg.Mode {
 	case Parallel:
@@ -176,17 +210,26 @@ func run(env *Env, w Workload, opsPerThread int, reset bool, cfg EngineConfig) (
 	if parallel {
 		// Pin the cores for the whole run so the kernel's memory-pressure
 		// reclaim treats them as busy even between a worker's batches.
-		m.BeginConcurrent(cores)
-		defer m.EndConcurrent(cores)
+		m.BeginConcurrent(eng.cores)
 		eng.startWorkers()
-		defer eng.stopWorkers()
+		// eng.cores may be rebound by policy ticks; release whatever set
+		// is current at exit.
+		defer func() {
+			eng.stopWorkers()
+			m.EndConcurrent(eng.cores)
+		}()
 	}
 
+	// participated accumulates every core the run executed on, in order of
+	// first appearance — policy ticks may migrate the process mid-run, and
+	// the result must cover the counters left on the old cores too.
+	participated := slices.Clone(eng.cores)
 	remaining := opsPerThread
+	round := 0
 	for remaining > 0 {
 		n := min(chunk, remaining)
 		// Generate this round's ops in canonical core order.
-		for ti := range cores {
+		for ti := range eng.cores {
 			buf := bufs[ti][:n]
 			step := steps[ti]
 			for i := range buf {
@@ -196,14 +239,54 @@ func run(env *Env, w Workload, opsPerThread int, reset bool, cfg EngineConfig) (
 		eng.round(n, parallel)
 		// Errors surface in canonical order so both modes report the
 		// same failure for the same inputs.
-		for ti, c := range cores {
+		for ti, c := range eng.cores {
 			if errs[ti] != nil {
 				return nil, fmt.Errorf("workloads: %s op on core %d: %w", w.Name(), c, errs[ti])
 			}
 		}
 		remaining -= n
+		round++
+		if cfg.Ticker != nil && round%tickEvery == 0 {
+			// The barrier has fully closed: no batch in flight anywhere,
+			// coherence applied and cleared. Kernel-side policy work is
+			// safe here in both modes (parallel workers are parked).
+			if err := cfg.Ticker.Tick(round); err != nil {
+				return nil, fmt.Errorf("workloads: policy tick at round %d: %w", round, err)
+			}
+			if newCores := env.P.Cores(); !slices.Equal(newCores, eng.cores) {
+				if err := eng.rebind(env, w, newCores, parallel); err != nil {
+					return nil, err
+				}
+				for _, c := range eng.cores {
+					if !slices.Contains(participated, c) {
+						participated = append(participated, c)
+					}
+				}
+			}
+		}
 	}
-	return Collect(env, cores), nil
+	return Collect(env, participated), nil
+}
+
+// groupBySocket groups core indices by socket, in order of first
+// appearance; within a group the cores keep their list order. The nested
+// group/core order is the canonical order of the run.
+func groupBySocket(topo *numa.Topology, cores []numa.CoreID) ([][]int, []numa.SocketID) {
+	var groups [][]int
+	var groupSockets []numa.SocketID
+	groupOf := make(map[numa.SocketID]int)
+	for i, c := range cores {
+		s := topo.SocketOf(c)
+		g, ok := groupOf[s]
+		if !ok {
+			g = len(groups)
+			groupOf[s] = g
+			groups = append(groups, nil)
+			groupSockets = append(groupSockets, s)
+		}
+		groups[g] = append(groups[g], i)
+	}
+	return groups, groupSockets
 }
 
 // engine holds one run's scheduling state.
@@ -319,6 +402,38 @@ func (e *engine) stopWorkers() {
 	}
 }
 
+// rebind re-targets the engine at the process's new core set after a
+// policy tick migrated it. Thread identity is positional: thread i moves
+// from old core i to new core i, keeping its Step generator. In parallel
+// mode the per-socket workers are torn down and relaunched for the new
+// socket grouping; the parallel/sequential choice itself is fixed for the
+// run (counters are mode-independent by the determinism contract, so this
+// only affects host-side scheduling).
+func (e *engine) rebind(env *Env, w Workload, newCores []numa.CoreID, parallel bool) error {
+	if len(newCores) == 0 {
+		return fmt.Errorf("workloads: process descheduled mid-run by policy tick")
+	}
+	if len(newCores) != len(e.cores) {
+		return fmt.Errorf("workloads: policy tick changed thread count %d -> %d mid-run",
+			len(e.cores), len(newCores))
+	}
+	if parallel {
+		e.stopWorkers()
+		e.m.EndConcurrent(e.cores)
+	}
+	e.cores = slices.Clone(newCores)
+	for _, c := range e.cores {
+		e.m.SetDataLocality(c, w.DataLocality())
+		e.m.SetWalkOverlap(c, w.WalkOverlap())
+	}
+	e.groups, e.sockets = groupBySocket(env.K.Topology(), e.cores)
+	if parallel {
+		e.m.BeginConcurrent(e.cores)
+		e.startWorkers()
+	}
+	return nil
+}
+
 // Collect gathers the machine counters for the given cores into a Result.
 func Collect(env *Env, cores []numa.CoreID) *Result {
 	m := env.K.Machine()
@@ -336,6 +451,7 @@ func Collect(env *Env, cores []numa.CoreID) *Result {
 		res.RemoteWalkAccesses += s.WalkRemoteAccesses
 		res.WalkMemAccesses += s.WalkMemAccesses
 		res.WalkLLCHits += s.WalkLLCHits
+		res.RemoteWalkCycles += s.WalkRemoteCycles
 	}
 	return res
 }

@@ -232,6 +232,27 @@ func (pr *Proc) CollapseReplicas() error {
 	return pr.p.SetReplicationMask(nil)
 }
 
+// Policies lists the built-in replication policies usable with
+// AttachPolicy: "static" (the sysctl-mask baseline, never acts at
+// runtime), "ondemand" (numaPTE-style: replicate to a socket when its
+// remote page-walk cycles cross a threshold, deprecate cold replicas) and
+// "costadaptive" (Phoenix-style: price replication against thread
+// migration with the machine's cost model).
+func Policies() []string { return core.PolicyNames() }
+
+// AttachPolicy installs the named telemetry-driven replication policy on
+// the process and returns its engine. Pass the engine as the workload
+// engine's round ticker (workloads.EngineConfig.Ticker) to have the policy
+// tick at round barriers; the engine also mediates memory-pressure replica
+// reclaim for the process.
+func (pr *Proc) AttachPolicy(name string) (*kernel.PolicyEngine, error) {
+	pol, err := pr.sys.k.NewPolicy(name)
+	if err != nil {
+		return nil, err
+	}
+	return pr.sys.k.AttachPolicy(pr.p, pol, kernel.PolicyEngineConfig{}), nil
+}
+
 // Migrate moves the process to another socket. Data always follows (as
 // commodity NUMA balancing would eventually arrange); page-tables follow
 // only when migratePT is true — the capability Mitosis adds.
