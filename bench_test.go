@@ -1,4 +1,4 @@
-package mitosis
+package mitosis_test
 
 // The benchmark harness regenerates every table and figure of the paper's
 // analysis and evaluation sections (run with -benchtime=1x for one full

@@ -4,18 +4,27 @@
 // Usage:
 //
 //	mitosis-bench [-ops N] [-seed S] [-quick] [-json DIR] [-policy LIST] [experiment ...]
+//	mitosis-bench -replay FILE
 //
 // Experiments: fig1 fig3 fig4 fig6 fig9a fig9b fig10a fig10b fig11
-// table4 table5 table6 ablations engine policy, or "all" (default).
+// table4 table5 table6 ablations engine policy scenario, or "all"
+// (default).
 //
 // With -json DIR, every target additionally writes DIR/BENCH_<target>.json
 // containing the wall-clock time of the target, the simulator throughput
 // (for the engine benchmark), and the structured simulated-cycle results —
 // the machine-readable perf trajectory tracked across commits. The policy
-// target's records carry per-run policy names, replica-count timelines and
-// remote-walk-cycle fractions, so BENCH_policy.json tracks replication-
-// policy regressions. -policy restricts the policy target to a
-// comma-separated subset of none,static,ondemand,costadaptive.
+// target's records carry per-run policy names, replica-count timelines,
+// remote-walk-cycle fractions and the exact declarative scenario each row
+// was measured from, so BENCH_policy.json tracks replication-policy
+// regressions. -policy restricts the policy target to a comma-separated
+// subset of none,static,ondemand,costadaptive.
+//
+// The scenario target runs the canonical declarative scenario and embeds
+// its full spec in BENCH_scenario.json; -replay FILE re-executes the
+// scenario found in FILE (a BENCH_scenario.json record, or a bare
+// mitosis.Scenario JSON) and — when the record carries counters —
+// verifies the rerun reproduces them bit-for-bit.
 package main
 
 import (
@@ -24,10 +33,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"slices"
 	"strings"
 	"time"
 
+	mitosis "github.com/mitosis-project/mitosis-sim"
 	"github.com/mitosis-project/mitosis-sim/internal/experiments"
 )
 
@@ -37,7 +48,16 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced scale smoke run (shapes not meaningful)")
 	jsonDir := flag.String("json", "", "directory for machine-readable BENCH_<target>.json output (empty = off)")
 	policyList := flag.String("policy", "", "comma-separated replication policies for the policy target (empty = all)")
+	replay := flag.String("replay", "", "replay the scenario in FILE (BENCH_scenario.json or bare scenario JSON) and verify counters")
 	flag.Parse()
+
+	if *replay != "" {
+		if err := runReplay(*replay); err != nil {
+			fmt.Fprintf(os.Stderr, "mitosis-bench: replay: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Config{Ops: *ops, Seed: *seed}
 	if *quick {
@@ -66,7 +86,7 @@ func main() {
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
 		targets = []string{"fig1", "fig3", "fig4", "fig6", "fig9a", "fig9b",
 			"fig10a", "fig10b", "fig11", "table4", "table5", "table6",
-			"ablations", "policy", "engine"}
+			"ablations", "policy", "scenario", "engine"}
 	}
 
 	for _, target := range targets {
@@ -168,6 +188,9 @@ func run(cfg experiments.Config, target string, policies []string) (string, any,
 	case "policy":
 		pc, err := experiments.RunPolicyComparison(cfg, policies)
 		return str(pc, err)
+	case "scenario":
+		sr, err := experiments.RunScenario(cfg)
+		return str(sr, err)
 	case "ablations":
 		out := ""
 		var payloads []any
@@ -190,6 +213,71 @@ func run(cfg experiments.Config, target string, policies []string) (string, any,
 	default:
 		return "", nil, fmt.Errorf("unknown experiment %q", target)
 	}
+}
+
+// runReplay re-executes a serialized scenario. A BENCH_scenario.json
+// record carries the original counters, which the rerun must reproduce
+// bit-for-bit (the scenario API's determinism contract); a bare scenario
+// JSON just runs and prints its result.
+func runReplay(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	// A bench record is an object with a "result" key; anything else is
+	// treated as a bare scenario spec. Probing the shape first keeps the
+	// real decode error (e.g. a scenario version mismatch) visible
+	// instead of falling through to a misleading fallback failure.
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	raw, isRecord := probe["result"]
+	if !isRecord {
+		var sc mitosis.Scenario
+		if err := json.Unmarshal(data, &sc); err != nil {
+			return fmt.Errorf("%s is not a scenario spec: %w", path, err)
+		}
+		rr, err := mitosis.Run(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replayed scenario %q: %d phases, %d replica PT pages (no recorded counters to verify)\n",
+			rr.Scenario.Name, len(rr.Phases), rr.ReplicaPTPages)
+		return nil
+	}
+	var orig mitosis.RunResult
+	if err := json.Unmarshal(raw, &orig); err != nil {
+		return fmt.Errorf("%s: decoding recorded result: %w", path, err)
+	}
+	if len(orig.Scenario.Processes) == 0 {
+		return fmt.Errorf("%s: record carries no scenario; replay supports BENCH_scenario.json (or a bare scenario spec)", path)
+	}
+	mode, err := mitosis.ParseEngineMode(orig.Engine)
+	if err != nil {
+		return err
+	}
+	// Engine mode and round length are both part of the record: the chunk
+	// is the modeled coherence latency, so a replay must reuse it.
+	rr, err := mitosis.Run(orig.Scenario, mitosis.WithEngine(mode), mitosis.WithChunk(orig.Chunk))
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(rr.Phases, orig.Phases) {
+		return fmt.Errorf("replay of %q diverged: phase counters differ from the record\nrecorded: %+v\nreplayed: %+v",
+			orig.Scenario.Name, orig.Phases, rr.Phases)
+	}
+	if !reflect.DeepEqual(rr.Policies, orig.Policies) {
+		return fmt.Errorf("replay of %q diverged: policy telemetry differs from the record\nrecorded: %+v\nreplayed: %+v",
+			orig.Scenario.Name, orig.Policies, rr.Policies)
+	}
+	if rr.ReplicaPTPages != orig.ReplicaPTPages {
+		return fmt.Errorf("replay of %q diverged: replica PT pages %d, recorded %d",
+			orig.Scenario.Name, rr.ReplicaPTPages, orig.ReplicaPTPages)
+	}
+	fmt.Printf("replay OK: scenario %q reproduced %d phases bit-identically (engine %s)\n",
+		orig.Scenario.Name, len(orig.Phases), orig.Engine)
+	return nil
 }
 
 func str[T fmt.Stringer](s T, err error) (string, any, error) {

@@ -1,56 +1,48 @@
 // Migration reproduces the paper's second motivating scenario (§3.2,
-// §8.2): a single-socket process is migrated to another socket; commodity
-// kernels move its data but strand its page-tables on the old socket —
-// every TLB miss then pays a remote (and possibly contended) page walk.
-// Mitosis migrates the page-tables too.
+// §8.2) through the declarative scenario API: a single-socket process is
+// migrated to another socket mid-run; commodity kernels move its data but
+// strand its page-tables on the old socket — every TLB miss then pays a
+// remote (and possibly contended) page walk. With MigratePT (the
+// capability Mitosis adds) the page-tables follow.
 package main
 
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	mitosis "github.com/mitosis-project/mitosis-sim"
 )
 
 func main() {
-	const size = 192 << 20
-	const ops = 300000
+	const ops = 120000
 
-	measure := func(migratePT bool, interfere bool) uint64 {
-		sys := mitosis.NewSystem(mitosis.SystemConfig{
-			Sockets:        4,
-			CoresPerSocket: 4,
-			MemoryPerNode:  1 << 30,
-		})
-		p, err := sys.Launch(mitosis.ProcessConfig{Name: "victim", Sockets: 0})
-		if err != nil {
-			log.Fatal(err)
-		}
-		base, err := p.Mmap(size, true)
-		if err != nil {
-			log.Fatal(err)
-		}
-		// The NUMA scheduler moves the process from socket 0 to socket 1.
-		// Data follows; page-tables follow only with Mitosis.
-		if err := p.Migrate(1, migratePT); err != nil {
-			log.Fatal(err)
+	measure := func(migratePT, interfere bool) uint64 {
+		// The NUMA scheduler moves the process from socket 0 to socket 1
+		// before the measured phase. Data follows; page-tables follow
+		// only with MigratePT.
+		to := 1
+		phase := mitosis.Measure(ops)
+		phase.MigrateTo = &to
+		phase.MigratePT = migratePT
+
+		opts := []mitosis.ScenarioOpt{
+			mitosis.OnMachine(mitosis.SystemConfig{Sockets: 4, CoresPerSocket: 4, MemoryPerNode: 1 << 30}),
+			mitosis.WithSeed(7),
+			mitosis.WithProc(mitosis.NewProc("victim",
+				mitosis.GUPS(mitosis.Scaled(1.0/2)),
+				mitosis.OnSockets(0),
+				mitosis.WithPhases(phase))),
 		}
 		if interfere {
 			// Another process hogs socket 0's memory bandwidth — exactly
 			// where the stranded page-tables live.
-			sys.Kernel().SetInterference(0, true)
+			opts = append(opts, mitosis.WithInterference(0))
 		}
-		p.ResetStats()
-		r := rand.New(rand.NewSource(7))
-		batch := make([]mitosis.AccessOp, ops)
-		for i := range batch {
-			batch[i] = mitosis.AccessOp{VA: base + uint64(r.Int63())%size&^63, Write: true}
-		}
-		if err := p.AccessBatch(0, batch); err != nil {
+		rr, err := mitosis.Run(mitosis.NewScenario("migration", opts...))
+		if err != nil {
 			log.Fatal(err)
 		}
-		return p.Stats().Cycles
+		return rr.Measured("victim").Counters.Cycles
 	}
 
 	local := measure(true, false) // page-tables migrated: all local

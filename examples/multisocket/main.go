@@ -1,20 +1,16 @@
 // Multisocket reproduces the paper's first motivating scenario (§3.1,
-// §8.1): a large multi-threaded workload spanning every socket of the
-// machine, whose page-tables end up scattered (or skewed) by first-touch
-// allocation. It runs the paper's Memcached model under first-touch and
-// interleaved data placement, dumps the page-table distribution in the
-// Figure 3 format, and shows the Mitosis improvement.
+// §8.1) through the declarative scenario API: the Memcached model spans
+// every socket, its page-tables end up scattered (or skewed) by
+// first-touch allocation, and Mitosis replication removes the remote
+// walks. It prints the Figure 3-style page-table dump and the normalized
+// runtimes under first-touch and interleaved data placement.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"github.com/mitosis-project/mitosis-sim/internal/core"
-	"github.com/mitosis-project/mitosis-sim/internal/kernel"
-	"github.com/mitosis-project/mitosis-sim/internal/numa"
-	"github.com/mitosis-project/mitosis-sim/internal/pt"
-	"github.com/mitosis-project/mitosis-sim/internal/workloads"
+	mitosis "github.com/mitosis-project/mitosis-sim"
 )
 
 func main() {
@@ -29,37 +25,24 @@ func main() {
 	} {
 		var baseline float64
 		for _, replicate := range []bool{false, true} {
-			k := kernel.New(kernel.Config{})
-			k.Sysctl().Mode = core.ModePerProcess
-			k.Sysctl().PageCacheTarget = 64
-			k.ApplySysctl()
-
-			w := workloads.NewMemcached()
-			dataPolicy := kernel.FirstTouch
+			opts := []mitosis.ProcOpt{
+				mitosis.WithPhases(mitosis.Measure(ops)),
+			}
 			if pol.interleave {
-				dataPolicy = kernel.Interleave
+				opts = append(opts, mitosis.WithDataPolicy(mitosis.PlaceInterleave))
 			}
-			p, err := k.CreateProcess(kernel.ProcessOpts{
-				Name:         w.Name(),
-				Home:         0,
-				DataPolicy:   dataPolicy,
-				DataLocality: w.DataLocality(),
-			})
-			if err != nil {
-				log.Fatal(err)
+			if replicate {
+				opts = append(opts, mitosis.WithReplication(mitosis.ReplicationSpec{All: true}))
 			}
-			// One worker per socket.
-			topo := k.Topology()
-			cores := make([]numa.CoreID, topo.Sockets())
-			for s := range cores {
-				cores[s] = topo.FirstCoreOf(numa.SocketID(s))
-			}
-			if err := k.RunOn(p, cores); err != nil {
-				log.Fatal(err)
-			}
+			sc := mitosis.NewScenario("multisocket",
+				mitosis.WithSeed(42),
+				mitosis.WithProc(mitosis.NewProc("memcached",
+					mitosis.KeyValue("Memcached", mitosis.Scaled(1.0/8)),
+					opts...)))
 
-			env := workloads.NewEnv(k, p, false, 42)
-			if err := w.Setup(env); err != nil {
+			sys := mitosis.NewSystem(sc.Machine)
+			rr, err := sys.Run(sc)
+			if err != nil {
 				log.Fatal(err)
 			}
 
@@ -67,38 +50,21 @@ func main() {
 				// The paper's Figure 3: where did first-touch put the
 				// page-table pages?
 				fmt.Println("page-table distribution after initialization:")
-				fmt.Print(pt.Snapshot(p.Table()).Format())
+				fmt.Print(sys.Proc("memcached").PageTableDump())
 				fmt.Println()
 			}
 
-			if replicate {
-				if err := p.SetReplicationMask(allNodes(k)); err != nil {
-					log.Fatal(err)
-				}
-			}
-			res, err := workloads.Run(env, w, ops)
-			if err != nil {
-				log.Fatal(err)
-			}
-
+			m := rr.Measured("memcached").Counters
 			label := pol.label
 			if replicate {
 				label += " + Mitosis"
 			}
 			if baseline == 0 {
-				baseline = float64(res.Cycles)
+				baseline = float64(m.Cycles)
 			}
 			fmt.Printf("%-28s normalized runtime %5.3f   walk cycles %4.1f%%\n",
-				label, float64(res.Cycles)/baseline, res.WalkCycleFraction()*100)
+				label, float64(m.Cycles)/baseline, m.WalkCycleFraction()*100)
 		}
 		fmt.Println()
 	}
-}
-
-func allNodes(k *kernel.Kernel) []numa.NodeID {
-	nodes := make([]numa.NodeID, k.Topology().Nodes())
-	for i := range nodes {
-		nodes[i] = numa.NodeID(i)
-	}
-	return nodes
 }

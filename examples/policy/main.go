@@ -1,148 +1,70 @@
-// Policy demonstrates the Mitosis policy surface of §6 — the system-wide
-// sysctl modes, the per-process replication mask (the libnuma/numactl
-// extension of Listing 2), the counter-based automatic trigger the paper
-// sketches as future work — and the telemetry-driven runtime policy
-// engine: OnDemand replication (numaPTE-style) against the Static
-// full-machine baseline on a process whose page-table is stranded on a
-// remote node.
+// Policy demonstrates the telemetry-driven runtime replication policies
+// through the declarative scenario API: OnDemand replication
+// (numaPTE-style) against the Static full-machine baseline on a process
+// whose page-table is stranded on a remote node (the §3.2 placement).
+// Static replicates everywhere up front; OnDemand watches the remote-walk
+// telemetry at the engine's round barriers and builds only the replica
+// the thread needs, incrementally, in the background. An Observer streams
+// the round-barrier telemetry the policy engine decides on.
 package main
 
 import (
 	"fmt"
 	"log"
 
-	"github.com/mitosis-project/mitosis-sim/internal/core"
-	"github.com/mitosis-project/mitosis-sim/internal/kernel"
-	"github.com/mitosis-project/mitosis-sim/internal/numa"
-	"github.com/mitosis-project/mitosis-sim/internal/workloads"
+	mitosis "github.com/mitosis-project/mitosis-sim"
 )
 
 func main() {
-	k := kernel.New(kernel.Config{})
-
-	fmt.Println("== sysctl modes (paper §6.1) ==")
-	for _, mode := range []core.SysctlMode{
-		core.ModeDisabled, core.ModePerProcess, core.ModeFixedNode, core.ModeAllProcesses,
-	} {
-		k.Sysctl().Mode = mode
-		eff := k.Sysctl().EffectiveMask([]numa.NodeID{1, 2}, k.Topology().Sockets())
-		fmt.Printf("  mode=%-14s process asks for nodes [1 2] -> effective replicas: %v\n", mode, eff)
-	}
-
-	fmt.Println("\n== per-process mask + automatic trigger (paper §6.1/6.2) ==")
-	k.Sysctl().Mode = core.ModePerProcess
-	k.Sysctl().PageCacheTarget = 64
-	k.ApplySysctl()
-
-	w := workloads.NewXSBenchMS()
-	p, err := k.CreateProcess(kernel.ProcessOpts{
-		Name: w.Name(), Home: 0, DataLocality: w.DataLocality(),
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	topo := k.Topology()
-	cores := make([]numa.CoreID, topo.Sockets())
-	for s := range cores {
-		cores[s] = topo.FirstCoreOf(numa.SocketID(s))
-	}
-	if err := k.RunOn(p, cores); err != nil {
-		log.Fatal(err)
-	}
-	env := workloads.NewEnv(k, p, false, 42)
-	if err := w.Setup(env); err != nil {
-		log.Fatal(err)
-	}
-
-	policy := core.DefaultAutoPolicy()
 	const ops = 50000
-	res, err := workloads.Run(env, w, ops)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sample := core.Sample{
-		Ops:         res.Ops,
-		TotalCycles: res.TotalCycles,
-		WalkCycles:  res.WalkCycles,
-		Walks:       res.Walks,
-	}
-	fmt.Printf("  phase 1: %.0f cycles/op, %.1f%% in page walks -> policy recommends replication: %v\n",
-		float64(res.TotalCycles)/float64(res.Ops), res.WalkCycleFraction()*100,
-		policy.Recommend(sample))
 
-	if policy.Recommend(sample) {
-		// numa_set_pgtable_replication_mask(all)
-		nodes := make([]numa.NodeID, topo.Nodes())
-		for i := range nodes {
-			nodes[i] = numa.NodeID(i)
-		}
-		if err := p.SetReplicationMask(nodes); err != nil {
-			log.Fatal(err)
-		}
-	}
-	res2, err := workloads.Run(env, w, ops)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("  phase 2: %.0f cycles/op, %.1f%% in page walks (replicas on %v)\n",
-		float64(res2.TotalCycles)/float64(res2.Ops), res2.WalkCycleFraction()*100,
-		p.Space().ReplicaNodes())
-	fmt.Printf("  speedup from automatic replication: %.2fx\n",
-		float64(res.TotalCycles)/float64(res2.TotalCycles))
+	fmt.Println("replication policies:", mitosis.Policies())
+	fmt.Println()
 
-	fmt.Println("\n== runtime policy engine: OnDemand vs Static ==")
-	// One thread on socket 0, table stranded on node 1 (the §3.2
-	// placement): Static replicates everywhere up front; OnDemand watches
-	// the remote-walk telemetry at the engine's round barriers and builds
-	// only the replica the thread needs, incrementally, in the background.
 	for _, name := range []string{"static", "ondemand"} {
-		k := kernel.New(kernel.Config{})
-		k.Sysctl().Mode = core.ModePerProcess
-		k.Sysctl().PageCacheTarget = 64
-		k.ApplySysctl()
-		w := workloads.NewGUPS()
-		p, err := k.CreateProcess(kernel.ProcessOpts{
-			Name: w.Name(), Home: 0,
-			DataPolicy: kernel.Bind, BindNode: 0,
-			PTPolicy: kernel.PTFixed, PTNode: 1,
-			DataLocality: w.DataLocality(),
-		})
-		if err != nil {
-			log.Fatal(err)
+		opts := []mitosis.ProcOpt{
+			mitosis.OnSockets(0),    // one thread on socket 0 ...
+			mitosis.WithDataBind(0), // ... with local data ...
+			mitosis.WithPTNode(1),   // ... and the table stranded on node 1
+			mitosis.UnderPolicy(name),
+			mitosis.WithPhases(mitosis.Measure(ops)),
 		}
-		if err := k.RunOn(p, []numa.CoreID{k.Topology().FirstCoreOf(0)}); err != nil {
-			log.Fatal(err)
-		}
-		env := workloads.NewEnv(k, p, false, 42)
-		if err := w.Setup(env); err != nil {
-			log.Fatal(err)
-		}
-		pol, err := k.NewPolicy(name)
-		if err != nil {
-			log.Fatal(err)
-		}
-		eng := k.AttachPolicy(p, pol, kernel.PolicyEngineConfig{})
-		ecfg := workloads.EngineConfig{Ticker: eng}
 		if name == "static" {
 			// The static decision is made once, before the run.
-			nodes := make([]numa.NodeID, k.Topology().Nodes())
-			for i := range nodes {
-				nodes[i] = numa.NodeID(i)
-			}
-			if err := p.SetReplicationMask(nodes); err != nil {
-				log.Fatal(err)
-			}
+			opts = append(opts, mitosis.WithReplication(mitosis.ReplicationSpec{All: true}))
 		}
-		res, err := workloads.RunWith(env, w, ops, ecfg)
+		sc := mitosis.NewScenario("policy/"+name,
+			mitosis.WithSeed(42),
+			mitosis.WithProc(mitosis.NewProc("gups",
+				mitosis.GUPS(mitosis.Scaled(1.0/8)),
+				opts...)))
+
+		// The observer sees each round barrier's telemetry — the same
+		// per-socket deltas the policy decides on. Print the ticks where
+		// the replica count changed.
+		last := -1
+		obs := mitosis.ObserverFunc(func(ev mitosis.TickEvent) {
+			if ev.Replicas != last {
+				fmt.Printf("    round %4d: %d node(s) hold the table, %d replication(s) in flight\n",
+					ev.Round, ev.Replicas, ev.InFlight)
+				last = ev.Replicas
+			}
+		})
+
+		rr, err := mitosis.Run(sc, mitosis.WithObserver(obs))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-9s %.0f cycles/op, remote-walk %.1f%%, replica PT pages %d, copies on %v",
-			name, float64(res.TotalCycles)/float64(res.Ops),
-			res.RemoteWalkCycleFraction()*100,
-			k.Backend().Stats.ReplicaPTPages, p.Space().ReplicaNodes())
-		if log2 := eng.ActionLog(); len(log2) > 0 {
-			fmt.Printf(", actions %v", log2)
+		m := rr.Measured("gups")
+		fmt.Printf("  %-9s %.0f cycles/op, remote-walk %.1f%%, replica PT pages %d, copies on %v\n",
+			name, float64(m.Counters.TotalCycles)/float64(m.Counters.Ops),
+			m.Counters.RemoteWalkCycleFraction()*100,
+			rr.ReplicaPTPages, m.ReplicaNodes)
+		for _, po := range rr.Policies {
+			if len(po.Actions) > 0 {
+				fmt.Printf("            actions: %v (background copy: %d kcycles)\n",
+					po.Actions, po.BackgroundCycles/1000)
+			}
 		}
 		fmt.Println()
 	}

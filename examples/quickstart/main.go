@@ -1,70 +1,74 @@
-// Quickstart: boot a simulated 4-socket machine, run a memory-hungry
-// process across all sockets, and watch Mitosis page-table replication
-// remove the remote page-walk traffic.
+// Quickstart: describe an experiment as a declarative scenario — a
+// 4-socket machine, a GUPS-style process spanning every socket with
+// first-touch data skewed toward socket 0 (§3.1) — run it with and
+// without Mitosis page-table replication, and replay it from its own
+// JSON to show the run is fully reproducible.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
-	"math/rand"
+	"reflect"
 
 	mitosis "github.com/mitosis-project/mitosis-sim"
 )
 
 func main() {
-	sys := mitosis.NewSystem(mitosis.SystemConfig{
-		Sockets:        4,
-		CoresPerSocket: 4,
-		MemoryPerNode:  1 << 30,
-	})
-	p, err := sys.Launch(mitosis.ProcessConfig{Name: "quickstart", Sockets: mitosis.AllSockets})
-	if err != nil {
-		log.Fatal(err)
-	}
+	machine := mitosis.SystemConfig{Sockets: 4, CoresPerSocket: 4, MemoryPerNode: 1 << 30}
 
-	// A 256MB working set, touched in from socket 0 — the first-touch
-	// skew the paper analyzes in §3.1.
-	const size = 256 << 20
-	base, err := p.Mmap(size, true)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	run := func(label string) {
-		p.ResetStats()
-		r := rand.New(rand.NewSource(1))
-		// Interleave the four workers in rounds of chunked batches (the
-		// engine's default round length), so worker 0's stores still
-		// contend with the other sockets' walks mid-run, while each
-		// round costs one simulator call per worker instead of 32.
-		const ops, chunk = 200000, 32
-		batch := make([]mitosis.AccessOp, chunk)
-		for done := 0; done < ops; done += 4 * chunk {
-			for w := 0; w < 4; w++ {
-				for i := range batch {
-					va := base + uint64(r.Int63())%size&^63
-					batch[i] = mitosis.AccessOp{VA: va, Write: w == 0}
-				}
-				if err := p.AccessBatch(w, batch); err != nil {
-					log.Fatal(err)
-				}
-			}
+	scenario := func(replicate bool) mitosis.Scenario {
+		proc := mitosis.NewProc("app",
+			// The update table is touched in from one socket, so its
+			// page-tables all land there — every other socket then pays
+			// remote page walks.
+			mitosis.GUPS(mitosis.Scaled(1.0/4)),
+			mitosis.WithPhases(mitosis.Warmup(10000), mitosis.Measure(50000)),
+		)
+		name := "quickstart/single-table"
+		if replicate {
+			proc.Replication = mitosis.ReplicationSpec{All: true} // numactl --pgtablerepl=all
+			name = "quickstart/mitosis"
 		}
-		st := p.Stats()
-		fmt.Printf("%-22s %12d cycles  walk %5.1f%%  remote walks %3.0f%%\n",
-			label, st.Cycles,
-			100*float64(st.WalkCycles)/float64(st.Cycles),
-			st.RemoteWalkFraction*100)
+		return mitosis.NewScenario(name,
+			mitosis.OnMachine(machine),
+			mitosis.WithSeed(1),
+			mitosis.WithProc(proc))
 	}
 
-	run("single page-table:")
+	for _, replicate := range []bool{false, true} {
+		rr, err := mitosis.Run(scenario(replicate))
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := rr.Measured("app").Counters
+		label := "single page-table:"
+		if replicate {
+			label = "replicated (Mitosis):"
+		}
+		fmt.Printf("%-22s %12d cycles  walk %5.1f%%  remote walks %3.0f%%\n",
+			label, m.Cycles, 100*m.WalkCycleFraction(), 100*m.RemoteWalkFraction())
+	}
 
-	// numactl --pgtablerepl=all <pid>
-	if err := p.ReplicatePageTables(); err != nil {
+	// The scenario is data: serialize it, read it back, run it again —
+	// the counters come out bit-identical (the determinism contract).
+	sc := scenario(true)
+	data, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
 		log.Fatal(err)
 	}
-	run("replicated (Mitosis):")
-
-	fmt.Println()
-	fmt.Print(sys.Report(p))
+	var replayed mitosis.Scenario
+	if err := json.Unmarshal(data, &replayed); err != nil {
+		log.Fatal(err)
+	}
+	a, err := mitosis.Run(sc, mitosis.WithEngine(mitosis.SequentialEngine))
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := mitosis.Run(replayed, mitosis.WithEngine(mitosis.SequentialEngine))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nscenario JSON is %d bytes; replay bit-identical: %v\n",
+		len(data), reflect.DeepEqual(a.Phases, b.Phases))
 }

@@ -1,35 +1,7 @@
-// Package mitosis is the public facade of mitosis-sim, a from-scratch Go
-// reproduction of "Mitosis: Transparently Self-Replicating Page-Tables for
-// Large-Memory Machines" (Achermann et al., ASPLOS 2020).
-//
-// The library simulates a multi-socket NUMA machine — physical memory,
-// x86-64 radix page-tables, per-core TLBs, MMU caches, a per-socket LLC
-// model for page-table lines, and a hardware page-walker with NUMA-aware
-// cycle costs — together with the OS memory subsystem Mitosis lives in:
-// demand paging, placement policies, transparent huge pages, AutoNUMA-style
-// data migration, and a scheduler. On top of that substrate it implements
-// the paper's contribution: transparent page-table replication and
-// migration behind a PV-Ops-style interception layer, with the paper's
-// system-wide and per-process policies.
-//
-// Quick start:
-//
-//	sys := mitosis.NewSystem(mitosis.SystemConfig{})
-//	p, _ := sys.Launch(mitosis.ProcessConfig{Name: "app", Sockets: mitosis.AllSockets})
-//	base, _ := p.Mmap(256<<20, true)
-//	p.ReplicatePageTables()                  // Mitosis on, all sockets
-//	p.Access(base, true)                     // runs against the simulated MMU
-//	fmt.Println(sys.Report(p))
-//
-// The internal packages carry the full implementation; this facade exposes
-// the workflow the examples and paper experiments need. See DESIGN.md for
-// the architecture and EXPERIMENTS.md for the paper-versus-measured
-// results.
 package mitosis
 
 import (
 	"fmt"
-	"strings"
 
 	"github.com/mitosis-project/mitosis-sim/internal/core"
 	"github.com/mitosis-project/mitosis-sim/internal/hw"
@@ -38,68 +10,25 @@ import (
 	"github.com/mitosis-project/mitosis-sim/internal/pt"
 )
 
-// SystemConfig configures a simulated machine + kernel.
-type SystemConfig struct {
-	// Sockets and CoresPerSocket shape the machine; zero selects the
-	// paper's 4-socket/14-core evaluation platform.
-	Sockets, CoresPerSocket int
-	// MemoryPerNode is each node's capacity in bytes (rounded down to
-	// whole 2MB blocks); zero selects 4GB.
-	MemoryPerNode uint64
-	// THP enables transparent huge pages.
-	THP bool
-	// FiveLevel selects 5-level paging instead of 4-level.
-	FiveLevel bool
-}
-
-// System is a simulated NUMA machine running the Mitosis-enabled kernel.
-type System struct {
-	k *kernel.Kernel
-}
-
-// NewSystem boots a machine.
-func NewSystem(cfg SystemConfig) *System {
-	var topo *numa.Topology
-	if cfg.Sockets != 0 || cfg.CoresPerSocket != 0 {
-		s, c := cfg.Sockets, cfg.CoresPerSocket
-		if s == 0 {
-			s = 4
-		}
-		if c == 0 {
-			c = 14
-		}
-		topo = numa.NewTopology(s, c)
-	}
-	var frames uint64
-	if cfg.MemoryPerNode != 0 {
-		frames = cfg.MemoryPerNode / (2 << 20) * 512
-	}
-	levels := uint8(0)
-	if cfg.FiveLevel {
-		levels = 5
-	}
-	k := kernel.New(kernel.Config{Topology: topo, FramesPerNode: frames, Levels: levels})
-	k.SetTHP(cfg.THP)
-	// The facade's workflow is per-process replication control.
-	k.Sysctl().Mode = core.ModePerProcess
-	k.Sysctl().PageCacheTarget = 64
-	k.ApplySysctl()
-	return &System{k: k}
-}
-
-// Kernel exposes the underlying simulated kernel for advanced use
-// (experiments, policy knobs, hardware counters).
-func (s *System) Kernel() *kernel.Kernel { return s.k }
-
 // AllSockets schedules a process with one worker core on every socket.
+//
+// Deprecated: it exists for ProcessConfig.Sockets; ProcSpec expresses "all
+// sockets" as an empty Placement.Sockets list.
 const AllSockets = -1
 
 // ProcessConfig configures Launch.
+//
+// Deprecated: use Spawn with a ProcSpec. The Sockets field conflates "run
+// on socket N" with "default" — a single-socket process cannot explicitly
+// select socket 0, because 0 is the default — and AllSockets is a magic
+// value. ProcSpec.Placement.Sockets is an explicit list instead ([]int{0}
+// means socket 0; empty means every socket). Launch remains as a shim.
 type ProcessConfig struct {
 	// Name labels the process.
 	Name string
 	// Sockets is the socket to run on, or AllSockets for one worker per
-	// socket (the multi-socket scenario).
+	// socket (the multi-socket scenario). Zero means socket 0 — the
+	// ambiguity ProcSpec removes.
 	Sockets int
 	// Interleave selects interleaved data placement instead of
 	// first-touch.
@@ -113,33 +42,100 @@ type Proc struct {
 }
 
 // Launch creates and schedules a process.
+//
+// Deprecated: use Spawn with a ProcSpec; Launch converts its ProcessConfig
+// into one.
 func (s *System) Launch(cfg ProcessConfig) (*Proc, error) {
-	pol := kernel.FirstTouch
-	if cfg.Interleave {
-		pol = kernel.Interleave
-	}
-	home := numa.SocketID(0)
-	if cfg.Sockets > 0 {
-		home = numa.SocketID(cfg.Sockets)
-	}
-	p, err := s.k.CreateProcess(kernel.ProcessOpts{Name: cfg.Name, Home: home, DataPolicy: pol})
-	if err != nil {
-		return nil, err
-	}
-	if cfg.Sockets == AllSockets {
-		topo := s.k.Topology()
-		cores := make([]numa.CoreID, topo.Sockets())
-		for i := range cores {
-			cores[i] = topo.FirstCoreOf(numa.SocketID(i))
+	spec := ProcSpec{Name: cfg.Name}
+	if cfg.Sockets != AllSockets {
+		sock := cfg.Sockets
+		if sock < 0 {
+			sock = 0
 		}
-		err = s.k.RunOn(p, cores)
-	} else {
-		err = s.k.RunOn(p, []numa.CoreID{s.k.Topology().FirstCoreOf(home)})
+		spec.Placement.Sockets = []int{sock}
 	}
+	if cfg.Interleave {
+		spec.Placement.Data = PlaceInterleave
+	}
+	return s.Spawn(spec)
+}
+
+// Spawn creates and schedules a process from a ProcSpec's name and
+// placement (its workload, replication, policy and phases sections are the
+// scenario runner's business and are ignored here). An empty socket list
+// schedules one worker per socket on every socket.
+func (s *System) Spawn(spec ProcSpec) (*Proc, error) {
+	if err := spec.Placement.validate("process "+spec.Name, s.k.Topology().Sockets(), s.k.Topology().CoresPerSocket()); err != nil {
+		return nil, fmt.Errorf("mitosis: %w", err)
+	}
+	return s.spawn(spec, 0)
+}
+
+// spawn is the shared process-construction path of Spawn and Run. The
+// placement must already be validated.
+func (s *System) spawn(spec ProcSpec, dataLocality float64) (*Proc, error) {
+	topo := s.k.Topology()
+	pl := spec.Placement
+	sockets := pl.Sockets
+	if len(sockets) == 0 {
+		sockets = make([]int, topo.Sockets())
+		for i := range sockets {
+			sockets[i] = i
+		}
+	}
+	opts := kernel.ProcessOpts{
+		Name:         spec.Name,
+		Home:         numa.SocketID(sockets[0]),
+		DataLocality: dataLocality,
+	}
+	switch pl.Data {
+	case PlaceInterleave:
+		opts.DataPolicy = kernel.Interleave
+	case PlaceBind:
+		opts.DataPolicy = kernel.Bind
+		opts.BindNode = numa.NodeID(pl.DataNode)
+	default:
+		opts.DataPolicy = kernel.FirstTouch
+	}
+	if pl.PageTables == PlaceFixed {
+		opts.PTPolicy = kernel.PTFixed
+		opts.PTNode = numa.NodeID(pl.PTNode)
+	}
+	p, err := s.k.CreateProcess(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Proc{sys: s, p: p}, nil
+	perSocket := pl.CoresPerSocket
+	if perSocket <= 0 {
+		perSocket = 1
+	}
+	// Pick the first free cores of each listed socket, so co-scheduled
+	// scenario processes land deterministically without colliding.
+	cores := make([]numa.CoreID, 0, len(sockets)*perSocket)
+	for _, sock := range sockets {
+		free := make([]numa.CoreID, 0, perSocket)
+		for _, c := range topo.CoresOf(numa.SocketID(sock)) {
+			if s.k.CurrentOn(c) == nil {
+				free = append(free, c)
+				if len(free) == perSocket {
+					break
+				}
+			}
+		}
+		if len(free) < perSocket {
+			return nil, fmt.Errorf("mitosis: process %q: socket %d has only %d free cores, need %d; reduce cores_per_socket or co-scheduled processes",
+				spec.Name, sock, len(free), perSocket)
+		}
+		cores = append(cores, free...)
+	}
+	if err := s.k.RunOn(p, cores); err != nil {
+		return nil, err
+	}
+	pr := &Proc{sys: s, p: p}
+	if spec.Name != "" {
+		s.procs[spec.Name] = pr
+	}
+	return pr, nil
 }
 
 // Process exposes the underlying kernel process.
@@ -147,6 +143,7 @@ func (pr *Proc) Process() *kernel.Process { return pr.p }
 
 // Mmap maps an anonymous region of the given size and returns its base.
 func (pr *Proc) Mmap(size uint64, populate bool) (uint64, error) {
+	pr.sys.Quiesce()
 	va, err := pr.sys.k.Mmap(pr.p, size, kernel.MmapOpts{
 		Writable: true,
 		THP:      pr.sys.k.THP(),
@@ -157,6 +154,7 @@ func (pr *Proc) Mmap(size uint64, populate bool) (uint64, error) {
 
 // Munmap unmaps the region starting at base.
 func (pr *Proc) Munmap(base uint64) error {
+	pr.sys.Quiesce()
 	return pr.sys.k.Munmap(pr.p, pt.VirtAddr(base))
 }
 
@@ -189,10 +187,11 @@ type AccessOp struct {
 // idx-th worker, amortizing the simulator's per-op overhead. It is
 // equivalent to (but much faster than) calling AccessOn per element.
 // Batches for different workers may run concurrently from their own
-// goroutines; such runs are race-free but not bit-reproducible (use the
-// internal workloads engine for deterministic parallel runs). All other
-// Proc and System methods require quiescence: call them only when no
-// batch is in flight.
+// goroutines; such runs are race-free but not bit-reproducible (use Run
+// with a Scenario for deterministic parallel runs). The batch drains the
+// invalidations its own stores buffered, but not those of batches other
+// workers ran concurrently — System.Quiesce drains everyone, and the
+// facade methods that require a quiescent machine call it implicitly.
 func (pr *Proc) AccessBatch(worker int, ops []AccessOp) error {
 	cores := pr.p.Cores()
 	if worker < 0 || worker >= len(cores) {
@@ -211,6 +210,7 @@ func (pr *Proc) AccessBatch(worker int, ops []AccessOp) error {
 // ReplicatePageTables enables Mitosis replication on every socket —
 // numactl --pgtablerepl=all.
 func (pr *Proc) ReplicatePageTables() error {
+	pr.sys.Quiesce()
 	nodes := make([]numa.NodeID, pr.sys.k.Topology().Nodes())
 	for i := range nodes {
 		nodes[i] = numa.NodeID(i)
@@ -220,6 +220,7 @@ func (pr *Proc) ReplicatePageTables() error {
 
 // ReplicateOn enables replication on the given NUMA nodes only.
 func (pr *Proc) ReplicateOn(nodes ...int) error {
+	pr.sys.Quiesce()
 	ns := make([]numa.NodeID, len(nodes))
 	for i, n := range nodes {
 		ns[i] = numa.NodeID(n)
@@ -229,23 +230,25 @@ func (pr *Proc) ReplicateOn(nodes ...int) error {
 
 // CollapseReplicas disables replication, returning to a single table.
 func (pr *Proc) CollapseReplicas() error {
+	pr.sys.Quiesce()
 	return pr.p.SetReplicationMask(nil)
 }
 
 // Policies lists the built-in replication policies usable with
-// AttachPolicy: "static" (the sysctl-mask baseline, never acts at
-// runtime), "ondemand" (numaPTE-style: replicate to a socket when its
-// remote page-walk cycles cross a threshold, deprecate cold replicas) and
-// "costadaptive" (Phoenix-style: price replication against thread
+// AttachPolicy and PolicySpec: "static" (the sysctl-mask baseline, never
+// acts at runtime), "ondemand" (numaPTE-style: replicate to a socket when
+// its remote page-walk cycles cross a threshold, deprecate cold replicas)
+// and "costadaptive" (Phoenix-style: price replication against thread
 // migration with the machine's cost model).
 func Policies() []string { return core.PolicyNames() }
 
 // AttachPolicy installs the named telemetry-driven replication policy on
-// the process and returns its engine. Pass the engine as the workload
-// engine's round ticker (workloads.EngineConfig.Ticker) to have the policy
-// tick at round barriers; the engine also mediates memory-pressure replica
-// reclaim for the process.
+// the process and returns its engine. Scenario runs wire the engine into
+// the round barriers automatically (ProcSpec.Policy); for hand-rolled
+// AccessBatch loops, call engine.Tick at your own quiescent points. The
+// engine also mediates memory-pressure replica reclaim for the process.
 func (pr *Proc) AttachPolicy(name string) (*kernel.PolicyEngine, error) {
+	pr.sys.Quiesce()
 	pol, err := pr.sys.k.NewPolicy(name)
 	if err != nil {
 		return nil, err
@@ -257,10 +260,19 @@ func (pr *Proc) AttachPolicy(name string) (*kernel.PolicyEngine, error) {
 // commodity NUMA balancing would eventually arrange); page-tables follow
 // only when migratePT is true — the capability Mitosis adds.
 func (pr *Proc) Migrate(socket int, migratePT bool) error {
+	pr.sys.Quiesce()
 	return pr.sys.k.MigrateProcess(pr.p, numa.SocketID(socket), kernel.MigrateOpts{
 		Data:       true,
 		PageTables: migratePT,
 	})
+}
+
+// PageTableDump renders the process's page-table distribution in the
+// paper's Figure 3 layout: per level x per socket, pages and remote-entry
+// fractions.
+func (pr *Proc) PageTableDump() string {
+	pr.sys.Quiesce()
+	return pt.Snapshot(pr.p.Table()).Format()
 }
 
 // Stats is a summary of a process's hardware counters.
@@ -278,6 +290,7 @@ type Stats struct {
 
 // Stats aggregates the process's counters across its cores.
 func (pr *Proc) Stats() Stats {
+	pr.sys.Quiesce()
 	var st Stats
 	m := pr.sys.k.Machine()
 	var walkMem, walkRemote uint64
@@ -298,19 +311,7 @@ func (pr *Proc) Stats() Stats {
 }
 
 // ResetStats zeroes the machine counters (e.g., after initialization).
-func (pr *Proc) ResetStats() { pr.sys.k.Machine().ResetStats() }
-
-// Report renders a short human-readable counter summary.
-func (s *System) Report(pr *Proc) string {
-	st := pr.Stats()
-	var b strings.Builder
-	fmt.Fprintf(&b, "process %q: %d ops, %d cycles\n", pr.p.Name, st.Ops, st.Cycles)
-	if st.Cycles > 0 {
-		fmt.Fprintf(&b, "  page walks: %d (%d cycles, %.1f%% of runtime)\n",
-			st.Walks, st.WalkCycles, 100*float64(st.WalkCycles)/float64(st.Cycles))
-	}
-	fmt.Fprintf(&b, "  remote page-table accesses: %.0f%%\n", st.RemoteWalkFraction*100)
-	fmt.Fprintf(&b, "  page-table replication: %v (nodes %v)\n",
-		st.Replicated, pr.p.Space().ReplicaNodes())
-	return b.String()
+func (pr *Proc) ResetStats() {
+	pr.sys.Quiesce()
+	pr.sys.k.Machine().ResetStats()
 }

@@ -1,0 +1,588 @@
+package mitosis
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/mitosis-project/mitosis-sim/internal/hw"
+	"github.com/mitosis-project/mitosis-sim/internal/kernel"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/workloads"
+)
+
+// EngineMode selects how the deterministic execution engine schedules the
+// simulated cores. All modes produce bit-identical counters for the same
+// scenario (the engine's determinism contract, DESIGN.md).
+type EngineMode int
+
+const (
+	// AutoEngine picks ParallelEngine when the run spans more than one
+	// socket and the host has spare CPUs, SequentialEngine otherwise.
+	AutoEngine EngineMode = iota
+	// SequentialEngine runs every core on the calling goroutine — the
+	// reference engine.
+	SequentialEngine
+	// ParallelEngine runs each socket's cores on a dedicated goroutine
+	// with round barriers.
+	ParallelEngine
+)
+
+// String returns "auto", "sequential" or "parallel".
+func (m EngineMode) String() string {
+	switch m {
+	case SequentialEngine:
+		return "sequential"
+	case ParallelEngine:
+		return "parallel"
+	default:
+		return "auto"
+	}
+}
+
+// ParseEngineMode is the inverse of EngineMode.String.
+func ParseEngineMode(s string) (EngineMode, error) {
+	switch s {
+	case "auto", "":
+		return AutoEngine, nil
+	case "sequential":
+		return SequentialEngine, nil
+	case "parallel":
+		return ParallelEngine, nil
+	}
+	return AutoEngine, fmt.Errorf("mitosis: unknown engine mode %q (have auto, sequential, parallel)", s)
+}
+
+// mode maps to the internal engine mode.
+func (m EngineMode) mode() workloads.Mode {
+	switch m {
+	case SequentialEngine:
+		return workloads.Sequential
+	case ParallelEngine:
+		return workloads.Parallel
+	default:
+		return workloads.Auto
+	}
+}
+
+// RunOpt tunes one Run invocation (host-side knobs only; nothing an
+// option changes may alter the counters except Chunk, which is part of
+// the modeled coherence latency).
+type RunOpt func(*runConfig)
+
+type runConfig struct {
+	mode  EngineMode
+	chunk int
+	obs   Observer
+}
+
+// WithEngine selects the engine scheduling mode (default AutoEngine).
+func WithEngine(m EngineMode) RunOpt { return func(c *runConfig) { c.mode = m } }
+
+// WithChunk sets the engine round length in ops per core (default 32).
+// Results are only comparable between runs with equal chunks.
+func WithChunk(n int) RunOpt { return func(c *runConfig) { c.chunk = n } }
+
+// WithObserver streams round-barrier telemetry to o during the run.
+func WithObserver(o Observer) RunOpt { return func(c *runConfig) { c.obs = o } }
+
+// SocketTick is one socket's counter deltas since the previous round-
+// barrier tick.
+type SocketTick struct {
+	Socket           int
+	Ops              uint64
+	Walks            uint64
+	Cycles           uint64
+	WalkCycles       uint64
+	RemoteWalkCycles uint64
+	HasReplica       bool
+}
+
+// TickEvent is the telemetry of one engine round barrier.
+type TickEvent struct {
+	Process string
+	Phase   string
+	// Round is the 1-based engine round the barrier closed.
+	Round int
+	// Replicas is the number of nodes holding a copy of the page-table
+	// (primary included) after this tick's policy actions.
+	Replicas int
+	// InFlight is the number of incremental background replications in
+	// progress.
+	InFlight int
+	Sockets  []SocketTick
+}
+
+// Observer receives round-barrier telemetry from Run. Callbacks run at
+// quiescent points on the coordinating goroutine; they must not mutate
+// the system (that is the policy engine's job) or the determinism
+// contract breaks.
+type Observer interface {
+	RoundTick(ev TickEvent)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(ev TickEvent)
+
+// RoundTick implements Observer.
+func (f ObserverFunc) RoundTick(ev TickEvent) { f(ev) }
+
+// Counters are the hardware counters of one measured phase, aggregated
+// over the process's cores. All fields are exact integers so results can
+// be compared bit-for-bit across engine modes and replays.
+type Counters struct {
+	Ops   uint64 `json:"ops"`
+	Walks uint64 `json:"walks"`
+	// Cycles is the makespan: the maximum per-core cycle count.
+	Cycles uint64 `json:"cycles"`
+	// TotalCycles sums cycles across cores.
+	TotalCycles uint64 `json:"total_cycles"`
+	// WalkCycles is the summed page-walk cycles.
+	WalkCycles uint64 `json:"walk_cycles"`
+	// RemoteWalkCycles is the raw DRAM latency of remote page-table reads
+	// (pre overlap scaling) — the locality signal policies tick on.
+	RemoteWalkCycles uint64 `json:"remote_walk_cycles"`
+	// WalkMemAccesses / WalkRemoteAccesses / WalkLLCHits break down where
+	// the page walker's reads were served.
+	WalkMemAccesses    uint64 `json:"walk_mem_accesses"`
+	WalkRemoteAccesses uint64 `json:"walk_remote_accesses"`
+	WalkLLCHits        uint64 `json:"walk_llc_hits"`
+}
+
+// WalkCycleFraction returns walk cycles over total cycles — the hashed
+// fraction of the paper's runtime bars.
+func (c Counters) WalkCycleFraction() float64 {
+	if c.TotalCycles == 0 {
+		return 0
+	}
+	return float64(c.WalkCycles) / float64(c.TotalCycles)
+}
+
+// RemoteWalkCycleFraction returns remote page-table DRAM cycles over
+// total cycles — the locality metric replication policies optimize.
+func (c Counters) RemoteWalkCycleFraction() float64 {
+	if c.TotalCycles == 0 {
+		return 0
+	}
+	return float64(c.RemoteWalkCycles) / float64(c.TotalCycles)
+}
+
+// RemoteWalkFraction returns the fraction of page-table DRAM reads that
+// crossed the interconnect.
+func (c Counters) RemoteWalkFraction() float64 {
+	if c.WalkMemAccesses == 0 {
+		return 0
+	}
+	return float64(c.WalkRemoteAccesses) / float64(c.WalkMemAccesses)
+}
+
+// SocketCounters are one socket's counters over a measured phase.
+type SocketCounters struct {
+	Socket             int    `json:"socket"`
+	Ops                uint64 `json:"ops"`
+	Walks              uint64 `json:"walks"`
+	Cycles             uint64 `json:"cycles"`
+	WalkCycles         uint64 `json:"walk_cycles"`
+	RemoteWalkCycles   uint64 `json:"remote_walk_cycles"`
+	WalkMemAccesses    uint64 `json:"walk_mem_accesses"`
+	WalkRemoteAccesses uint64 `json:"walk_remote_accesses"`
+	DataMemAccesses    uint64 `json:"data_mem_accesses"`
+	DataRemoteAccesses uint64 `json:"data_remote_accesses"`
+}
+
+// PhaseResult is the outcome of one phase of one process.
+type PhaseResult struct {
+	Process string `json:"process"`
+	Phase   string `json:"phase"`
+	Warmup  bool   `json:"warmup,omitempty"`
+	// Counters aggregates the process's cores over the phase (zero for
+	// action-only phases).
+	Counters Counters `json:"counters"`
+	// PerSocket breaks the phase down by socket (the Figure 4 view).
+	PerSocket []SocketCounters `json:"per_socket,omitempty"`
+	// ReplicaNodes lists the nodes holding a page-table copy after the
+	// phase (primary included once replicated).
+	ReplicaNodes []int `json:"replica_nodes,omitempty"`
+}
+
+// ReplicaTick is one change point of a replica-count timeline: from Round
+// on, Replicas nodes held a copy of the table.
+type ReplicaTick struct {
+	Round    int `json:"round"`
+	Replicas int `json:"replicas"`
+}
+
+// PolicyOutcome is the runtime policy engine's record for one process.
+type PolicyOutcome struct {
+	Process string `json:"process"`
+	Policy  string `json:"policy"`
+	// Actions is the applied action log ("r12:replicate(node 1)", ...),
+	// identical across engine modes.
+	Actions []string `json:"actions,omitempty"`
+	// ReplicaTimeline is the change-point-compressed replica count per
+	// policy tick.
+	ReplicaTimeline []ReplicaTick `json:"replica_timeline,omitempty"`
+	// BackgroundCycles is the copy work background replication did off
+	// the critical path.
+	BackgroundCycles uint64 `json:"background_cycles,omitempty"`
+}
+
+// RunResult is a scenario run's complete record: the exact (normalized)
+// spec that produced it, per-phase counters, and policy telemetry. It
+// serializes; replaying Result.Scenario in the same engine mode and with
+// the same Chunk reproduces every counter bit-for-bit.
+type RunResult struct {
+	Scenario Scenario `json:"scenario"`
+	Engine   string   `json:"engine"`
+	// Chunk is the engine round length the run used (0 = the default);
+	// it is part of the modeled coherence latency, so replays must pass
+	// it back via WithChunk.
+	Chunk    int             `json:"chunk,omitempty"`
+	Phases   []PhaseResult   `json:"phases"`
+	Policies []PolicyOutcome `json:"policies,omitempty"`
+	// ReplicaPTPages counts the replica page-table pages created over the
+	// whole run — the memory replication spent.
+	ReplicaPTPages uint64 `json:"replica_pt_pages"`
+}
+
+// Measured returns the last non-warmup phase of the named process (the
+// first process when name is empty); nil if there is none.
+func (r *RunResult) Measured(process string) *PhaseResult {
+	if process == "" && len(r.Scenario.Processes) > 0 {
+		process = r.Scenario.Processes[0].Name
+	}
+	var found *PhaseResult
+	for i := range r.Phases {
+		ph := &r.Phases[i]
+		if ph.Process == process && !ph.Warmup {
+			found = ph
+		}
+	}
+	return found
+}
+
+// Run boots a fresh machine from the scenario's Machine section and
+// executes the scenario on it. This is the reproducible entry point: the
+// same spec and engine mode always produce the same RunResult.
+func Run(sc Scenario, opts ...RunOpt) (*RunResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return NewSystem(sc.Machine).Run(sc, opts...)
+}
+
+// Run executes the scenario on this system. The scenario's Machine
+// section must be zero (inherit this machine) or describe it exactly;
+// otherwise the run would not be reproducible from its own record. The
+// system should be freshly booted for reproducible runs — prior
+// allocations shift placement.
+func (s *System) Run(sc Scenario, opts ...RunOpt) (*RunResult, error) {
+	rc := runConfig{}
+	for _, o := range opts {
+		o(&rc)
+	}
+	if sc.Machine == (SystemConfig{}) {
+		sc.Machine = s.cfg
+	} else if sc.Machine.normalize() != s.cfg {
+		return nil, fmt.Errorf("mitosis: scenario %q wants machine %+v but this system is %+v; use mitosis.Run or boot a matching system",
+			sc.Name, sc.Machine.normalize(), s.cfg)
+	}
+	sc.Machine = s.cfg
+	if sc.Seed == 0 {
+		sc.Seed = 42
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+
+	k := s.k
+	topo := k.Topology()
+	m := k.Machine()
+	rr := &RunResult{Scenario: sc, Engine: rc.mode.String(), Chunk: rc.chunk}
+
+	if sc.Fragmentation > 0 {
+		r := rand.New(rand.NewSource(sc.Seed))
+		for n := 0; n < topo.Nodes(); n++ {
+			k.Mem().Fragment(numa.NodeID(n), sc.Fragmentation, r)
+		}
+	}
+
+	type runProc struct {
+		spec ProcSpec
+		pr   *Proc
+		env  *workloads.Env
+		w    workloads.Workload
+		eng  *kernel.PolicyEngine
+		// tickBase offsets the engine's per-phase round counter so the
+		// policy's action log, the replica timeline and observer events
+		// all share one cumulative round clock across the process's
+		// phases.
+		tickBase int
+	}
+	var procs []*runProc
+	for i := range sc.Processes {
+		ps := sc.Processes[i]
+		w, err := ps.Workload.resolve()
+		if err != nil {
+			return nil, fmt.Errorf("mitosis: process %q: %w", ps.Name, err)
+		}
+		pr, err := s.spawn(ps, w.DataLocality())
+		if err != nil {
+			return nil, fmt.Errorf("mitosis: process %q: %w", ps.Name, err)
+		}
+		rp := &runProc{spec: ps, pr: pr, w: w}
+		if ps.Replication.Eager && ps.Replication.wants() {
+			if err := s.applyMask(pr, ps.Replication); err != nil {
+				return nil, fmt.Errorf("mitosis: process %q: eager replication: %w", ps.Name, err)
+			}
+		}
+		rp.env = workloads.NewEnv(k, pr.p, k.THP(), sc.Seed)
+		if err := w.Setup(rp.env); err != nil {
+			return nil, fmt.Errorf("mitosis: process %q: setting up %s: %w", ps.Name, w.Name(), err)
+		}
+		if !ps.Replication.Eager && ps.Replication.wants() {
+			if err := s.applyMask(pr, ps.Replication); err != nil {
+				return nil, fmt.Errorf("mitosis: process %q: replication: %w", ps.Name, err)
+			}
+		}
+		if name := ps.Policy.Name; name != "" && name != "none" {
+			pol, err := k.NewPolicy(name)
+			if err != nil {
+				return nil, fmt.Errorf("mitosis: process %q: %w", ps.Name, err)
+			}
+			rp.eng = k.AttachPolicy(pr.p, pol, kernel.PolicyEngineConfig{StepPages: ps.Policy.StepPages})
+		}
+		procs = append(procs, rp)
+	}
+	for _, n := range sc.Interference {
+		k.SetInterference(numa.NodeID(n), true)
+	}
+
+	for _, rp := range procs {
+		for pi, ph := range rp.spec.Phases {
+			phaseName := ph.Name
+			if phaseName == "" {
+				phaseName = fmt.Sprintf("phase%d", pi+1)
+			}
+			fail := func(err error) (*RunResult, error) {
+				return nil, fmt.Errorf("mitosis: process %q: phase %q: %w", rp.spec.Name, phaseName, err)
+			}
+			if ph.MigrateTo != nil {
+				err := k.MigrateProcess(rp.pr.p, numa.SocketID(*ph.MigrateTo), kernel.MigrateOpts{
+					Data:       true,
+					PageTables: ph.MigratePT,
+				})
+				if err != nil {
+					return fail(err)
+				}
+			}
+			if ph.MovePT != nil {
+				if err := k.MigratePT(rp.pr.p, numa.NodeID(*ph.MovePT), false); err != nil {
+					return fail(err)
+				}
+				// Future page-table allocations also stay on the target.
+				rp.pr.p.SetPTPolicy(kernel.PTFixed, numa.NodeID(*ph.MovePT))
+			}
+			if ph.AutoNUMA {
+				k.AutoNUMAScan(rp.pr.p, kernel.DefaultAutoNUMAConfig())
+			}
+			res := PhaseResult{Process: rp.spec.Name, Phase: phaseName, Warmup: ph.Warmup}
+			if ph.Ops > 0 {
+				ecfg := workloads.EngineConfig{
+					Mode:      rc.mode.mode(),
+					Chunk:     rc.chunk,
+					TickEvery: rp.spec.Policy.TickEvery,
+				}
+				if rp.eng != nil || rc.obs != nil {
+					ecfg.Ticker = &runTicker{
+						engine: rp.eng, obs: rc.obs, m: m, topo: topo,
+						p: rp.pr.p, process: rp.spec.Name, phase: phaseName,
+						base: rp.tickBase,
+					}
+				}
+				var wres *workloads.Result
+				var err error
+				if ph.IncludeSetup {
+					wres, err = workloads.RunKeepStatsWith(rp.env, rp.w, ph.Ops, ecfg)
+				} else {
+					wres, err = workloads.RunWith(rp.env, rp.w, ph.Ops, ecfg)
+				}
+				if err != nil {
+					return fail(err)
+				}
+				// Advance the cumulative round clock by this phase's
+				// rounds (the engine restarts its counter per run).
+				chunk := rc.chunk
+				if chunk <= 0 {
+					chunk = workloads.DefaultChunk
+				}
+				rp.tickBase += (ph.Ops + chunk - 1) / chunk
+				res.Counters = countersOf(wres)
+				res.PerSocket = socketCountersOf(m, topo)
+			}
+			for _, n := range rp.pr.p.Space().ReplicaNodes() {
+				res.ReplicaNodes = append(res.ReplicaNodes, int(n))
+			}
+			rr.Phases = append(rr.Phases, res)
+		}
+	}
+
+	for _, rp := range procs {
+		if rp.eng == nil {
+			continue
+		}
+		out := PolicyOutcome{
+			Process:          rp.spec.Name,
+			Policy:           rp.spec.Policy.Name,
+			BackgroundCycles: uint64(rp.eng.BackgroundCycles()),
+		}
+		for _, rec := range rp.eng.ActionLog() {
+			out.Actions = append(out.Actions, rec.String())
+		}
+		out.ReplicaTimeline = compressTimeline(rp.eng.ReplicaTimeline())
+		rr.Policies = append(rr.Policies, out)
+	}
+	rr.ReplicaPTPages = k.Backend().Stats.ReplicaPTPages
+	return rr, nil
+}
+
+// applyMask sets the process's static replication mask per the spec.
+func (s *System) applyMask(pr *Proc, r ReplicationSpec) error {
+	if r.All {
+		return pr.ReplicatePageTables()
+	}
+	return pr.ReplicateOn(r.Nodes...)
+}
+
+// countersOf converts an engine result.
+func countersOf(res *workloads.Result) Counters {
+	return Counters{
+		Ops:                res.Ops,
+		Walks:              res.Walks,
+		Cycles:             uint64(res.Cycles),
+		TotalCycles:        uint64(res.TotalCycles),
+		WalkCycles:         uint64(res.WalkCycles),
+		RemoteWalkCycles:   uint64(res.RemoteWalkCycles),
+		WalkMemAccesses:    res.WalkMemAccesses,
+		WalkRemoteAccesses: res.RemoteWalkAccesses,
+		WalkLLCHits:        res.WalkLLCHits,
+	}
+}
+
+// socketCountersOf snapshots each socket's counters accumulated since the
+// phase's reset.
+func socketCountersOf(m *hw.Machine, topo *numa.Topology) []SocketCounters {
+	out := make([]SocketCounters, topo.Sockets())
+	for s := 0; s < topo.Sockets(); s++ {
+		cs := m.SocketStats(numa.SocketID(s))
+		out[s] = SocketCounters{
+			Socket:             s,
+			Ops:                cs.Ops,
+			Walks:              cs.Walks,
+			Cycles:             uint64(cs.Cycles),
+			WalkCycles:         uint64(cs.WalkCycles),
+			RemoteWalkCycles:   uint64(cs.WalkRemoteCycles),
+			WalkMemAccesses:    cs.WalkMemAccesses,
+			WalkRemoteAccesses: cs.WalkRemoteAccesses,
+			DataMemAccesses:    cs.DataMemAccesses,
+			DataRemoteAccesses: cs.DataRemoteAccesses,
+		}
+	}
+	return out
+}
+
+// compressTimeline reduces a per-tick replica-count series to its change
+// points (tick is 1-based).
+func compressTimeline(tl []int) []ReplicaTick {
+	var out []ReplicaTick
+	for i, v := range tl {
+		if i == 0 || tl[i-1] != v {
+			out = append(out, ReplicaTick{Round: i + 1, Replicas: v})
+		}
+	}
+	return out
+}
+
+// runTicker is the engine ticker Run installs: it forwards the round
+// barrier to the process's policy engine (if any) and streams telemetry
+// to the observer (if any).
+type runTicker struct {
+	engine         *kernel.PolicyEngine
+	obs            Observer
+	m              *hw.Machine
+	topo           *numa.Topology
+	p              *kernel.Process
+	process, phase string
+	// base is the cumulative round count of the process's earlier phases;
+	// it keeps the action log, timeline and observer events on one clock.
+	base int
+
+	prev []hw.CoreStats
+}
+
+// RunStart resynchronizes snapshots at the start of the run.
+func (t *runTicker) RunStart() {
+	if t.engine != nil {
+		t.engine.RunStart()
+	}
+	if t.obs != nil {
+		t.prev = make([]hw.CoreStats, t.topo.Sockets())
+		for s := range t.prev {
+			t.prev[s] = t.m.SocketStats(numa.SocketID(s))
+		}
+	}
+}
+
+// RunEnd forwards run-end cleanup to the policy engine.
+func (t *runTicker) RunEnd() {
+	if t.engine != nil {
+		t.engine.RunEnd()
+	}
+}
+
+// Tick implements workloads.RoundTicker. The engine restarts its round
+// counter every phase; adding base puts policy logs and observer events
+// on one cumulative clock for the whole scenario run.
+func (t *runTicker) Tick(round int) error {
+	round += t.base
+	if t.engine != nil {
+		if err := t.engine.Tick(round); err != nil {
+			return err
+		}
+	}
+	if t.obs == nil {
+		return nil
+	}
+	replicas := t.p.Space().ReplicaNodes()
+	ev := TickEvent{
+		Process:  t.process,
+		Phase:    t.phase,
+		Round:    round,
+		Replicas: len(replicas),
+		Sockets:  make([]SocketTick, t.topo.Sockets()),
+	}
+	if t.engine != nil {
+		ev.InFlight = t.engine.InFlight()
+	}
+	for s := 0; s < t.topo.Sockets(); s++ {
+		cur := t.m.SocketStats(numa.SocketID(s))
+		d := cur.Sub(t.prev[s])
+		t.prev[s] = cur
+		hasReplica := false
+		for _, n := range replicas {
+			if t.topo.SocketOfNode(n) == numa.SocketID(s) {
+				hasReplica = true
+			}
+		}
+		ev.Sockets[s] = SocketTick{
+			Socket:           s,
+			Ops:              d.Ops,
+			Walks:            d.Walks,
+			Cycles:           uint64(d.Cycles),
+			WalkCycles:       uint64(d.WalkCycles),
+			RemoteWalkCycles: uint64(d.WalkRemoteCycles),
+			HasReplica:       hasReplica,
+		}
+	}
+	t.obs.RoundTick(ev)
+	return nil
+}

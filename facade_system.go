@@ -1,0 +1,184 @@
+// Package mitosis is the public facade of mitosis-sim, a from-scratch Go
+// reproduction of "Mitosis: Transparently Self-Replicating Page-Tables for
+// Large-Memory Machines" (Achermann et al., ASPLOS 2020).
+//
+// The library simulates a multi-socket NUMA machine — physical memory,
+// x86-64 radix page-tables, per-core TLBs, MMU caches, a per-socket LLC
+// model for page-table lines, and a hardware page-walker with NUMA-aware
+// cycle costs — together with the OS memory subsystem Mitosis lives in:
+// demand paging, placement policies, transparent huge pages, AutoNUMA-style
+// data migration, and a scheduler. On top of that substrate it implements
+// the paper's contribution: transparent page-table replication and
+// migration behind a PV-Ops-style interception layer, with the paper's
+// system-wide and per-process policies and the telemetry-driven runtime
+// policy engine.
+//
+// # Scenarios
+//
+// The primary workflow is declarative: describe a whole experiment —
+// machine, workloads, placement, replication, policies, phases — as a
+// Scenario value, and hand it to Run. The scenario executes on the
+// deterministic round-barrier engine, so the same spec always produces the
+// same counters, in any engine mode:
+//
+//	sc := mitosis.NewScenario("stranded-gups",
+//		mitosis.WithSeed(42),
+//		mitosis.WithProc(mitosis.NewProc("gups", mitosis.GUPS(mitosis.Scaled(1.0/16)),
+//			mitosis.OnSockets(0),
+//			mitosis.WithDataBind(0),
+//			mitosis.WithPTNode(1),             // page-table stranded remote
+//			mitosis.UnderPolicy("ondemand"),   // replicate when telemetry says so
+//			mitosis.WithPhases(mitosis.Warmup(5000), mitosis.Measure(20000)),
+//		)),
+//	)
+//	rr, _ := mitosis.Run(sc)
+//	fmt.Println(rr.Measured("gups").Counters.RemoteWalkCycleFraction())
+//
+// Scenarios round-trip through JSON (json.Marshal / json.Unmarshal with
+// strict validation), and every RunResult embeds the exact spec that
+// produced it, so any run can be replayed bit-identically from its JSON
+// record — that is how the bench harness's regression records work.
+//
+// # Imperative use
+//
+// For interactive exploration the System/Proc surface drives the machine
+// directly:
+//
+//	sys := mitosis.NewSystem(mitosis.SystemConfig{})
+//	p, _ := sys.Launch(mitosis.ProcessConfig{Name: "app", Sockets: mitosis.AllSockets})
+//	base, _ := p.Mmap(256<<20, true)
+//	p.ReplicatePageTables()                  // Mitosis on, all sockets
+//	p.Access(base, true)                     // runs against the simulated MMU
+//	fmt.Println(sys.Report(p))
+//
+// The internal packages carry the full implementation. See DESIGN.md for
+// the architecture and EXPERIMENTS.md for the scenario-spec walkthrough and
+// the paper-versus-measured results.
+package mitosis
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mitosis-project/mitosis-sim/internal/core"
+	"github.com/mitosis-project/mitosis-sim/internal/kernel"
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+)
+
+// SystemConfig describes a simulated machine + kernel. It doubles as the
+// Machine section of a Scenario, so it serializes.
+type SystemConfig struct {
+	// Sockets and CoresPerSocket shape the machine; zero selects the
+	// paper's 4-socket/14-core evaluation platform.
+	Sockets        int `json:"sockets,omitempty"`
+	CoresPerSocket int `json:"cores_per_socket,omitempty"`
+	// MemoryPerNode is each node's capacity in bytes, rounded down to
+	// whole 2MB blocks; zero — or a value below one block — selects 4GB.
+	// Scenario validation rejects non-zero values below 2MB.
+	MemoryPerNode uint64 `json:"memory_per_node,omitempty"`
+	// THP enables transparent huge pages.
+	THP bool `json:"thp,omitempty"`
+	// FiveLevel selects 5-level paging instead of 4-level.
+	FiveLevel bool `json:"five_level,omitempty"`
+}
+
+// normalize resolves the config's defaults to concrete values, so two
+// configs describe the same machine iff they normalize equal. NewSystem
+// boots from the normalized form, so normalize is the single source of
+// the machine defaults (kernel.New's own defaults coincide: the paper's
+// 4-socket/14-core Xeon with 1M 4KB frames per node).
+func (c SystemConfig) normalize() SystemConfig {
+	if c.Sockets == 0 {
+		c.Sockets = 4
+	}
+	if c.CoresPerSocket == 0 {
+		c.CoresPerSocket = 14
+	}
+	frames := uint64(1) << 20 // 4GB per node
+	if c.MemoryPerNode != 0 {
+		frames = c.MemoryPerNode / (2 << 20) * 512
+		if frames == 0 {
+			// Below one 2MB block: fall back to the default, exactly as
+			// the pre-scenario facade did (frames 0 selected the kernel
+			// default). Idempotent, and Scenario.Validate rejects the
+			// value with an actionable error before any scenario run.
+			frames = 1 << 20
+		}
+	}
+	c.MemoryPerNode = frames * 4096
+	return c
+}
+
+// System is a simulated NUMA machine running the Mitosis-enabled kernel.
+type System struct {
+	k   *kernel.Kernel
+	cfg SystemConfig // normalized boot configuration
+	// procs indexes the processes created through this facade by name
+	// (scenario runs and Launch both register here; latest name wins).
+	procs map[string]*Proc
+}
+
+// NewSystem boots a machine.
+func NewSystem(cfg SystemConfig) *System {
+	norm := cfg.normalize()
+	levels := uint8(0)
+	if norm.FiveLevel {
+		levels = 5
+	}
+	k := kernel.New(kernel.Config{
+		Topology:      numa.NewTopology(norm.Sockets, norm.CoresPerSocket),
+		FramesPerNode: norm.MemoryPerNode / 4096,
+		Levels:        levels,
+	})
+	k.SetTHP(cfg.THP)
+	// The facade's workflow is per-process replication control.
+	k.Sysctl().Mode = core.ModePerProcess
+	k.Sysctl().PageCacheTarget = 64
+	k.ApplySysctl()
+	return &System{k: k, cfg: norm, procs: make(map[string]*Proc)}
+}
+
+// Kernel exposes the underlying simulated kernel for advanced use
+// (experiments, policy knobs, hardware counters).
+func (s *System) Kernel() *kernel.Kernel { return s.k }
+
+// Config returns the normalized machine configuration the system booted
+// with.
+func (s *System) Config() SystemConfig { return s.cfg }
+
+// Proc returns the process with the given name, if it was created through
+// this facade (Launch, Spawn, or a scenario Run); nil otherwise.
+func (s *System) Proc(name string) *Proc { return s.procs[name] }
+
+// Quiesce drains every core's buffered cross-socket coherence events,
+// bringing the machine to the same state a round barrier of the execution
+// engine would. AccessBatch defers the page-table line invalidations a
+// worker's stores cause on *other* sockets; Quiesce flushes all of them —
+// including batches issued by sibling workers — so state inspection and
+// replication-state changes observe a coherent machine. Facade methods that
+// require quiescence call it implicitly; call it directly after hand-rolled
+// AccessBatch loops. It must not be called while a batch is in flight on
+// another goroutine.
+func (s *System) Quiesce() {
+	topo := s.k.Topology()
+	all := make([]numa.CoreID, 0, topo.Cores())
+	for sock := 0; sock < topo.Sockets(); sock++ {
+		all = append(all, topo.CoresOf(numa.SocketID(sock))...)
+	}
+	s.k.Machine().DrainCoherence(all)
+}
+
+// Report renders a short human-readable counter summary.
+func (s *System) Report(pr *Proc) string {
+	st := pr.Stats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "process %q: %d ops, %d cycles\n", pr.p.Name, st.Ops, st.Cycles)
+	if st.Cycles > 0 {
+		fmt.Fprintf(&b, "  page walks: %d (%d cycles, %.1f%% of runtime)\n",
+			st.Walks, st.WalkCycles, 100*float64(st.WalkCycles)/float64(st.Cycles))
+	}
+	fmt.Fprintf(&b, "  remote page-table accesses: %.0f%%\n", st.RemoteWalkFraction*100)
+	fmt.Fprintf(&b, "  page-table replication: %v (nodes %v)\n",
+		st.Replicated, pr.p.Space().ReplicaNodes())
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package mitosis
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mitosis-project/mitosis-sim/internal/workloads"
+)
+
+// WorkloadSpec names one of the paper's benchmark models (Table 1) plus
+// the knobs the experiments turn: which suite variant to instantiate and a
+// footprint multiplier. Construct specs with the typed family constructors
+// — GUPS, KeyValue, Scientific, Analytics, Index, Stream — or
+// NamedWorkload for any paper name; a zero WorkloadSpec is invalid.
+type WorkloadSpec struct {
+	// Kind is the workload family ("gups", "kv", "scientific",
+	// "analytics", "index", "stream"). Informational in JSON; when set it
+	// must agree with Name.
+	Kind string `json:"kind,omitempty"`
+	// Name is the paper benchmark name ("GUPS", "Memcached", "Redis",
+	// "XSBench", "Canneal", "PageRank", "LibLinear", "Graph500", "BTree",
+	// "HashJoin", "STREAM").
+	Name string `json:"name"`
+	// Suite selects the calibrated variant: "ms" (multi-socket, §8.1),
+	// "wm" (workload-migration, §8.2), or empty to prefer the
+	// multi-socket variant when both exist.
+	Suite string `json:"suite,omitempty"`
+	// Scale multiplies the calibrated footprint (0 or 1 = unscaled).
+	// Scaled-down footprints change the cache/TLB regime, so shapes are
+	// only meaningful at scale 1.
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// WorkloadOpt tweaks a WorkloadSpec under construction.
+type WorkloadOpt func(*WorkloadSpec)
+
+// Scaled multiplies the workload footprint by f.
+func Scaled(f float64) WorkloadOpt { return func(w *WorkloadSpec) { w.Scale = f } }
+
+// InSuite selects the "ms" (multi-socket) or "wm" (workload-migration)
+// calibrated variant.
+func InSuite(suite string) WorkloadOpt { return func(w *WorkloadSpec) { w.Suite = suite } }
+
+// workloadKinds maps each paper benchmark to its family.
+var workloadKinds = map[string]string{
+	"GUPS":      "gups",
+	"STREAM":    "stream",
+	"Memcached": "kv",
+	"Redis":     "kv",
+	"XSBench":   "scientific",
+	"Canneal":   "scientific",
+	"PageRank":  "analytics",
+	"LibLinear": "analytics",
+	"Graph500":  "analytics",
+	"BTree":     "index",
+	"HashJoin":  "index",
+}
+
+// WorkloadNames lists every benchmark name usable in a WorkloadSpec,
+// sorted.
+func WorkloadNames() []string {
+	names := make([]string, 0, len(workloadKinds))
+	for n := range workloadKinds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func newWorkload(kind, name string, opts []WorkloadOpt) WorkloadSpec {
+	w := WorkloadSpec{Kind: kind, Name: name}
+	for _, o := range opts {
+		o(&w)
+	}
+	return w
+}
+
+// GUPS is the HPC Challenge RandomAccess model: random read-modify-write
+// updates with essentially no locality — the paper's worst case for
+// page-table placement (Figure 1, Figure 10a).
+func GUPS(opts ...WorkloadOpt) WorkloadSpec { return newWorkload("gups", "GUPS", opts) }
+
+// KeyValue is the in-memory key-value-store family: "Memcached"
+// (GET-heavy, parallel client init, multi-socket suite) or "Redis"
+// (single-threaded, store-heavy, workload-migration suite).
+func KeyValue(server string, opts ...WorkloadOpt) WorkloadSpec {
+	return newWorkload("kv", server, opts)
+}
+
+// Scientific is the HPC-kernel family: "XSBench" (Monte Carlo
+// cross-section lookups, read-only, poor locality) or "Canneal"
+// (simulated-annealing netlist routing, 50% stores).
+func Scientific(kernelName string, opts ...WorkloadOpt) WorkloadSpec {
+	return newWorkload("scientific", kernelName, opts)
+}
+
+// Analytics is the graph/ML-analytics family: "PageRank", "LibLinear" or
+// "Graph500".
+func Analytics(kernelName string, opts ...WorkloadOpt) WorkloadSpec {
+	return newWorkload("analytics", kernelName, opts)
+}
+
+// Index is the database-index family: "BTree" (pointer-chasing lookups)
+// or "HashJoin" (random probes).
+func Index(structure string, opts ...WorkloadOpt) WorkloadSpec {
+	return newWorkload("index", structure, opts)
+}
+
+// Stream is the sustained-bandwidth sweep the paper uses as the
+// interfering co-located process (§3.2).
+func Stream(opts ...WorkloadOpt) WorkloadSpec { return newWorkload("stream", "STREAM", opts) }
+
+// NamedWorkload builds a spec for any paper benchmark name; the family is
+// filled in automatically.
+func NamedWorkload(name string, opts ...WorkloadOpt) WorkloadSpec {
+	return newWorkload(workloadKinds[name], name, opts)
+}
+
+// validate reports an actionable error when the spec cannot resolve.
+func (w WorkloadSpec) validate(where string) error {
+	if w.Name == "" {
+		return fmt.Errorf("%s: workload has no name; construct it with mitosis.GUPS(), mitosis.KeyValue(\"Memcached\"), ... or mitosis.NamedWorkload", where)
+	}
+	kind, known := workloadKinds[w.Name]
+	if !known {
+		return fmt.Errorf("%s: unknown workload %q (have %v)", where, w.Name, WorkloadNames())
+	}
+	if w.Kind != "" && w.Kind != kind {
+		return fmt.Errorf("%s: workload %q belongs to family %q, not %q; use mitosis.NamedWorkload or the %s constructor", where, w.Name, kind, w.Kind, kind)
+	}
+	switch w.Suite {
+	case "", "ms", "wm":
+	default:
+		return fmt.Errorf("%s: workload suite %q invalid; use \"ms\" (multi-socket), \"wm\" (workload-migration) or leave empty", where, w.Suite)
+	}
+	if w.Name == "STREAM" && w.Suite != "" {
+		// ByName's STREAM fallback resolves in any suite, so the generic
+		// no-variant check below would never fire for it.
+		return fmt.Errorf("%s: workload STREAM has no calibrated suite variants; drop the suite", where)
+	}
+	if w.Scale < 0 {
+		return fmt.Errorf("%s: workload scale %v is negative", where, w.Scale)
+	}
+	if workloads.ByName(w.Name, w.Suite) == nil {
+		return fmt.Errorf("%s: workload %q has no %q-suite variant; drop the suite or pick the other one", where, w.Name, w.Suite)
+	}
+	return nil
+}
+
+// resolve instantiates a fresh internal workload for the spec.
+func (w WorkloadSpec) resolve() (workloads.Workload, error) {
+	if err := w.validate("workload"); err != nil {
+		return nil, err
+	}
+	wl := workloads.ByName(w.Name, w.Suite)
+	if w.Scale != 0 && w.Scale != 1.0 {
+		wl = workloads.Scale(wl, w.Scale)
+	}
+	return wl, nil
+}

@@ -16,8 +16,7 @@ func TestDebugMSCanneal(t *testing.T) {
 	}
 	cfg := Config{Ops: 20000}
 	for _, pol := range []MSPolicy{{Name: "F"}, {Name: "F+M", Mitosis: true}} {
-		w := cfg.workload(cloneMS("Canneal"))
-		res, k, err := msRun(cfg, w, pol, false)
+		res, k, err := msRun(cfg, "Canneal", pol, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -43,8 +42,7 @@ func TestDebugMS2MCanneal(t *testing.T) {
 	}
 	cfg := Config{Ops: 20000}
 	for _, pol := range []MSPolicy{{Name: "TF"}, {Name: "TF+M", Mitosis: true}} {
-		w := cfg.workload(cloneMS("Canneal"))
-		res, k, err := msRun(cfg, w, pol, true)
+		res, k, err := msRun(cfg, "Canneal", pol, true)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -24,6 +24,7 @@ package experiments
 import (
 	"fmt"
 
+	mitosis "github.com/mitosis-project/mitosis-sim"
 	"github.com/mitosis-project/mitosis-sim/internal/kernel"
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
 	"github.com/mitosis-project/mitosis-sim/internal/workloads"
@@ -87,6 +88,53 @@ func (c Config) newKernel(thp bool) *kernel.Kernel {
 	return k
 }
 
+// machine translates the experiment scale into a public machine spec (the
+// default paper topology; FramesPerNode are 4KB frames). The public spec
+// counts memory in whole 2MB blocks, so frame counts round up to the next
+// 512-frame block (minimum one) rather than silently losing memory.
+func (c Config) machine(thp bool) mitosis.SystemConfig {
+	frames := (c.FramesPerNode + 511) / 512 * 512
+	if frames == 0 {
+		frames = 512
+	}
+	return mitosis.SystemConfig{MemoryPerNode: frames * 4096, THP: thp}
+}
+
+// engineMode maps the internal engine mode to the public facade's.
+func engineMode(m workloads.Mode) mitosis.EngineMode {
+	switch m {
+	case workloads.Sequential:
+		return mitosis.SequentialEngine
+	case workloads.Parallel:
+		return mitosis.ParallelEngine
+	default:
+		return mitosis.AutoEngine
+	}
+}
+
+// resultFrom converts a measured phase back into the internal counter
+// shape the figure drivers consume. The raw per-core counters are read
+// off the machine: valid because the measured phase is the scenario's
+// final engine run, so the machine still holds exactly its counters.
+func resultFrom(ph *mitosis.PhaseResult, k *kernel.Kernel) *workloads.Result {
+	c := ph.Counters
+	res := &workloads.Result{
+		Cycles:             numa.Cycles(c.Cycles),
+		WalkCycles:         numa.Cycles(c.WalkCycles),
+		TotalCycles:        numa.Cycles(c.TotalCycles),
+		Walks:              c.Walks,
+		Ops:                c.Ops,
+		RemoteWalkAccesses: c.WalkRemoteAccesses,
+		WalkMemAccesses:    c.WalkMemAccesses,
+		WalkLLCHits:        c.WalkLLCHits,
+		RemoteWalkCycles:   numa.Cycles(c.RemoteWalkCycles),
+	}
+	for _, core := range firstProcess(k).Cores() {
+		res.PerCore = append(res.PerCore, k.Machine().Stats(core))
+	}
+	return res
+}
+
 // workload instantiates a scaled copy of the named workload. A zero Scale
 // (unfilled config) means unscaled.
 func (c Config) workload(w workloads.Workload) workloads.Workload {
@@ -94,6 +142,17 @@ func (c Config) workload(w workloads.Workload) workloads.Workload {
 		return workloads.Scale(w, c.Scale)
 	}
 	return w
+}
+
+// cloneMS builds a fresh multi-socket workload instance by name (workload
+// state such as zipf generators must not leak between runs).
+func cloneMS(name string) workloads.Workload {
+	for _, w := range workloads.MultiSocketSuite() {
+		if w.Name() == name {
+			return w
+		}
+	}
+	panic("experiments: unknown multi-socket workload " + name)
 }
 
 // allNodes lists every node of k's topology.

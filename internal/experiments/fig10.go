@@ -29,15 +29,14 @@ func RunFig10(cfg Config, thp bool) (*metrics.Figure, error) {
 		{Name: "RPI-LD+M", RemotePT: true, Interfere: true, MitosisMigrate: true},
 	}
 	for _, proto := range workloads.MigrationSuite() {
-		base, _, err := wmRun(cfg, cfg.workload(proto), WMConfig{Name: "LP-LD"}, false, 0)
+		base, _, err := wmRun(cfg, proto.Name(), WMConfig{Name: "LP-LD"}, false, 0)
 		if err != nil {
 			return nil, err
 		}
 		group := metrics.Group{Name: proto.Name()}
 		var rpi float64
 		for _, c := range configs {
-			w := cfg.workload(cloneWM(proto.Name()))
-			res, _, err := wmRun(cfg, w, c, thp, 0)
+			res, _, err := wmRun(cfg, proto.Name(), c, thp, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -72,8 +71,7 @@ func RunFig6(cfg Config) (*metrics.Figure, error) {
 		var baseCycles float64
 		group := metrics.Group{Name: proto.Name()}
 		for _, c := range WMConfigs() {
-			w := cfg.workload(cloneWM(proto.Name()))
-			res, _, err := wmRun(cfg, w, c, false, 0)
+			res, _, err := wmRun(cfg, proto.Name(), c, false, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -112,8 +110,7 @@ func RunFig11(cfg Config) (*metrics.Figure, error) {
 		var baseCycles, rpi float64
 		group := metrics.Group{Name: name}
 		for _, c := range configs {
-			w := cfg.workload(cloneWM(name))
-			res, _, err := wmRun(cfg, w, c, true, fragmentation)
+			res, _, err := wmRun(cfg, name, c, true, fragmentation)
 			if err != nil {
 				return nil, err
 			}

@@ -15,8 +15,7 @@ import (
 // disabled), in the paper's per-level x per-socket layout.
 func RunFig3(cfg Config) (string, error) {
 	cfg = cfg.fill()
-	w := cfg.workload(cloneMS("Memcached"))
-	_, k, err := msRun(cfg, w, MSPolicy{Name: "F"}, false)
+	_, k, err := msRun(cfg, "Memcached", MSPolicy{Name: "F"}, false)
 	if err != nil {
 		return "", err
 	}
@@ -36,13 +35,12 @@ func RunFig4(cfg Config) (*metrics.Table, error) {
 		Columns: []string{"workload", "socket0", "socket1", "socket2", "socket3"},
 	}
 	for _, proto := range workloads.MultiSocketSuite() {
-		w := cfg.workload(cloneMS(proto.Name()))
-		_, k, err := msRun(cfg, w, MSPolicy{Name: "F"}, false)
+		_, k, err := msRun(cfg, proto.Name(), MSPolicy{Name: "F"}, false)
 		if err != nil {
 			return nil, err
 		}
 		d := pt.Snapshot(firstProcess(k).Table())
-		row := []string{w.Name()}
+		row := []string{proto.Name()}
 		for s := numa.SocketID(0); int(s) < k.Topology().Sockets(); s++ {
 			row = append(row, metrics.Pct(d.RemoteLeafFraction(s)))
 		}
@@ -60,8 +58,7 @@ func RunFig1(cfg Config) (string, error) {
 	out := "Figure 1: headline results\n\n"
 
 	// Top-left table: Canneal multi-socket leaf-PTE locality per socket.
-	w := cfg.workload(cloneMS("Canneal"))
-	baseRes, k, err := msRun(cfg, w, MSPolicy{Name: "F"}, false)
+	baseRes, k, err := msRun(cfg, "Canneal", MSPolicy{Name: "F"}, false)
 	if err != nil {
 		return "", err
 	}
@@ -78,8 +75,7 @@ func RunFig1(cfg Config) (string, error) {
 	out += "\n\n"
 
 	// Top-right table: single-socket GUPS with page-tables stranded remote.
-	gups := cfg.workload(cloneWM("GUPS"))
-	_, kg, err := wmRun(cfg, gups, WMConfig{Name: "RPI-LD", RemotePT: true, Interfere: true}, false, 0)
+	_, kg, err := wmRun(cfg, "GUPS", WMConfig{Name: "RPI-LD", RemotePT: true, Interfere: true}, false, 0)
 	if err != nil {
 		return "", err
 	}
@@ -88,8 +84,7 @@ func RunFig1(cfg Config) (string, error) {
 		dg.RemoteLeafFraction(wmSocketA)*100)
 
 	// Bottom-left: Canneal F vs F+M.
-	wm := cfg.workload(cloneMS("Canneal"))
-	mres, _, err := msRun(cfg, wm, MSPolicy{Name: "F+M", Mitosis: true}, false)
+	mres, _, err := msRun(cfg, "Canneal", MSPolicy{Name: "F+M", Mitosis: true}, false)
 	if err != nil {
 		return "", err
 	}
@@ -106,8 +101,7 @@ func RunFig1(cfg Config) (string, error) {
 		{Name: "RPI-LD+M", RemotePT: true, Interfere: true, MitosisMigrate: true},
 	}
 	for i, c := range configs {
-		g := cfg.workload(cloneWM("GUPS"))
-		res, _, err := wmRun(cfg, g, c, false, 0)
+		res, _, err := wmRun(cfg, "GUPS", c, false, 0)
 		if err != nil {
 			return "", err
 		}

@@ -24,15 +24,14 @@ func RunFig9(cfg Config, thp bool) (*metrics.Figure, error) {
 	}
 	for _, proto := range workloads.MultiSocketSuite() {
 		// Baseline: 4KB first-touch.
-		base, _, err := msRun(cfg, cfg.workload(proto), MSPolicy{Name: "F"}, false)
+		base, _, err := msRun(cfg, proto.Name(), MSPolicy{Name: "F"}, false)
 		if err != nil {
 			return nil, err
 		}
 		group := metrics.Group{Name: proto.Name()}
 		var prev float64 // previous non-Mitosis bar, for improvement pairs
 		for _, pol := range MSPolicies() {
-			w := cfg.workload(cloneMS(proto.Name()))
-			res, _, err := msRun(cfg, w, pol, thp)
+			res, _, err := msRun(cfg, proto.Name(), pol, thp)
 			if err != nil {
 				return nil, err
 			}
@@ -52,25 +51,4 @@ func RunFig9(cfg Config, thp bool) (*metrics.Figure, error) {
 		fig.Group = append(fig.Group, group)
 	}
 	return fig, nil
-}
-
-// cloneMS builds a fresh multi-socket workload instance by name (workload
-// state such as zipf generators must not leak between runs).
-func cloneMS(name string) workloads.Workload {
-	for _, w := range workloads.MultiSocketSuite() {
-		if w.Name() == name {
-			return w
-		}
-	}
-	panic("experiments: unknown multi-socket workload " + name)
-}
-
-// cloneWM builds a fresh workload-migration workload instance by name.
-func cloneWM(name string) workloads.Workload {
-	for _, w := range workloads.MigrationSuite() {
-		if w.Name() == name {
-			return w
-		}
-	}
-	panic("experiments: unknown migration workload " + name)
 }

@@ -5,19 +5,9 @@ import (
 	"slices"
 	"strings"
 
-	"github.com/mitosis-project/mitosis-sim/internal/core"
-	"github.com/mitosis-project/mitosis-sim/internal/kernel"
+	mitosis "github.com/mitosis-project/mitosis-sim"
 	"github.com/mitosis-project/mitosis-sim/internal/metrics"
-	"github.com/mitosis-project/mitosis-sim/internal/numa"
-	"github.com/mitosis-project/mitosis-sim/internal/workloads"
 )
-
-// ReplicaPoint is one change point of the replica-count timeline: from
-// Round on, Replicas nodes hold a copy of the table (primary included).
-type ReplicaPoint struct {
-	Round    int `json:"round"`
-	Replicas int `json:"replicas"`
-}
 
 // PolicyRow is one policy's outcome in the comparison.
 type PolicyRow struct {
@@ -35,10 +25,13 @@ type PolicyRow struct {
 	Actions []string `json:"actions,omitempty"`
 	// ReplicaTimeline is the change-point-compressed replica count per
 	// policy tick (dynamic policies only).
-	ReplicaTimeline []ReplicaPoint `json:"replica_timeline,omitempty"`
+	ReplicaTimeline []mitosis.ReplicaTick `json:"replica_timeline,omitempty"`
 	// BackgroundKCycles is the copy work done off the critical path by the
 	// policy engine's background replication (dynamic policies only).
 	BackgroundKCycles float64 `json:"background_kcycles,omitempty"`
+	// Scenario is the exact declarative spec this row was measured from;
+	// replaying it in the same engine mode reproduces the row bit-for-bit.
+	Scenario *mitosis.Scenario `json:"scenario,omitempty"`
 }
 
 // PolicyComparison is the policy-comparison driver's result: one
@@ -103,87 +96,59 @@ func RunPolicyComparison(cfg Config, only []string) (*PolicyComparison, error) {
 	return pc, nil
 }
 
-// runPolicyRow measures one policy on a fresh machine.
-func runPolicyRow(cfg Config, name string) (PolicyRow, error) {
-	row := PolicyRow{Policy: name}
-	k := cfg.newKernel(false)
-	k.Sysctl().Mode = core.ModePerProcess
-	k.Sysctl().PageCacheTarget = 64
-	k.ApplySysctl()
-	w := cfg.workload(workloads.NewGUPS())
-	// Threads and data on socket 0, every page-table page forced to node 1:
-	// the stranded-table configuration.
-	p, err := k.CreateProcess(kernel.ProcessOpts{
-		Name: w.Name(), Home: 0,
-		DataPolicy: kernel.Bind, BindNode: 0,
-		PTPolicy: kernel.PTFixed, PTNode: 1,
-		DataLocality: w.DataLocality(),
-	})
-	if err != nil {
-		return row, err
+// PolicyScenario translates one policy row into the public declarative
+// spec: single-threaded GUPS on socket 0 with data bound local and every
+// page-table page forced to node 1 — the stranded-table configuration.
+// "none" runs without any policy; "static" pairs the never-acting Static
+// policy with an up-front full-machine mask (the pre-refactor sysctl
+// semantics); the dynamic policies start bare and act on telemetry.
+func PolicyScenario(cfg Config, name string) mitosis.Scenario {
+	cfg = cfg.fill()
+	opts := []mitosis.ProcOpt{
+		mitosis.OnSockets(0),
+		mitosis.WithDataBind(0),
+		mitosis.WithPTNode(1),
+		mitosis.WithPhases(mitosis.Measure(cfg.Ops)),
 	}
-	if err := k.RunOn(p, []numa.CoreID{k.Topology().FirstCoreOf(0)}); err != nil {
-		return row, err
-	}
-	env := workloads.NewEnv(k, p, false, cfg.Seed)
-	if err := w.Setup(env); err != nil {
-		return row, err
-	}
-
-	ecfg := cfg.engine()
-	var eng *kernel.PolicyEngine
 	switch name {
 	case "none":
 		// No replication ever: the RPI baseline.
 	case "static":
-		// The pre-refactor semantics: the mask is decided once, up front,
-		// for the whole machine; the attached Static policy never acts.
-		pol, err := k.NewPolicy("static")
-		if err != nil {
-			return row, err
-		}
-		eng = k.AttachPolicy(p, pol, kernel.PolicyEngineConfig{})
-		ecfg.Ticker = eng
-		if err := p.SetReplicationMask(allNodes(k)); err != nil {
-			return row, err
-		}
+		opts = append(opts,
+			mitosis.WithReplication(mitosis.ReplicationSpec{All: true}),
+			mitosis.UnderPolicy("static"))
 	default:
-		pol, err := k.NewPolicy(name)
-		if err != nil {
-			return row, err
-		}
-		eng = k.AttachPolicy(p, pol, kernel.PolicyEngineConfig{})
-		ecfg.Ticker = eng
+		opts = append(opts, mitosis.UnderPolicy(name))
 	}
+	proc := mitosis.NewProc("GUPS",
+		mitosis.GUPS(mitosis.InSuite("wm"), mitosis.Scaled(cfg.Scale)),
+		opts...)
+	return mitosis.NewScenario("policy/"+name,
+		mitosis.OnMachine(cfg.machine(false)),
+		mitosis.WithSeed(cfg.Seed),
+		mitosis.WithProc(proc))
+}
 
-	res, err := workloads.RunWith(env, w, cfg.Ops, ecfg)
+// runPolicyRow measures one policy on a fresh machine, through the public
+// scenario API. The row embeds the exact spec that produced it.
+func runPolicyRow(cfg Config, name string) (PolicyRow, error) {
+	cfg = cfg.fill()
+	row := PolicyRow{Policy: name}
+	sc := PolicyScenario(cfg, name)
+	rr, err := mitosis.Run(sc, mitosis.WithEngine(engineMode(cfg.Engine)))
 	if err != nil {
 		return row, err
 	}
-	row.CyclesPerOp = float64(res.TotalCycles) / float64(res.Ops)
-	row.RemoteWalkCycleFraction = res.RemoteWalkCycleFraction()
-	row.ReplicaPTPages = k.Backend().Stats.ReplicaPTPages
-	for _, n := range p.Space().ReplicaNodes() {
-		row.FinalReplicaNodes = append(row.FinalReplicaNodes, int(n))
+	meas := rr.Measured("GUPS")
+	row.CyclesPerOp = float64(meas.Counters.TotalCycles) / float64(meas.Counters.Ops)
+	row.RemoteWalkCycleFraction = meas.Counters.RemoteWalkCycleFraction()
+	row.ReplicaPTPages = rr.ReplicaPTPages
+	row.FinalReplicaNodes = meas.ReplicaNodes
+	for _, po := range rr.Policies {
+		row.Actions = po.Actions
+		row.ReplicaTimeline = po.ReplicaTimeline
+		row.BackgroundKCycles = float64(po.BackgroundCycles) / 1e3
 	}
-	if eng != nil {
-		for _, rec := range eng.ActionLog() {
-			row.Actions = append(row.Actions, rec.String())
-		}
-		row.ReplicaTimeline = compressTimeline(eng.ReplicaTimeline())
-		row.BackgroundKCycles = float64(eng.BackgroundCycles()) / 1e3
-	}
+	row.Scenario = &rr.Scenario
 	return row, nil
-}
-
-// compressTimeline reduces a per-tick replica count series to its change
-// points (tick is 1-based).
-func compressTimeline(tl []int) []ReplicaPoint {
-	var out []ReplicaPoint
-	for i, v := range tl {
-		if i == 0 || tl[i-1] != v {
-			out = append(out, ReplicaPoint{Round: i + 1, Replicas: v})
-		}
-	}
-	return out
 }

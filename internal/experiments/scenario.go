@@ -1,9 +1,14 @@
+// The paper's two evaluation scenarios, built *through* the public
+// declarative scenario API: msRun and wmRun translate an experiment
+// configuration into a mitosis.Scenario and execute it with mitosis.Run,
+// so every figure row is reproducible from the serialized spec the same
+// way bench records are.
 package experiments
 
 import (
-	"math/rand"
+	"fmt"
 
-	"github.com/mitosis-project/mitosis-sim/internal/core"
+	mitosis "github.com/mitosis-project/mitosis-sim"
 	"github.com/mitosis-project/mitosis-sim/internal/kernel"
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
 	"github.com/mitosis-project/mitosis-sim/internal/workloads"
@@ -36,53 +41,44 @@ func MSPolicies() []MSPolicy {
 	}
 }
 
-// msRun executes one multi-socket configuration: the workload runs with one
-// worker per socket across the whole machine (§8.1). It returns the
-// measured counters (initialization excluded) and the kernel for
-// post-inspection (page-table dumps).
-func msRun(cfg Config, w workloads.Workload, pol MSPolicy, thp bool) (*workloads.Result, *kernel.Kernel, error) {
+// MSScenario translates one multi-socket configuration into the public
+// declarative spec: the named workload runs with one worker per socket
+// across the whole machine (§8.1), warms up, optionally AutoNUMA-migrates,
+// and measures.
+func MSScenario(cfg Config, name string, pol MSPolicy, thp bool) mitosis.Scenario {
 	cfg = cfg.fill()
-	k := cfg.newKernel(thp)
-	dataPolicy := kernel.FirstTouch
+	measure := mitosis.Measure(cfg.Ops)
+	measure.AutoNUMA = pol.AutoNUMA
+	opts := []mitosis.ProcOpt{
+		mitosis.WithPhases(mitosis.Warmup(cfg.Warmup), measure),
+	}
 	if pol.Interleave {
-		dataPolicy = kernel.Interleave
-	}
-	p, err := k.CreateProcess(kernel.ProcessOpts{
-		Name:         w.Name(),
-		Home:         0,
-		DataPolicy:   dataPolicy,
-		DataLocality: w.DataLocality(),
-	})
-	if err != nil {
-		return nil, nil, runErr("create process", err)
-	}
-	if err := k.RunOn(p, oneCorePerSocket(k)); err != nil {
-		return nil, nil, runErr("schedule", err)
-	}
-	env := workloads.NewEnv(k, p, thp, cfg.Seed)
-	if err := w.Setup(env); err != nil {
-		return nil, nil, runErr("setup "+w.Name(), err)
+		opts = append(opts, mitosis.WithDataPolicy(mitosis.PlaceInterleave))
 	}
 	if pol.Mitosis {
-		k.Sysctl().Mode = core.ModePerProcess
-		k.Sysctl().PageCacheTarget = 64
-		k.ApplySysctl()
-		if err := p.SetReplicationMask(allNodes(k)); err != nil {
-			return nil, nil, runErr("replicate", err)
-		}
+		opts = append(opts, mitosis.WithReplication(mitosis.ReplicationSpec{All: true}))
 	}
-	// Warmup to steady state (and to give AutoNUMA access samples).
-	if _, err := workloads.RunWith(env, w, cfg.Warmup, cfg.engine()); err != nil {
-		return nil, nil, runErr("warmup", err)
-	}
-	if pol.AutoNUMA {
-		k.AutoNUMAScan(p, kernel.DefaultAutoNUMAConfig())
-	}
-	res, err := workloads.RunWith(env, w, cfg.Ops, cfg.engine())
+	proc := mitosis.NewProc(name,
+		mitosis.NamedWorkload(name, mitosis.InSuite("ms"), mitosis.Scaled(cfg.Scale)),
+		opts...)
+	return mitosis.NewScenario(fmt.Sprintf("ms/%s/%s", name, pol.Name),
+		mitosis.OnMachine(cfg.machine(thp)),
+		mitosis.WithSeed(cfg.Seed),
+		mitosis.WithProc(proc))
+}
+
+// msRun executes one multi-socket configuration through the scenario API.
+// It returns the measured counters (initialization excluded) and the
+// kernel for post-inspection (page-table dumps).
+func msRun(cfg Config, name string, pol MSPolicy, thp bool) (*workloads.Result, *kernel.Kernel, error) {
+	cfg = cfg.fill()
+	sc := MSScenario(cfg, name, pol, thp)
+	sys := mitosis.NewSystem(sc.Machine)
+	rr, err := sys.Run(sc, mitosis.WithEngine(engineMode(cfg.Engine)))
 	if err != nil {
-		return nil, nil, runErr("measure", err)
+		return nil, nil, runErr("ms "+name+"/"+pol.Name, err)
 	}
-	return res, k, nil
+	return resultFrom(rr.Measured(name), sys.Kernel()), sys.Kernel(), nil
 }
 
 // WMConfig is one workload-migration placement configuration (Table 2 of
@@ -122,66 +118,56 @@ const (
 	wmSocketB = numa.SocketID(1)
 )
 
-// wmRun executes one workload-migration configuration: a single-threaded
-// workload on socket A with page-tables/data placed per c (§3.2, §8.2).
-// fragmentation > 0 pre-fragments all nodes (Figure 11).
-func wmRun(cfg Config, w workloads.Workload, c WMConfig, thp bool, fragmentation float64) (*workloads.Result, *kernel.Kernel, error) {
+// WMScenario translates one workload-migration configuration into the
+// public spec: a single-threaded workload on socket A with
+// page-tables/data placed per c (§3.2, §8.2); fragmentation > 0
+// pre-fragments all nodes (Figure 11).
+func WMScenario(cfg Config, name string, c WMConfig, thp bool, fragmentation float64) mitosis.Scenario {
 	cfg = cfg.fill()
-	k := cfg.newKernel(thp)
-	if fragmentation > 0 {
-		r := rand.New(rand.NewSource(cfg.Seed))
-		for _, n := range allNodes(k) {
-			k.Mem().Fragment(n, fragmentation, r)
-		}
-	}
-	nodeA := k.Topology().NodeOf(wmSocketA)
-	nodeB := k.Topology().NodeOf(wmSocketB)
-	ptNode := nodeA
+	nodeA, nodeB := int(wmSocketA), int(wmSocketB)
+	ptNode, dataNode := nodeA, nodeA
 	if c.RemotePT {
 		ptNode = nodeB
 	}
-	dataNode := nodeA
 	if c.RemoteData {
 		dataNode = nodeB
 	}
-	p, err := k.CreateProcess(kernel.ProcessOpts{
-		Name:         w.Name(),
-		Home:         wmSocketA,
-		DataPolicy:   kernel.Bind,
-		BindNode:     dataNode,
-		PTPolicy:     kernel.PTFixed,
-		PTNode:       ptNode,
-		DataLocality: w.DataLocality(),
-	})
-	if err != nil {
-		return nil, nil, runErr("create process", err)
-	}
-	if err := k.RunOn(p, []numa.CoreID{k.Topology().FirstCoreOf(wmSocketA)}); err != nil {
-		return nil, nil, runErr("schedule", err)
-	}
-	env := workloads.NewEnv(k, p, thp, cfg.Seed)
-	if err := w.Setup(env); err != nil {
-		return nil, nil, runErr("setup "+w.Name(), err)
-	}
+	warmup := mitosis.Warmup(cfg.Warmup)
 	if c.MitosisMigrate {
-		k.Sysctl().Mode = core.ModePerProcess
-		k.Sysctl().PageCacheTarget = 64
-		k.ApplySysctl()
-		if err := k.MigratePT(p, nodeA, false); err != nil {
-			return nil, nil, runErr("migrate page-tables", err)
-		}
-		// Future page-table allocations also stay local.
-		p.SetPTPolicy(kernel.PTFixed, nodeA)
+		// Mitosis migrates the stranded tables back to A before warmup
+		// and pins future page-table allocations there.
+		warmup.MovePT = &nodeA
+	}
+	opts := []mitosis.ProcOpt{
+		mitosis.OnSockets(nodeA),
+		mitosis.WithDataBind(dataNode),
+		mitosis.WithPTNode(ptNode),
+		mitosis.WithPhases(warmup, mitosis.Measure(cfg.Ops)),
+	}
+	proc := mitosis.NewProc(name,
+		mitosis.NamedWorkload(name, mitosis.InSuite("wm"), mitosis.Scaled(cfg.Scale)),
+		opts...)
+	scOpts := []mitosis.ScenarioOpt{
+		mitosis.OnMachine(cfg.machine(thp)),
+		mitosis.WithSeed(cfg.Seed),
+		mitosis.WithFragmentation(fragmentation),
+		mitosis.WithProc(proc),
 	}
 	if c.Interfere {
-		k.SetInterference(nodeB, true)
+		scOpts = append(scOpts, mitosis.WithInterference(nodeB))
 	}
-	if _, err := workloads.RunWith(env, w, cfg.Warmup, cfg.engine()); err != nil {
-		return nil, nil, runErr("warmup", err)
-	}
-	res, err := workloads.RunWith(env, w, cfg.Ops, cfg.engine())
+	return mitosis.NewScenario(fmt.Sprintf("wm/%s/%s", name, c.Name), scOpts...)
+}
+
+// wmRun executes one workload-migration configuration through the
+// scenario API.
+func wmRun(cfg Config, name string, c WMConfig, thp bool, fragmentation float64) (*workloads.Result, *kernel.Kernel, error) {
+	cfg = cfg.fill()
+	sc := WMScenario(cfg, name, c, thp, fragmentation)
+	sys := mitosis.NewSystem(sc.Machine)
+	rr, err := sys.Run(sc, mitosis.WithEngine(engineMode(cfg.Engine)))
 	if err != nil {
-		return nil, nil, runErr("measure", err)
+		return nil, nil, runErr("wm "+name+"/"+c.Name, err)
 	}
-	return res, k, nil
+	return resultFrom(rr.Measured(name), sys.Kernel()), sys.Kernel(), nil
 }

@@ -3,11 +3,11 @@ package experiments
 import (
 	"fmt"
 
+	mitosis "github.com/mitosis-project/mitosis-sim"
 	"github.com/mitosis-project/mitosis-sim/internal/core"
 	"github.com/mitosis-project/mitosis-sim/internal/kernel"
 	"github.com/mitosis-project/mitosis-sim/internal/metrics"
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
-	"github.com/mitosis-project/mitosis-sim/internal/workloads"
 )
 
 // vmaOpCycles measures the kernel cycles of one VMA operation sequence
@@ -134,41 +134,31 @@ func RunTable6(cfg Config) (*metrics.Table, error) {
 	for _, name := range []string{"GUPS", "Redis"} {
 		var cycles [2]float64
 		for i, replicate := range []bool{false, true} {
-			k := cfg.newKernel(false)
-			if replicate {
-				k.Sysctl().Mode = core.ModePerProcess
-				k.Sysctl().PageCacheTarget = 64
-				k.ApplySysctl()
+			// End-to-end through the scenario spec: a single IncludeSetup
+			// phase measures WITHOUT resetting stats, so allocation and
+			// initialization cycles count. Eager replication enables the
+			// mask from the start: every PT update during initialization
+			// pays the propagation cost.
+			endToEnd := mitosis.Measure(cfg.Ops)
+			endToEnd.IncludeSetup = true
+			opts := []mitosis.ProcOpt{
+				mitosis.OnSockets(0),
+				mitosis.WithPhases(endToEnd),
 			}
-			w := cfg.workload(cloneWM(name))
-			p, err := k.CreateProcess(kernel.ProcessOpts{
-				Name:         name,
-				Home:         0,
-				DataLocality: w.DataLocality(),
-			})
+			if replicate {
+				opts = append(opts, mitosis.WithReplication(mitosis.ReplicationSpec{All: true, Eager: true}))
+			}
+			sc := mitosis.NewScenario(fmt.Sprintf("table6/%s/mitosis=%v", name, replicate),
+				mitosis.OnMachine(cfg.machine(false)),
+				mitosis.WithSeed(cfg.Seed),
+				mitosis.WithProc(mitosis.NewProc(name,
+					mitosis.NamedWorkload(name, mitosis.InSuite("wm"), mitosis.Scaled(cfg.Scale)),
+					opts...)))
+			rr, err := mitosis.Run(sc, mitosis.WithEngine(engineMode(cfg.Engine)))
 			if err != nil {
 				return nil, err
 			}
-			if err := k.RunOn(p, []numa.CoreID{k.Topology().FirstCoreOf(0)}); err != nil {
-				return nil, err
-			}
-			if replicate {
-				// Replication enabled from the start: every PT update
-				// during initialization pays the propagation cost.
-				if err := p.SetReplicationMask(allNodes(k)); err != nil {
-					return nil, err
-				}
-			}
-			envObj := workloads.NewEnv(k, p, false, cfg.Seed)
-			if err := w.Setup(envObj); err != nil {
-				return nil, err
-			}
-			// Measure end-to-end: init cycles are already on the core;
-			// run WITHOUT resetting stats.
-			if _, err := workloads.RunKeepStatsWith(envObj, w, cfg.Ops, cfg.engine()); err != nil {
-				return nil, err
-			}
-			cycles[i] = float64(k.Machine().Stats(p.Cores()[0]).Cycles)
+			cycles[i] = float64(rr.Measured(name).Counters.Cycles)
 		}
 		overhead := cycles[1]/cycles[0] - 1
 		t.AddRow(name,

@@ -1,0 +1,371 @@
+package mitosis
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testScenario is a small two-process scenario exercising the spec
+// surface: a stranded-table GUPS under the ondemand policy, then a
+// replicated PageRank across all sockets.
+func testScenario() Scenario {
+	return NewScenario("test/two-proc",
+		OnMachine(SystemConfig{Sockets: 4, CoresPerSocket: 2, MemoryPerNode: 256 << 20}),
+		WithSeed(7),
+		WithProc(NewProc("gups",
+			GUPS(InSuite("wm"), Scaled(1.0/32)),
+			OnSockets(0),
+			WithDataBind(0),
+			WithPTNode(1),
+			UnderPolicy("ondemand"),
+			WithPhases(Warmup(500), Measure(2000)),
+		)),
+		WithProc(NewProc("pagerank",
+			Analytics("PageRank", InSuite("wm"), Scaled(1.0/32)),
+			WithReplication(ReplicationSpec{All: true}),
+			WithPhases(Measure(2000)),
+		)),
+	)
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := testScenario()
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version":1`) {
+		t.Errorf("marshaled scenario missing version stamp: %s", data)
+	}
+	var back Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc, back) {
+		t.Errorf("round trip diverged:\nin:  %+v\nout: %+v", sc, back)
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Errorf("re-marshal not byte-identical:\n%s\n%s", data, again)
+	}
+}
+
+func TestScenarioValidationErrors(t *testing.T) {
+	base := func() Scenario { return testScenario() }
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"no processes", func(s *Scenario) { s.Processes = nil }, "has no processes"},
+		{"empty proc name", func(s *Scenario) { s.Processes[0].Name = "" }, "has no name"},
+		{"duplicate name", func(s *Scenario) { s.Processes[1].Name = "gups" }, "duplicate process name"},
+		{"no workload", func(s *Scenario) { s.Processes[0].Workload = WorkloadSpec{} }, "workload has no name"},
+		{"unknown workload", func(s *Scenario) { s.Processes[0].Workload.Name = "GUSP" }, `unknown workload "GUSP"`},
+		{"family mismatch", func(s *Scenario) { s.Processes[0].Workload = KeyValue("GUPS") }, `belongs to family "gups"`},
+		{"bad suite", func(s *Scenario) { s.Processes[0].Workload.Suite = "xx" }, "suite"},
+		{"missing suite variant", func(s *Scenario) { s.Processes[0].Workload = NamedWorkload("Memcached", InSuite("wm")) }, "no \"wm\"-suite variant"},
+		{"stream suite", func(s *Scenario) { s.Processes[0].Workload = Stream(InSuite("ms")) }, "no calibrated suite variants"},
+		{"socket range", func(s *Scenario) { s.Processes[0].Placement.Sockets = []int{9} }, "socket 9 out of range"},
+		{"socket dup", func(s *Scenario) { s.Processes[0].Placement.Sockets = []int{1, 1} }, "listed twice"},
+		{"cores range", func(s *Scenario) { s.Processes[0].Placement.CoresPerSocket = 5 }, "cores_per_socket"},
+		{"bad data policy", func(s *Scenario) { s.Processes[0].Placement.Data = "spread" }, `data policy "spread" invalid`},
+		{"data node without bind", func(s *Scenario) {
+			s.Processes[0].Placement.Data = ""
+			s.Processes[0].Placement.DataNode = 2
+		}, "data_node 2 set but"},
+		{"bad pt policy", func(s *Scenario) { s.Processes[0].Placement.PageTables = "anywhere" }, "page_tables policy"},
+		{"replication both", func(s *Scenario) {
+			s.Processes[1].Replication = ReplicationSpec{All: true, Nodes: []int{1}}
+		}, "both all and an explicit node list"},
+		{"replication node range", func(s *Scenario) {
+			s.Processes[1].Replication = ReplicationSpec{Nodes: []int{-1}}
+		}, "replication node -1"},
+		{"eager without target", func(s *Scenario) {
+			s.Processes[1].Replication = ReplicationSpec{Eager: true}
+		}, "eager set without any target"},
+		{"unknown policy", func(s *Scenario) { s.Processes[0].Policy.Name = "magic" }, `unknown policy "magic"`},
+		{"no phases", func(s *Scenario) { s.Processes[0].Phases = nil }, "no phases"},
+		{"useless phase", func(s *Scenario) { s.Processes[0].Phases = []PhaseSpec{{Name: "idle"}} }, "does nothing"},
+		{"migrate pt alone", func(s *Scenario) {
+			s.Processes[0].Phases = []PhaseSpec{{Ops: 10, MigratePT: true}}
+		}, "migrate_pt set without migrate_to"},
+		{"migrate range", func(s *Scenario) {
+			to := 7
+			s.Processes[0].Phases = []PhaseSpec{{Ops: 10, MigrateTo: &to}}
+		}, "migrate_to socket 7"},
+		{"tiny memory", func(s *Scenario) { s.Machine.MemoryPerNode = 1 << 20 }, "below one 2MB block"},
+		{"fragmentation", func(s *Scenario) { s.Fragmentation = 1.5 }, "fragmentation"},
+		{"interference range", func(s *Scenario) { s.Interference = []int{8} }, "interference node 8"},
+	}
+	for _, tc := range cases {
+		sc := base()
+		tc.mut(&sc)
+		err := sc.Validate()
+		if err == nil {
+			t.Errorf("%s: validated without error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		// Marshaling an invalid scenario must fail the same way.
+		if _, merr := json.Marshal(sc); merr == nil {
+			t.Errorf("%s: marshaled an invalid scenario", tc.name)
+		}
+	}
+}
+
+func TestScenarioUnmarshalStrict(t *testing.T) {
+	sc := testScenario()
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var back Scenario
+	// Unknown fields are rejected.
+	bad := strings.Replace(string(data), `"name":"test/two-proc"`, `"name":"test/two-proc","typo_field":1`, 1)
+	if err := json.Unmarshal([]byte(bad), &back); err == nil || !strings.Contains(err.Error(), "typo_field") {
+		t.Errorf("unknown field accepted or unhelpful error: %v", err)
+	}
+	// Version mismatches are rejected.
+	bad = strings.Replace(string(data), `"version":1`, `"version":99`, 1)
+	if err := json.Unmarshal([]byte(bad), &back); err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Errorf("version mismatch accepted or unhelpful error: %v", err)
+	}
+	// Invalid specs are rejected on decode.
+	bad = strings.Replace(string(data), `"GUPS"`, `"GUSP"`, 1)
+	if err := json.Unmarshal([]byte(bad), &back); err == nil || !strings.Contains(err.Error(), "GUSP") {
+		t.Errorf("invalid decoded spec accepted or unhelpful error: %v", err)
+	}
+}
+
+// TestRunDeterminismAcrossModes: the acceptance bar of the scenario API —
+// a two-process scenario with an attached ondemand policy produces
+// bit-identical RunResult counters in Sequential, Parallel and Auto
+// engine modes, and replaying the scenario from its serialized JSON
+// reproduces them again.
+func TestRunDeterminismAcrossModes(t *testing.T) {
+	sc := testScenario()
+	var ref *RunResult
+	for _, mode := range []EngineMode{SequentialEngine, ParallelEngine, AutoEngine} {
+		rr, err := Run(sc, WithEngine(mode))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if len(rr.Policies) == 0 || len(rr.Policies[0].Actions) == 0 {
+			t.Fatalf("%v: ondemand policy never acted (actions %v)", mode, rr.Policies)
+		}
+		if ref == nil {
+			ref = rr
+			continue
+		}
+		if !reflect.DeepEqual(ref.Phases, rr.Phases) {
+			t.Errorf("%v: phase counters diverged from sequential:\nseq: %+v\ngot: %+v", mode, ref.Phases, rr.Phases)
+		}
+		if !reflect.DeepEqual(ref.Policies, rr.Policies) {
+			t.Errorf("%v: policy telemetry diverged:\nseq: %+v\ngot: %+v", mode, ref.Policies, rr.Policies)
+		}
+		if ref.ReplicaPTPages != rr.ReplicaPTPages {
+			t.Errorf("%v: replica PT pages %d, want %d", mode, rr.ReplicaPTPages, ref.ReplicaPTPages)
+		}
+	}
+
+	// JSON replay: serialize the spec the run recorded, decode, re-run.
+	data, err := json.Marshal(ref.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed Scenario
+	if err := json.Unmarshal(data, &replayed); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Run(replayed, WithEngine(SequentialEngine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.Phases, rr.Phases) {
+		t.Error("JSON replay diverged from the original run")
+	}
+
+	// A non-default chunk is part of the record: replaying with the
+	// recorded chunk reproduces the counters; the default chunk would
+	// shift the policy's tick rounds.
+	chunked, err := Run(sc, WithEngine(SequentialEngine), WithChunk(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunked.Chunk != 512 {
+		t.Errorf("RunResult.Chunk = %d, want 512", chunked.Chunk)
+	}
+	rechunked, err := Run(chunked.Scenario, WithEngine(SequentialEngine), WithChunk(chunked.Chunk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(chunked.Phases, rechunked.Phases) {
+		t.Error("replay with the recorded chunk diverged")
+	}
+
+	// Measured picks the non-warmup phase.
+	m := ref.Measured("gups")
+	if m == nil || m.Phase != "measure" || m.Warmup {
+		t.Fatalf("Measured(gups) = %+v", m)
+	}
+	if m.Counters.Ops == 0 || m.Counters.Cycles == 0 {
+		t.Errorf("measured counters empty: %+v", m.Counters)
+	}
+	if len(m.PerSocket) != 4 {
+		t.Errorf("per-socket breakdown has %d sockets, want 4", len(m.PerSocket))
+	}
+}
+
+// TestRunObserver: the observer sees every round barrier with consistent
+// deltas, and observing does not change the counters.
+func TestRunObserver(t *testing.T) {
+	sc := testScenario()
+	var ticks int
+	var opsSeen uint64
+	obs := ObserverFunc(func(ev TickEvent) {
+		ticks++
+		for _, st := range ev.Sockets {
+			opsSeen += st.Ops
+		}
+	})
+	withObs, err := Run(sc, WithEngine(SequentialEngine), WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ticks == 0 {
+		t.Fatal("observer never ticked")
+	}
+	var totalOps uint64
+	for _, ph := range withObs.Phases {
+		totalOps += ph.Counters.Ops
+	}
+	if opsSeen != totalOps {
+		t.Errorf("observer saw %d ops, results carry %d", opsSeen, totalOps)
+	}
+	plain, err := Run(sc, WithEngine(SequentialEngine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Phases, withObs.Phases) {
+		t.Error("observing changed the counters")
+	}
+}
+
+// TestSpawnExplicitSockets: the ProcSpec placement fixes the
+// ProcessConfig.Sockets footgun — []int{0} is explicitly socket 0, and
+// other sockets work too.
+func TestSpawnExplicitSockets(t *testing.T) {
+	sys := NewSystem(SystemConfig{Sockets: 4, CoresPerSocket: 2, MemoryPerNode: 128 << 20})
+	p0, err := sys.Spawn(ProcSpec{Name: "on-zero", Placement: PlacementSpec{Sockets: []int{0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cores := p0.Process().Cores(); len(cores) != 1 || sys.Kernel().Topology().SocketOf(cores[0]) != 0 {
+		t.Errorf("explicit socket 0 landed on cores %v", cores)
+	}
+	p2, err := sys.Spawn(ProcSpec{Name: "on-two", Placement: PlacementSpec{Sockets: []int{2}, CoresPerSocket: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cores := p2.Process().Cores(); len(cores) != 2 || sys.Kernel().Topology().SocketOf(cores[0]) != 2 {
+		t.Errorf("socket 2 x2 cores landed on %v", cores)
+	}
+	if _, err := sys.Spawn(ProcSpec{Name: "bad", Placement: PlacementSpec{Sockets: []int{11}}}); err == nil {
+		t.Error("out-of-range socket accepted")
+	}
+	// The deprecated shim still works and registers by name.
+	pl, err := sys.Launch(ProcessConfig{Name: "legacy", Sockets: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Proc("legacy") != pl {
+		t.Error("Launch did not register the process by name")
+	}
+	if cores := pl.Process().Cores(); sys.Kernel().Topology().SocketOf(cores[0]) != 1 {
+		t.Errorf("legacy Sockets:1 landed on %v", cores)
+	}
+}
+
+// TestConfigNormalizeIdempotent: the machine config a system reports is
+// already normalized (the machine-mismatch gate and replay records rely
+// on normalize being a fixed point).
+func TestConfigNormalizeIdempotent(t *testing.T) {
+	for _, cfg := range []SystemConfig{
+		{},
+		{Sockets: 2},
+		{MemoryPerNode: 1 << 20}, // sub-2MB clamps to the minimum block
+		{Sockets: 8, CoresPerSocket: 4, MemoryPerNode: 3<<20 + 12345, THP: true},
+	} {
+		got := NewSystem(cfg).Config()
+		if got != got.normalize() {
+			t.Errorf("Config(%+v) = %+v not normalize-idempotent", cfg, got)
+		}
+	}
+}
+
+// TestSystemRunMachineMismatch: running a scenario on a system with a
+// different machine is refused (it would not be reproducible).
+func TestSystemRunMachineMismatch(t *testing.T) {
+	sys := NewSystem(SystemConfig{Sockets: 2, CoresPerSocket: 1, MemoryPerNode: 128 << 20})
+	sc := testScenario() // wants a 4-socket machine
+	if _, err := sys.Run(sc); err == nil || !strings.Contains(err.Error(), "machine") {
+		t.Errorf("mismatched machine accepted: %v", err)
+	}
+	// A zero Machine inherits the system's.
+	sc.Machine = SystemConfig{}
+	sc.Processes = sc.Processes[:1]
+	sc.Processes[0].Placement.PTNode = 1
+	rr, err := sys.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rr.Scenario.Machine; got != sys.Config() {
+		t.Errorf("inherited machine = %+v, want %+v", got, sys.Config())
+	}
+}
+
+// TestQuiesce: draining all cores' buffered coherence is safe at any
+// quiescent point and idempotent; facade methods that inspect or mutate
+// replication state call it implicitly after hand-rolled batches.
+func TestQuiesce(t *testing.T) {
+	sys := NewSystem(SystemConfig{Sockets: 4, CoresPerSocket: 1, MemoryPerNode: 128 << 20})
+	p, err := sys.Launch(ProcessConfig{Name: "app", Sockets: AllSockets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.Mmap(8<<20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]AccessOp, 256)
+	for w := 0; w < 4; w++ {
+		for i := range ops {
+			ops[i] = AccessOp{VA: base + uint64(w*4096+i*64)%(8<<20), Write: true}
+		}
+		if err := p.AccessBatch(w, ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys.Quiesce()
+	sys.Quiesce() // idempotent
+	before := p.Stats()
+	sys.Quiesce()
+	if after := p.Stats(); before != after {
+		t.Errorf("Quiesce changed counters: %+v vs %+v", before, after)
+	}
+	if err := p.ReplicatePageTables(); err != nil { // quiesces implicitly
+		t.Fatal(err)
+	}
+	if !p.Stats().Replicated {
+		t.Error("not replicated")
+	}
+}
