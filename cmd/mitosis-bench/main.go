@@ -7,7 +7,7 @@
 //	mitosis-bench -replay FILE
 //
 // Experiments: fig1 fig3 fig4 fig6 fig9a fig9b fig10a fig10b fig11
-// table4 table5 table6 ablations engine policy scenario, or "all"
+// table4 table5 table6 ablations engine policy scenario virt, or "all"
 // (default).
 //
 // With -json DIR, every target additionally writes DIR/BENCH_<target>.json
@@ -21,8 +21,11 @@
 // subset of none,static,ondemand,costadaptive.
 //
 // The scenario target runs the canonical declarative scenario and embeds
-// its full spec in BENCH_scenario.json; -replay FILE re-executes the
-// scenario found in FILE (a BENCH_scenario.json record, or a bare
+// its full spec in BENCH_scenario.json; the virt target renders the
+// virtualized Table 6 (§7.4 gPT/ePT replication ladder) and embeds the
+// canonical policy-driven virtualized scenario in BENCH_virt.json the
+// same way. -replay FILE re-executes the scenario found in FILE (a
+// BENCH_scenario.json / BENCH_virt.json record, or a bare
 // mitosis.Scenario JSON) and — when the record carries counters —
 // verifies the rerun reproduces them bit-for-bit.
 package main
@@ -86,7 +89,7 @@ func main() {
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
 		targets = []string{"fig1", "fig3", "fig4", "fig6", "fig9a", "fig9b",
 			"fig10a", "fig10b", "fig11", "table4", "table5", "table6",
-			"ablations", "policy", "scenario", "engine"}
+			"ablations", "policy", "scenario", "virt", "engine"}
 	}
 
 	for _, target := range targets {
@@ -191,6 +194,19 @@ func run(cfg experiments.Config, target string, policies []string) (string, any,
 	case "scenario":
 		sr, err := experiments.RunScenario(cfg)
 		return str(sr, err)
+	case "virt":
+		// The human-readable half is the §7.4 replication-ladder table;
+		// the JSON payload is the canonical policy-driven virtualized
+		// scenario's RunResult, replayable like BENCH_scenario.json.
+		t, err := experiments.RunVirtTable6(cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		vr, err := experiments.RunVirtScenario(cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return t.String() + "\n" + vr.String(), vr, nil
 	case "ablations":
 		out := ""
 		var payloads []any

@@ -103,7 +103,7 @@ func main() {
 		if err := p.SetReplicationMask(nodes); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("page-table replicas on nodes %v\n", p.Space().ReplicaNodes())
+		fmt.Printf("page-table replicas on nodes %v\n", p.ReplicaNodes())
 	}
 
 	res, err := workloads.Run(env, w, *ops)

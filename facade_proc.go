@@ -101,6 +101,17 @@ func (s *System) spawn(spec ProcSpec, dataLocality float64) (*Proc, error) {
 		opts.PTPolicy = kernel.PTFixed
 		opts.PTNode = numa.NodeID(pl.PTNode)
 	}
+	if spec.VM != nil {
+		if err := spec.VM.validate("process "+spec.Name, topo.Sockets()); err != nil {
+			return nil, fmt.Errorf("mitosis: %w", err)
+		}
+		vm, err := s.k.CreateVM(numa.NodeID(spec.VM.HomeNode))
+		if err != nil {
+			return nil, fmt.Errorf("mitosis: process %q: %w", spec.Name, err)
+		}
+		opts.VM = vm
+		opts.VMPolicyLayers = spec.VM.PolicyLayers
+	}
 	p, err := s.k.CreateProcess(opts)
 	if err != nil {
 		return nil, err
@@ -306,7 +317,9 @@ func (pr *Proc) Stats() Stats {
 	if walkMem > 0 {
 		st.RemoteWalkFraction = float64(walkRemote) / float64(walkMem)
 	}
-	st.Replicated = pr.p.Space().Replicated()
+	// More than one holder node means replicas exist — in the host table,
+	// or (for virtualized processes) in the guest/nested dimensions.
+	st.Replicated = len(pr.p.ReplicaNodes()) > 1
 	return st
 }
 

@@ -141,6 +141,11 @@ type Counters struct {
 	// RemoteWalkCycles is the raw DRAM latency of remote page-table reads
 	// (pre overlap scaling) — the locality signal policies tick on.
 	RemoteWalkCycles uint64 `json:"remote_walk_cycles"`
+	// GuestWalkCycles / NestedWalkCycles split two-dimensional walk reads
+	// by dimension for virtualized processes (raw, pre overlap scaling);
+	// zero for native runs.
+	GuestWalkCycles  uint64 `json:"guest_walk_cycles,omitempty"`
+	NestedWalkCycles uint64 `json:"nested_walk_cycles,omitempty"`
 	// WalkMemAccesses / WalkRemoteAccesses / WalkLLCHits break down where
 	// the page walker's reads were served.
 	WalkMemAccesses    uint64 `json:"walk_mem_accesses"`
@@ -183,6 +188,8 @@ type SocketCounters struct {
 	Cycles             uint64 `json:"cycles"`
 	WalkCycles         uint64 `json:"walk_cycles"`
 	RemoteWalkCycles   uint64 `json:"remote_walk_cycles"`
+	GuestWalkCycles    uint64 `json:"guest_walk_cycles,omitempty"`
+	NestedWalkCycles   uint64 `json:"nested_walk_cycles,omitempty"`
 	WalkMemAccesses    uint64 `json:"walk_mem_accesses"`
 	WalkRemoteAccesses uint64 `json:"walk_remote_accesses"`
 	DataMemAccesses    uint64 `json:"data_mem_accesses"`
@@ -344,6 +351,11 @@ func (s *System) Run(sc Scenario, opts ...RunOpt) (*RunResult, error) {
 				return nil, fmt.Errorf("mitosis: process %q: replication: %w", ps.Name, err)
 			}
 		}
+		if ps.VM != nil && ps.VM.Replication != "" && ps.VM.Replication != VMReplicationNone {
+			if err := k.ReplicateVM(pr.p, ps.VM.Replication); err != nil {
+				return nil, fmt.Errorf("mitosis: process %q: vm replication: %w", ps.Name, err)
+			}
+		}
 		if name := ps.Policy.Name; name != "" && name != "none" {
 			pol, err := k.NewPolicy(name)
 			if err != nil {
@@ -419,7 +431,7 @@ func (s *System) Run(sc Scenario, opts ...RunOpt) (*RunResult, error) {
 				res.Counters = countersOf(wres)
 				res.PerSocket = socketCountersOf(m, topo)
 			}
-			for _, n := range rp.pr.p.Space().ReplicaNodes() {
+			for _, n := range rp.pr.p.ReplicaNodes() {
 				res.ReplicaNodes = append(res.ReplicaNodes, int(n))
 			}
 			rr.Phases = append(rr.Phases, res)
@@ -462,6 +474,8 @@ func countersOf(res *workloads.Result) Counters {
 		TotalCycles:        uint64(res.TotalCycles),
 		WalkCycles:         uint64(res.WalkCycles),
 		RemoteWalkCycles:   uint64(res.RemoteWalkCycles),
+		GuestWalkCycles:    uint64(res.GuestWalkCycles),
+		NestedWalkCycles:   uint64(res.NestedWalkCycles),
 		WalkMemAccesses:    res.WalkMemAccesses,
 		WalkRemoteAccesses: res.RemoteWalkAccesses,
 		WalkLLCHits:        res.WalkLLCHits,
@@ -481,6 +495,8 @@ func socketCountersOf(m *hw.Machine, topo *numa.Topology) []SocketCounters {
 			Cycles:             uint64(cs.Cycles),
 			WalkCycles:         uint64(cs.WalkCycles),
 			RemoteWalkCycles:   uint64(cs.WalkRemoteCycles),
+			GuestWalkCycles:    uint64(cs.GuestWalkCycles),
+			NestedWalkCycles:   uint64(cs.NestedWalkCycles),
 			WalkMemAccesses:    cs.WalkMemAccesses,
 			WalkRemoteAccesses: cs.WalkRemoteAccesses,
 			DataMemAccesses:    cs.DataMemAccesses,
@@ -552,7 +568,7 @@ func (t *runTicker) Tick(round int) error {
 	if t.obs == nil {
 		return nil
 	}
-	replicas := t.p.Space().ReplicaNodes()
+	replicas := t.p.ReplicaNodes()
 	ev := TickEvent{
 		Process:  t.process,
 		Phase:    t.phase,

@@ -74,6 +74,65 @@ type PolicySpec struct {
 	StepPages int `json:"step_pages,omitempty"`
 }
 
+// VM replication-mode and policy-layer selector names.
+const (
+	// VMReplicationNone leaves both dimensions unreplicated (default).
+	VMReplicationNone = "none"
+	// VMReplicationGPT replicates the guest page-table onto the vCPU
+	// nodes (guest-visible NUMA, §7.4).
+	VMReplicationGPT = "gpt"
+	// VMReplicationEPT replicates the nested (extended) page-table onto
+	// the vCPU nodes with the ordinary Mitosis machinery.
+	VMReplicationEPT = "ept"
+	// VMReplicationBoth replicates both dimensions.
+	VMReplicationBoth = "both"
+)
+
+// VMSpec runs a process inside a virtual machine with hardware-assisted
+// nested paging: its address space becomes a guest page-table whose pages
+// live in guest-physical memory, translated by the VM's nested table, so
+// every TLB miss performs the two-dimensional walk of §7.4 (up to 24
+// NUMA-sensitive accesses). The process's Placement is the vCPU
+// placement: Sockets pins the vCPUs, and the data policy picks where
+// guest frames are host-backed. Guest and nested page-tables are built on
+// HomeNode (the node the VM "booted" on) unless Placement.PageTables
+// overrides the guest side.
+type VMSpec struct {
+	// HomeNode is where the hypervisor builds the nested table and the
+	// guest kernel builds its page-tables. A HomeNode remote to the vCPU
+	// sockets reproduces the paper's migrated-VM worst case.
+	HomeNode int `json:"home_node"`
+	// Replication statically replicates page-table dimensions onto the
+	// vCPU nodes when the scenario starts (after workload Setup):
+	// VMReplicationNone (default), VMReplicationGPT, VMReplicationEPT or
+	// VMReplicationBoth.
+	Replication string `json:"replication,omitempty"`
+	// PolicyLayers selects which dimensions a runtime policy's
+	// replicate/drop actions act on: "gpt", "ept" or "both" (default) —
+	// gPT and ePT replication are driven independently.
+	PolicyLayers string `json:"policy_layers,omitempty"`
+}
+
+// validate checks the VM section against the machine shape.
+func (v VMSpec) validate(where string, sockets int) error {
+	if v.HomeNode < 0 || v.HomeNode >= sockets {
+		return fmt.Errorf("%s: vm home_node %d out of range [0,%d)", where, v.HomeNode, sockets)
+	}
+	switch v.Replication {
+	case "", VMReplicationNone, VMReplicationGPT, VMReplicationEPT, VMReplicationBoth:
+	default:
+		return fmt.Errorf("%s: vm replication %q invalid (have %q, %q, %q, %q)", where,
+			v.Replication, VMReplicationNone, VMReplicationGPT, VMReplicationEPT, VMReplicationBoth)
+	}
+	switch v.PolicyLayers {
+	case "", VMReplicationGPT, VMReplicationEPT, VMReplicationBoth:
+	default:
+		return fmt.Errorf("%s: vm policy_layers %q invalid (have %q, %q, %q)", where,
+			v.PolicyLayers, VMReplicationGPT, VMReplicationEPT, VMReplicationBoth)
+	}
+	return nil
+}
+
 // PhaseSpec is one step of a process's run: optional pre-actions (process
 // migration, Mitosis page-table migration, an AutoNUMA scan) followed by
 // Ops operations per thread on the deterministic engine.
@@ -122,6 +181,9 @@ type ProcSpec struct {
 	Replication ReplicationSpec `json:"replication,omitzero"`
 	// Policy is the runtime replication policy.
 	Policy PolicySpec `json:"policy,omitzero"`
+	// VM, when set, runs the process inside a virtual machine with nested
+	// paging (see VMSpec).
+	VM *VMSpec `json:"vm,omitempty"`
 	// Phases is the execution schedule; at least one phase is required.
 	Phases []PhaseSpec `json:"phases"`
 }
@@ -186,6 +248,13 @@ func WithPolicySpec(ps PolicySpec) ProcOpt {
 // WithPhases sets the execution schedule.
 func WithPhases(phases ...PhaseSpec) ProcOpt {
 	return func(p *ProcSpec) { p.Phases = phases }
+}
+
+// WithVM runs the process inside a virtual machine with nested paging.
+// The process's placement becomes the vCPU placement; spec.HomeNode is
+// where the guest and nested page-tables are built.
+func WithVM(spec VMSpec) ProcOpt {
+	return func(p *ProcSpec) { v := spec; p.VM = &v }
 }
 
 // Scenario is a complete, serializable experiment description: a machine,
@@ -325,6 +394,18 @@ func (sc Scenario) Validate() error {
 		if err := p.Placement.validate(where, m.Sockets, m.CoresPerSocket); err != nil {
 			return err
 		}
+		if p.VM != nil {
+			if err := p.VM.validate(where, m.Sockets); err != nil {
+				return err
+			}
+			if p.Replication.wants() {
+				return fmt.Errorf("%s: host replication spec set on a virtualized process; use vm.replication (%q/%q/%q) instead", where,
+					VMReplicationGPT, VMReplicationEPT, VMReplicationBoth)
+			}
+			if sc.Machine.FiveLevel {
+				return fmt.Errorf("%s: vm requires 4-level paging (guest tables are 4-level); drop machine five_level", where)
+			}
+		}
 		if p.Replication.All && len(p.Replication.Nodes) > 0 {
 			return fmt.Errorf("%s: replication sets both all and an explicit node list; pick one", where)
 		}
@@ -361,6 +442,9 @@ func (sc Scenario) Validate() error {
 			}
 			if ph.MovePT != nil && (*ph.MovePT < 0 || *ph.MovePT >= m.Sockets) {
 				return fmt.Errorf("%s: move_pt node %d out of range [0,%d)", pw, *ph.MovePT, m.Sockets)
+			}
+			if p.VM != nil && (ph.MigratePT || ph.MovePT != nil) {
+				return fmt.Errorf("%s: migrate_pt/move_pt act on the host table; a virtualized process recovers locality via vm.replication or a policy", pw)
 			}
 		}
 	}

@@ -179,6 +179,6 @@ func (s *System) Report(pr *Proc) string {
 	}
 	fmt.Fprintf(&b, "  remote page-table accesses: %.0f%%\n", st.RemoteWalkFraction*100)
 	fmt.Fprintf(&b, "  page-table replication: %v (nodes %v)\n",
-		st.Replicated, pr.p.Space().ReplicaNodes())
+		st.Replicated, pr.p.ReplicaNodes())
 	return b.String()
 }

@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
+
+	mitosis "github.com/mitosis-project/mitosis-sim"
 )
 
 // Quick-mode smoke tests: the experiments must run end-to-end without
@@ -218,5 +221,63 @@ func TestAblationsQuick(t *testing.T) {
 	}
 	if _, err := RunAblationVirtualization(Quick()); err != nil {
 		t.Errorf("virtualization: %v", err)
+	}
+}
+
+func TestVirtTable6Quick(t *testing.T) {
+	tbl, err := RunVirtTable6(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("virtualized table has %d rows, want 4", len(tbl.Rows))
+	}
+	t.Log("\n" + tbl.String())
+}
+
+// The §7.4 acceptance shape: gPT+ePT replication recovers over half of
+// the worst case's remote-walk cycles.
+func TestVirtReplicationRecoversMajority(t *testing.T) {
+	cfg := Quick()
+	worst, err := virtRun(cfg, mitosis.VMReplicationNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := virtRun(cfg, mitosis.VMReplicationBoth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.RemoteWalkCycles == 0 {
+		t.Fatal("worst-case placement produced no remote walk cycles")
+	}
+	if both.RemoteWalkCycles*2 >= worst.RemoteWalkCycles {
+		t.Errorf("recovery under 50%%: worst %d remote walk cycles, both-replicated %d",
+			worst.RemoteWalkCycles, both.RemoteWalkCycles)
+	}
+	if both.GuestWalkCycles == 0 || both.NestedWalkCycles == 0 {
+		t.Errorf("guest/nested split missing: %+v", both)
+	}
+}
+
+func TestVirtScenarioReplayable(t *testing.T) {
+	cfg := Quick()
+	vr, err := RunVirtScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vr.Policies) == 0 || len(vr.Policies[0].Actions) == 0 {
+		t.Fatalf("ondemand policy never acted on the VM: %+v", vr.Policies)
+	}
+	// Re-running the embedded spec reproduces the counters bit-for-bit.
+	mode, err := mitosis.ParseEngineMode(vr.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := mitosis.Run(vr.Scenario, mitosis.WithEngine(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(vr.Phases, again.Phases) {
+		t.Errorf("virt scenario replay diverged:\nfirst: %+v\nagain: %+v", vr.Phases, again.Phases)
 	}
 }

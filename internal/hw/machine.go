@@ -70,6 +70,15 @@ type CoreStats struct {
 	// reads in WalkRemoteAccesses, before walk-overlap scaling — the
 	// walk-locality feed replication policies consume.
 	WalkRemoteCycles numa.Cycles
+	// GuestWalkCycles is the raw latency of guest page-table reads during
+	// two-dimensional walks (virtualized contexts only), before
+	// walk-overlap scaling. Guest plus nested cycles account for every
+	// 2D-walk table read; both feed into WalkCycles after scaling.
+	GuestWalkCycles numa.Cycles
+	// NestedWalkCycles is the raw latency of nested page-table reads
+	// during two-dimensional walks (the gPA->hPA dimension), before
+	// walk-overlap scaling.
+	NestedWalkCycles numa.Cycles
 	// DataMemAccesses counts data accesses that went to DRAM (missed the
 	// statistically modelled cache hierarchy).
 	DataMemAccesses uint64
@@ -102,6 +111,8 @@ func (s *CoreStats) merge(o *CoreStats) {
 	s.WalkLLCHits += o.WalkLLCHits
 	s.WalkRemoteAccesses += o.WalkRemoteAccesses
 	s.WalkRemoteCycles += o.WalkRemoteCycles
+	s.GuestWalkCycles += o.GuestWalkCycles
+	s.NestedWalkCycles += o.NestedWalkCycles
 	s.DataMemAccesses += o.DataMemAccesses
 	s.DataRemoteAccesses += o.DataRemoteAccesses
 	s.Faults += o.Faults
@@ -120,6 +131,8 @@ func (s CoreStats) Sub(o CoreStats) CoreStats {
 		WalkLLCHits:        s.WalkLLCHits - o.WalkLLCHits,
 		WalkRemoteAccesses: s.WalkRemoteAccesses - o.WalkRemoteAccesses,
 		WalkRemoteCycles:   s.WalkRemoteCycles - o.WalkRemoteCycles,
+		GuestWalkCycles:    s.GuestWalkCycles - o.GuestWalkCycles,
+		NestedWalkCycles:   s.NestedWalkCycles - o.NestedWalkCycles,
 		DataMemAccesses:    s.DataMemAccesses - o.DataMemAccesses,
 		DataRemoteAccesses: s.DataRemoteAccesses - o.DataRemoteAccesses,
 		Faults:             s.Faults - o.Faults,
@@ -130,8 +143,15 @@ func (s CoreStats) Sub(o CoreStats) CoreStats {
 type coreState struct {
 	cr3    mem.FrameID
 	levels uint8
-	tlb    *tlb.TLB
-	psc    *mmucache.PSC
+	// virt marks the core as running a virtualized (nested-paging)
+	// context: cr3 holds the nested root (nCR3), groot the guest root as
+	// a guest-physical frame number (guest CR3 >> 12), and TLB misses go
+	// through the two-dimensional walk instead of the native one.
+	virt    bool
+	groot   uint64
+	nlevels uint8
+	tlb     *tlb.TLB
+	psc     *mmucache.PSC
 	// dataHitRate is the probability a data access hits the cache
 	// hierarchy (workload-locality model).
 	dataHitRate float64
@@ -228,9 +248,33 @@ func (m *Machine) LoadContext(core numa.CoreID, root mem.FrameID, levels uint8) 
 	c := m.core(core)
 	c.cr3 = root
 	c.levels = levels
+	c.virt = false
+	c.groot = 0
+	c.nlevels = 0
 	c.tlb.Flush()
 	c.psc.Flush()
 	// CR3 write plus pipeline drain.
+	c.stats.Cycles += 300
+}
+
+// LoadVirtContext is the virtualized context-switch (VM entry): it
+// programs the core's guest root (guest CR3, as a guest-physical frame
+// number) and nested root (nCR3), and flushes the TLB and
+// paging-structure caches. TLB misses on a virtualized core perform the
+// two-dimensional walk of §7.4 — each guest level's table gPA is
+// translated through the nested table — with the composed gVA->hPA leaf
+// cached in the ordinary TLB. With gPT/ePT replication the kernel passes
+// the socket-local roots of both dimensions.
+func (m *Machine) LoadVirtContext(core numa.CoreID, guestRoot uint64, nestedRoot mem.FrameID, guestLevels, nestedLevels uint8) {
+	c := m.core(core)
+	c.cr3 = nestedRoot
+	c.levels = guestLevels
+	c.virt = true
+	c.groot = guestRoot
+	c.nlevels = nestedLevels
+	c.tlb.Flush()
+	c.psc.Flush()
+	// VM entry: CR3/nCR3 programming plus pipeline drain.
 	c.stats.Cycles += 300
 }
 
@@ -239,6 +283,9 @@ func (m *Machine) ClearContext(core numa.CoreID) {
 	c := m.core(core)
 	c.cr3 = mem.NilFrame
 	c.levels = 0
+	c.virt = false
+	c.groot = 0
+	c.nlevels = 0
 	c.tlb.Flush()
 	c.psc.Flush()
 }
@@ -475,7 +522,17 @@ func (m *Machine) walk(c *coreState, core numa.CoreID, socket numa.SocketID, va 
 	faults := 0
 
 	for {
-		leaf, size, cy, ok := m.walkOnce(c, socket, va, write, st)
+		var (
+			leaf pt.PTE
+			size pt.PageSize
+			cy   numa.Cycles
+			ok   bool
+		)
+		if c.virt {
+			leaf, size, cy, ok = m.walk2dOnce(c, socket, va, write, st)
+		} else {
+			leaf, size, cy, ok = m.walkOnce(c, socket, va, write, st)
+		}
 		if ok {
 			return leaf, size, cy, nil
 		}
@@ -540,12 +597,9 @@ func (m *Machine) walkOnce(c *coreState, socket numa.SocketID, va pt.VirtAddr, w
 				// immediately, batches at the next coherence apply.
 				c.pending = append(c.pending, mmucache.LineOf(frame, idx))
 			}
-			size := pt.Size4K
-			switch level {
-			case 2:
-				size = pt.Size2M
-			case 3:
-				size = pt.Size1G
+			size, sizeOK := pt.SizeAtLevel(level)
+			if !sizeOK {
+				panic(fmt.Sprintf("hw: malformed table: PS bit at level %d (va %#x)", level, uint64(va)))
 			}
 			return e.WithFlags(flags), size, cy, true
 		}
@@ -556,6 +610,122 @@ func (m *Machine) walkOnce(c *coreState, socket numa.SocketID, va pt.VirtAddr, w
 		frame = e.Frame()
 	}
 	panic("hw: walk descended past level 1")
+}
+
+// walk2dOnce is a single two-dimensional traversal attempt for a
+// virtualized context: for each guest level, the guest-table page's
+// guest-physical address is translated through the nested table, then the
+// guest entry itself is read; the guest leaf's gPA is nested-translated
+// once more. Every table read is charged like a native walk step (LLC or
+// local/remote DRAM) and additionally split into the guest/nested
+// dimension counters. ok=false means a non-present or permission-failing
+// *guest* entry was hit (a guest page fault, resolved by the kernel's
+// guest fault path); nested faults and malformed trees panic — the
+// hypervisor keeps the nested table complete for every allocated guest
+// frame, so they are simulator bugs, not runtime conditions.
+//
+// The composed leaf returned for TLB insertion covers the smaller of the
+// guest and nested page sizes (what hardware nested TLBs cache), with its
+// frame adjusted to that granularity's base — worst case 24 accesses on
+// 4-level paging (4 guest levels x 5 + 4), shrinking when either
+// dimension maps huge pages (§7.4).
+func (m *Machine) walk2dOnce(c *coreState, socket numa.SocketID, va pt.VirtAddr, write bool, st *CoreStats) (pt.PTE, pt.PageSize, numa.Cycles, bool) {
+	gframe := c.groot
+	var cy numa.Cycles
+	for level := c.levels; level >= 1; level-- {
+		// Translate the guest-table page's gPA through the nested table.
+		hostFrame, _, ncy := m.nptWalk(c, socket, pt.VirtAddr(gframe<<pt.PageShift4K), st)
+		cy += ncy
+		// Read the guest entry from its backing host frame.
+		idx := pt.Index(va, level)
+		rcy := m.ptRead(c, socket, hostFrame, idx, st)
+		cy += rcy
+		st.GuestWalkCycles += rcy
+		ref := pt.EntryRef{Frame: hostFrame, Index: idx}
+		e := pt.ReadEntry(m.pm, ref)
+		if !e.Present() {
+			return 0, 0, cy, false
+		}
+		isLeaf := level == 1 || e.Huge()
+		if !isLeaf {
+			if !e.Accessed() {
+				pt.OrEntryFlagsRaw(m.pm, ref, pt.FlagAccessed)
+			}
+			gframe = uint64(e.Frame())
+			continue
+		}
+		gsize, ok := pt.SizeAtLevel(level)
+		if !ok {
+			panic(fmt.Sprintf("hw: malformed guest table: PS bit at level %d (va %#x)", level, uint64(va)))
+		}
+		if write && !e.Writable() {
+			// Present but read-only: guest permission fault before any
+			// Dirty-bit update.
+			return 0, 0, cy, false
+		}
+		// Accessed/Dirty land in THIS guest replica only, with the same
+		// raw locked OR as the native walker (§5.4 at the guest level).
+		flags := pt.FlagAccessed
+		if write {
+			flags |= pt.FlagDirty
+		}
+		if e.Flags()&flags != flags {
+			pt.OrEntryFlagsRaw(m.pm, ref, flags)
+		}
+		if write {
+			// Store walks own the guest leaf line exclusively, like the
+			// native Dirty-bit protocol.
+			c.pending = append(c.pending, mmucache.LineOf(hostFrame, idx))
+		}
+		// Final: nested-translate the gPA of va's 4KB page inside the
+		// guest leaf.
+		gpa := pt.VirtAddr(uint64(e.Frame())<<pt.PageShift4K + (pt.PageOffset(va, gsize) &^ (pt.Size4K.Bytes() - 1)))
+		hframe, nsize, ncy2 := m.nptWalk(c, socket, gpa, st)
+		cy += ncy2
+		// The composed translation is valid at the smaller granularity of
+		// the two dimensions; rebase the frame to that page's start.
+		eff := pt.MinSize(gsize, nsize)
+		base := hframe - mem.FrameID(pt.PageOffset(va, eff)>>pt.PageShift4K)
+		leaf := pt.NewPTE(base, e.Flags().ClearFlags(pt.FlagHuge)|flags)
+		if eff != pt.Size4K {
+			leaf |= pt.FlagHuge
+		}
+		return leaf, eff, cy, true
+	}
+	panic("hw: guest walk descended past level 1")
+}
+
+// nptWalk translates one guest-physical address through the core's nested
+// table (socket-local root with ePT replication), charging each read like
+// a native walk step plus the nested-dimension split counter. Nested huge
+// leaves compose the in-page offset; non-present entries and misplaced PS
+// bits are hypervisor invariant violations and panic.
+func (m *Machine) nptWalk(c *coreState, socket numa.SocketID, gpa pt.VirtAddr, st *CoreStats) (mem.FrameID, pt.PageSize, numa.Cycles) {
+	frame := c.cr3
+	var cy numa.Cycles
+	for level := c.nlevels; level >= 1; level-- {
+		idx := pt.Index(gpa, level)
+		rcy := m.ptRead(c, socket, frame, idx, st)
+		cy += rcy
+		st.NestedWalkCycles += rcy
+		e := pt.ReadEntry(m.pm, pt.EntryRef{Frame: frame, Index: idx})
+		if !e.Present() {
+			panic(fmt.Sprintf("hw: nested fault at gPA %#x level %d (hypervisor invariant broken)", uint64(gpa), level))
+		}
+		if level == 1 {
+			return e.Frame(), pt.Size4K, cy
+		}
+		if e.Huge() {
+			size, ok := pt.SizeAtLevel(level)
+			if !ok {
+				panic(fmt.Sprintf("hw: malformed nested table: PS bit at level %d (gPA %#x)", level, uint64(gpa)))
+			}
+			off := pt.PageOffset(gpa, size) >> pt.PageShift4K
+			return e.Frame() + mem.FrameID(off), size, cy
+		}
+		frame = e.Frame()
+	}
+	panic("hw: nested walk descended past level 1")
 }
 
 // ptRead charges one page-table entry read: LLC hit or DRAM at the table

@@ -48,8 +48,12 @@ func (k *Kernel) HandleFault(core numa.CoreID, va pt.VirtAddr, write bool) (numa
 
 // populateOne maps the page covering va inside v, honouring THP and the
 // process's data/page-table placement policies. It returns the page size
-// installed (or found already present).
+// installed (or found already present). Virtualized processes populate
+// their guest table instead (guest-kernel + hypervisor work).
 func (k *Kernel) populateOne(p *Process, v *VMA, va pt.VirtAddr, socket numa.SocketID) (pt.PageSize, error) {
+	if p.guest != nil {
+		return k.populateGuestOne(p, v, va, socket)
+	}
 	// Already mapped (e.g., racing fault or populate overlap)?
 	if _, size, ok := p.mapper.Table().Lookup(va); ok {
 		return size, nil

@@ -112,6 +112,7 @@ type Kernel struct {
 	faultCore numa.CoreID
 
 	nextPID   int
+	nextVMID  int
 	procs     map[int]*Process
 	current   []*Process // per core
 	nextIntlv int        // machine-wide interleave cursor for fresh processes

@@ -143,7 +143,7 @@ func (e *PolicyEngine) Tick(round int) error {
 			e.log = append(e.log, ActionRecord{Round: round, Action: a})
 		}
 	}
-	e.timeline = append(e.timeline, len(e.p.space.ReplicaNodes()))
+	e.timeline = append(e.timeline, len(e.p.ReplicaNodes()))
 	return nil
 }
 
@@ -181,18 +181,26 @@ func (e *PolicyEngine) telemetry(round int) *core.Telemetry {
 	k, p := e.k, e.p
 	topo := k.topo
 	primary := p.space.PrimaryNode()
+	mask := slices.Clone(p.space.Mask())
+	if p.guest != nil {
+		// Virtualized process: the guest home plays the primary, and the
+		// droppable replica set is every other node holding a gPT or ePT
+		// copy.
+		primary = p.guest.HomeNode()
+		mask = slices.DeleteFunc(p.ReplicaNodes(), func(n numa.NodeID) bool { return n == primary })
+	}
 	t := &core.Telemetry{
 		Round:         round,
 		PrimaryNode:   primary,
 		PrimarySocket: topo.SocketOfNode(primary),
-		Mask:          slices.Clone(p.space.Mask()),
-		PTPages:       p.space.PTPageCount(),
+		Mask:          mask,
+		PTPages:       p.policyPTPages(),
 		Sockets:       make([]core.SocketSample, topo.Sockets()),
 	}
 	for _, job := range e.inflight {
 		t.InFlight = append(t.InFlight, job.ir.Node())
 	}
-	replicated := p.space.ReplicaNodes()
+	replicated := p.ReplicaNodes()
 	for s := 0; s < topo.Sockets(); s++ {
 		sid := numa.SocketID(s)
 		cur := k.machine.SocketStats(sid)
@@ -233,6 +241,9 @@ func (e *PolicyEngine) runsOn(s numa.SocketID) bool {
 // validated away without logging).
 func (e *PolicyEngine) apply(a core.Action) (bool, error) {
 	k, p := e.k, e.p
+	if p.guest != nil {
+		return e.applyVirt(a)
+	}
 	switch a.Kind {
 	case core.ActionReplicate:
 		if a.Node == p.space.PrimaryNode() || slices.Contains(p.space.Mask(), a.Node) {
@@ -259,6 +270,40 @@ func (e *PolicyEngine) apply(a core.Action) (bool, error) {
 		return true, nil
 	case core.ActionDrop:
 		return k.DropReplica(p, a.Node)
+	case core.ActionMigrate:
+		if e.runsOn(a.Socket) && len(e.socketsOf()) == 1 {
+			return false, nil
+		}
+		if err := k.MigrateProcess(p, a.Socket, MigrateOpts{}); err != nil {
+			return false, fmt.Errorf("kernel: policy migrate to socket %d: %w", a.Socket, err)
+		}
+		return true, nil
+	default:
+		return false, fmt.Errorf("kernel: unknown policy action %v", a.Kind)
+	}
+}
+
+// applyVirt executes one action for a virtualized process: replicate and
+// drop act on the guest and/or nested tables per the process's configured
+// policy layers (gPT and ePT are driven independently when a layer
+// selector narrows them), applied eagerly at the round barrier — the VM
+// dimensions have no incremental-copy machinery, so the copy stalls the
+// vCPU like an explicit mask change would.
+func (e *PolicyEngine) applyVirt(a core.Action) (bool, error) {
+	k, p := e.k, e.p
+	switch a.Kind {
+	case core.ActionReplicate:
+		applied, err := k.ReplicateVMNode(p, a.Node, p.vmPolicyLayers)
+		if err != nil {
+			// Allocation pressure mid-copy: swallow the error (the policy
+			// re-requests once memory frees up) but keep `applied` — a
+			// partially applied both-layers action did repoint roots and
+			// must appear in the log.
+			return applied, nil
+		}
+		return applied, nil
+	case core.ActionDrop:
+		return k.DropVMReplica(p, a.Node, p.vmPolicyLayers)
 	case core.ActionMigrate:
 		if e.runsOn(a.Socket) && len(e.socketsOf()) == 1 {
 			return false, nil

@@ -9,6 +9,7 @@ import (
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
 	"github.com/mitosis-project/mitosis-sim/internal/pt"
 	"github.com/mitosis-project/mitosis-sim/internal/pvops"
+	"github.com/mitosis-project/mitosis-sim/internal/virt"
 )
 
 // DataPolicy selects where data pages are allocated on a fault — the
@@ -68,6 +69,17 @@ type ProcessOpts struct {
 	// DataLocality is the probability a data access hits the cache
 	// hierarchy (workload parameter passed to the hardware model).
 	DataLocality float64
+	// VM, when set, runs the process inside the given virtual machine:
+	// its address space becomes a guest page-table (gVA -> gPA) nested
+	// under the VM's gPA -> hPA table, and its cores execute virtualized
+	// contexts with two-dimensional walks. Guest page-table pages are
+	// backed on PTNode when PTPolicy is PTFixed, else on the VM's home
+	// node (the guest has no NUMA visibility of its own).
+	VM *VM
+	// VMPolicyLayers selects which dimensions a runtime replication
+	// policy acts on for a virtualized process: VMLayerGPT, VMLayerEPT or
+	// VMLayerBoth (default).
+	VMPolicyLayers string
 }
 
 // Process is the simulated process: an address space plus scheduling state.
@@ -79,6 +91,13 @@ type Process struct {
 	mapper *pvops.Mapper
 	space  *core.Space
 	vmas   []*VMA
+
+	// vm and guest are set for virtualized processes: the VM the process
+	// runs in and its guest page-table. The host mapper/space above stay
+	// allocated but empty — translation happens in the guest dimension.
+	vm             *VM
+	guest          *virt.GuestSpace
+	vmPolicyLayers string
 
 	dataPolicy DataPolicy
 	bindNode   numa.NodeID
@@ -142,6 +161,26 @@ func (k *Kernel) CreateProcess(opts ProcessOpts) (*Process, error) {
 	}
 	p.mapper = mp
 	p.space = core.NewSpace(k.pm, k.backend, mp)
+	if opts.VM != nil {
+		if k.levels != 4 {
+			return nil, fmt.Errorf("kernel: guest processes require 4-level paging (kernel runs %d-level)", k.levels)
+		}
+		layers, err := normalizeVMLayers(opts.VMPolicyLayers)
+		if err != nil {
+			return nil, err
+		}
+		gptHome := opts.VM.vm.HomeNode()
+		if p.ptPolicy == PTFixed {
+			gptHome = p.ptNode
+		}
+		gs, err := opts.VM.vm.NewGuestSpace(gptHome)
+		if err != nil {
+			return nil, fmt.Errorf("kernel: creating guest space: %w", err)
+		}
+		p.vm = opts.VM
+		p.guest = gs
+		p.vmPolicyLayers = layers
+	}
 	k.procs[p.PID] = p
 	return p, nil
 }

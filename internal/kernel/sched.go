@@ -57,12 +57,18 @@ func (k *Kernel) Deschedule(p *Process) {
 }
 
 // loadContexts (re)loads CR3 on all of p's cores, picking the socket-local
-// replica root where one exists.
+// replica root where one exists. Virtualized processes load a guest+nested
+// root pair (VM entry) so each vCPU walks socket-local trees in both
+// dimensions once gPT/ePT replicas exist.
 func (k *Kernel) loadContexts(p *Process) {
 	for _, c := range p.cores {
 		k.current[c] = p
 		s := k.topo.SocketOf(c)
-		k.machine.LoadContext(c, p.space.RootFor(s), k.levels)
+		if p.guest != nil {
+			k.machine.LoadVirtContext(c, p.guest.GuestRootFor(s), p.vm.vm.NestedRootFor(s), 4, p.vm.vm.NestedLevels())
+		} else {
+			k.machine.LoadContext(c, p.space.RootFor(s), k.levels)
+		}
 		k.machine.SetDataLocality(c, p.dataLocality)
 	}
 }

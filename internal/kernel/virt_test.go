@@ -1,0 +1,218 @@
+package kernel
+
+import (
+	"testing"
+
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+)
+
+// virtFixture boots a small kernel with one VM and one guest process: VM
+// and guest page-tables initialized on homeNode, vCPU on socket 0 — the
+// §7.4 worst case when homeNode is remote.
+func virtFixture(t *testing.T, thp bool, homeNode numa.NodeID) (*Kernel, *Process) {
+	t.Helper()
+	k := New(Config{
+		Topology:      numa.NewTopology(2, 2),
+		FramesPerNode: 1 << 15,
+	})
+	k.SetTHP(thp)
+	vm, err := k.CreateVM(homeNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.CreateProcess(ProcessOpts{
+		Name:       "guest",
+		Home:       0,
+		VM:         vm,
+		PTPolicy:   PTFixed,
+		PTNode:     homeNode,
+		DataPolicy: Bind,
+		BindNode:   homeNode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunOn(p, []numa.CoreID{k.Topology().FirstCoreOf(0)}); err != nil {
+		t.Fatal(err)
+	}
+	return k, p
+}
+
+func TestGuestProcessFaultsAndTranslates(t *testing.T) {
+	k, p := virtFixture(t, false, 1)
+	base, err := k.Mmap(p, 64<<12, MmapOpts{Writable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core0 := p.Cores()[0]
+	m := k.Machine()
+	for i := 0; i < 64; i++ {
+		if err := m.Access(core0, base+pt.VirtAddr(i<<12), true); err != nil {
+			t.Fatalf("access %d: %v", i, err)
+		}
+	}
+	st := m.Stats(core0)
+	if st.Faults == 0 {
+		t.Error("guest process took no faults")
+	}
+	if st.Walks == 0 {
+		t.Error("no 2D walks recorded")
+	}
+	if st.GuestWalkCycles == 0 || st.NestedWalkCycles == 0 {
+		t.Errorf("guest/nested walk cycle split missing: guest=%d nested=%d",
+			st.GuestWalkCycles, st.NestedWalkCycles)
+	}
+	if _, _, ok := p.GuestSpace().Lookup(base); !ok {
+		t.Error("guest table holds no mapping after fault")
+	}
+	// Repeat accesses hit the TLB: no further walks.
+	before := m.Stats(core0).Walks
+	if err := m.Access(core0, base, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats(core0).Walks; got != before {
+		t.Errorf("re-access walked again (%d -> %d); vTLB not caching the composed leaf", before, got)
+	}
+}
+
+// A cold 2D walk of a 4KB guest page over a 4KB-nested VM performs the
+// §7.4 worst case of 24 table reads.
+func TestGuestWalkWorstCase24Accesses(t *testing.T) {
+	k, p := virtFixture(t, false, 1)
+	base, err := k.Mmap(p, 8<<12, MmapOpts{Writable: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core0 := p.Cores()[0]
+	m := k.Machine()
+	m.FlushAll(core0)
+	m.ResetStats()
+	if err := m.Access(core0, base, false); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats(core0)
+	if got := st.WalkMemAccesses + st.WalkLLCHits; got != 24 {
+		t.Errorf("2D walk table reads = %d, want 24 (4 guest levels x 5 + 4)", got)
+	}
+	if st.Walks != 1 {
+		t.Errorf("walks = %d, want 1", st.Walks)
+	}
+}
+
+// With THP on, guest 2MB leaves compose with nested 2MB leaves: the cold
+// walk drops to 18 reads and the vTLB entry covers the whole 2MB page.
+func TestGuestWalkHugeLeaf18Accesses(t *testing.T) {
+	k, p := virtFixture(t, true, 1)
+	base, err := k.Mmap(p, 2<<20, MmapOpts{Writable: true, THP: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, size, ok := p.GuestSpace().Lookup(base); !ok || size != pt.Size2M {
+		t.Fatalf("guest mapping at %#x: ok=%v size=%v, want a 2MB leaf", uint64(base), ok, size)
+	}
+	core0 := p.Cores()[0]
+	m := k.Machine()
+	m.FlushAll(core0)
+	m.ResetStats()
+	if err := m.Access(core0, base+0x1000, false); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats(core0)
+	if got := st.WalkMemAccesses + st.WalkLLCHits; got != 18 {
+		t.Errorf("huge 2D walk table reads = %d, want 18 (3 guest levels x 5 + 3)", got)
+	}
+	// Another 4KB page of the same 2MB mapping hits the TLB entry.
+	before := m.Stats(core0).Walks
+	if err := m.Access(core0, base+0x1F5000, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats(core0).Walks; got != before {
+		t.Errorf("2MB vTLB entry did not cover the page (walks %d -> %d)", before, got)
+	}
+}
+
+// Replicating both dimensions onto the vCPU's node makes the whole 2D walk
+// local, recovering the worst-case placement (§7.4 / Table 6 shape).
+func TestReplicateVMRecoversLocality(t *testing.T) {
+	k, p := virtFixture(t, false, 1)
+	base, err := k.Mmap(p, 128<<12, MmapOpts{Writable: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core0 := p.Cores()[0]
+	m := k.Machine()
+
+	m.FlushAll(core0)
+	m.FlushLLCs()
+	m.ResetStats()
+	for i := 0; i < 128; i++ {
+		if err := m.Access(core0, base+pt.VirtAddr(i<<12), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	worst := m.Stats(core0)
+	if worst.WalkRemoteAccesses == 0 {
+		t.Fatal("worst-case placement produced no remote walk reads")
+	}
+
+	if err := k.ReplicateVM(p, VMLayerBoth); err != nil {
+		t.Fatal(err)
+	}
+	nodes := p.ReplicaNodes()
+	if len(nodes) != 2 {
+		t.Fatalf("replica nodes = %v, want both nodes", nodes)
+	}
+	m.FlushLLCs()
+	m.ResetStats()
+	for i := 0; i < 128; i++ {
+		if err := m.Access(core0, base+pt.VirtAddr(i<<12), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	best := m.Stats(core0)
+	if best.WalkRemoteAccesses != 0 {
+		t.Errorf("replicated 2D walk still reads remotely: %d accesses", best.WalkRemoteAccesses)
+	}
+	if best.WalkCycles >= worst.WalkCycles {
+		t.Errorf("replicated walks (%d cycles) not cheaper than worst case (%d)",
+			best.WalkCycles, worst.WalkCycles)
+	}
+}
+
+// gPT and ePT replicate independently: a gpt-only layer selector leaves
+// the nested table unreplicated and vice versa.
+func TestVMLayersIndependent(t *testing.T) {
+	k, p := virtFixture(t, false, 1)
+	if _, err := k.Mmap(p, 16<<12, MmapOpts{Writable: true, Populate: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.ReplicateVMNode(p, 0, VMLayerGPT); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.GuestSpace().ReplicaNodes(); len(got) != 2 {
+		t.Errorf("guest replica nodes = %v, want both", got)
+	}
+	if got := p.VM().Virt().NestedReplicaNodes(); len(got) != 1 {
+		t.Errorf("nested replica nodes = %v, want home only", got)
+	}
+	if _, err := k.ReplicateVMNode(p, 0, VMLayerEPT); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.VM().Virt().NestedReplicaNodes(); len(got) != 2 {
+		t.Errorf("nested replica nodes after ept = %v, want both", got)
+	}
+	// Drop them independently again.
+	if applied, err := k.DropVMReplica(p, 0, VMLayerGPT); err != nil || !applied {
+		t.Fatalf("gpt drop: applied=%v err=%v", applied, err)
+	}
+	if got := p.VM().Virt().NestedReplicaNodes(); len(got) != 2 {
+		t.Errorf("gpt drop also dropped nested: %v", got)
+	}
+	if applied, err := k.DropVMReplica(p, 0, VMLayerEPT); err != nil || !applied {
+		t.Fatalf("ept drop: applied=%v err=%v", applied, err)
+	}
+	if got := p.ReplicaNodes(); len(got) != 1 {
+		t.Errorf("replica nodes after drops = %v, want home only", got)
+	}
+}

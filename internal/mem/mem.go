@@ -220,6 +220,27 @@ func (pm *PhysMem) Table(f FrameID) *[PTEntries]uint64 {
 	return t
 }
 
+// ProvisionTable attaches 512-entry table storage to an allocated data
+// frame. Guest page-table pages live in guest *data* frames (the guest
+// kernel allocates them from guest-physical memory), yet concurrent
+// hardware walkers must read them through the same published-pointer
+// discipline as host page-table pages: the caller provisions the storage
+// before atomically linking the page into a parent guest entry.
+// Idempotent; panics on a free frame.
+func (pm *PhysMem) ProvisionTable(f FrameID) *[PTEntries]uint64 {
+	pm.checkFrame(f)
+	ns := pm.node(pm.NodeOf(f))
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if pm.meta[f].Kind == KindFree {
+		panic(fmt.Sprintf("mem: provisioning table storage on free frame %d", f))
+	}
+	if pm.tables[f] == nil {
+		pm.tables[f] = new([PTEntries]uint64)
+	}
+	return pm.tables[f]
+}
+
 // SampleAccess records one data access to frame f from the given socket for
 // the AutoNUMA balancer. It is the only FrameMeta mutation allowed while
 // other cores run: all fields involved are updated atomically.
@@ -348,8 +369,10 @@ func (pm *PhysMem) Free(f FrameID) {
 		ns.allocData--
 	case KindPageTable:
 		ns.allocPT--
-		pm.tables[f] = nil
 	}
+	// Data frames may carry provisioned guest-table storage; drop it so a
+	// reused frame never exposes a stale payload.
+	pm.tables[f] = nil
 	*m = FrameMeta{Kind: KindFree, ReplicaNext: NilFrame}
 	pm.clearBit(ns, uint64(f-ns.base))
 	ns.free++
@@ -370,6 +393,7 @@ func (pm *PhysMem) FreeHuge(base FrameID) {
 		f := base + off
 		m := &pm.meta[f]
 		*m = FrameMeta{Kind: KindFree, ReplicaNext: NilFrame}
+		pm.tables[f] = nil
 		pm.clearBit(ns, uint64(f-ns.base))
 	}
 	g := (base - ns.base) / HugeFrames

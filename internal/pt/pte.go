@@ -93,6 +93,32 @@ func (s PageSize) LeafLevel() uint8 {
 	}
 }
 
+// SizeAtLevel is the inverse of LeafLevel: the page size of a leaf entry
+// terminating the walk at the given level (1 = 4KB, 2 = 2MB, 3 = 1GB).
+// ok is false for levels where no leaf may terminate — a PS bit there
+// marks a malformed tree.
+func SizeAtLevel(level uint8) (PageSize, bool) {
+	switch level {
+	case 1:
+		return Size4K, true
+	case 2:
+		return Size2M, true
+	case 3:
+		return Size1G, true
+	default:
+		return Size4K, false
+	}
+}
+
+// MinSize returns the smaller of two page sizes — the granularity a
+// composed (e.g. guest x nested) translation is valid at.
+func MinSize(a, b PageSize) PageSize {
+	if a.Bytes() < b.Bytes() {
+		return a
+	}
+	return b
+}
+
 func (s PageSize) String() string {
 	switch s {
 	case Size4K:

@@ -183,12 +183,19 @@ func (t *TLB) Lookup(va pt.VirtAddr) (Entry, HitLevel) {
 	t.Stats.Lookups++
 	vpn4k := uint64(va) >> pt.PageShift4K
 	vpn2m := uint64(va) >> 21
+	vpn1g := uint64(va) >> 30
 
 	if e, ok := t.l1x4k.set(vpn4k).lookup(vpn4k, pt.Size4K); ok {
 		t.Stats.L1Hits++
 		return *e, HitL1
 	}
 	if e, ok := t.l1x2m.set(vpn2m).lookup(vpn2m, pt.Size2M); ok {
+		t.Stats.L1Hits++
+		return *e, HitL1
+	}
+	// 1GB mappings share the 2MB arrays but keep their own VPN granularity
+	// and Size, so Entry.Frame composes the in-page offset with a 1GB mask.
+	if e, ok := t.l1x2m.set(vpn1g).lookup(vpn1g, pt.Size1G); ok {
 		t.Stats.L1Hits++
 		return *e, HitL1
 	}
@@ -204,19 +211,21 @@ func (t *TLB) Lookup(va pt.VirtAddr) (Entry, HitLevel) {
 		t.l1x2m.set(vpn2m).insert(hit)
 		return hit, HitL2
 	}
+	if e, ok := t.l2.set(vpn1g).lookup(vpn1g, pt.Size1G); ok {
+		t.Stats.L2Hits++
+		hit := *e
+		t.l1x2m.set(vpn1g).insert(hit)
+		return hit, HitL2
+	}
 	t.Stats.Misses++
 	return Entry{}, Miss
 }
 
 // Insert installs a translation (after a page walk) into both levels.
+// 1GB mappings share the 2MB arrays (the evaluation machine has very few
+// dedicated 1GB entries, §7.3) but are stored at 1GB granularity: VPN and
+// Size stay 1GB so Frame and InvalidatePage cover the whole mapping.
 func (t *TLB) Insert(va pt.VirtAddr, leaf pt.PTE, size pt.PageSize) {
-	if size == pt.Size1G {
-		// 1GB mappings are tracked in the 2MB arrays at 1GB granularity;
-		// the evaluation machine has very few 1GB entries (§7.3) and the
-		// experiments do not use them.
-		size = pt.Size2M
-		leaf = pt.NewPTE(leaf.Frame(), leaf.Flags())
-	}
 	vpn := uint64(va) >> uint(shiftOf(size))
 	e := Entry{VPN: vpn, Leaf: leaf, Size: size, valid: true}
 	switch size {
@@ -228,11 +237,12 @@ func (t *TLB) Insert(va pt.VirtAddr, leaf pt.PTE, size pt.PageSize) {
 	t.l2.set(vpn).insert(e)
 }
 
-// InvalidatePage removes any translation covering va (both page sizes) —
+// InvalidatePage removes any translation covering va (all page sizes) —
 // the core's response to a TLB shootdown for one page.
 func (t *TLB) InvalidatePage(va pt.VirtAddr) {
 	vpn4k := uint64(va) >> pt.PageShift4K
 	vpn2m := uint64(va) >> 21
+	vpn1g := uint64(va) >> 30
 	hit := false
 	if t.l1x4k.set(vpn4k).invalidate(vpn4k, pt.Size4K) {
 		hit = true
@@ -240,10 +250,16 @@ func (t *TLB) InvalidatePage(va pt.VirtAddr) {
 	if t.l1x2m.set(vpn2m).invalidate(vpn2m, pt.Size2M) {
 		hit = true
 	}
+	if t.l1x2m.set(vpn1g).invalidate(vpn1g, pt.Size1G) {
+		hit = true
+	}
 	if t.l2.set(vpn4k).invalidate(vpn4k, pt.Size4K) {
 		hit = true
 	}
 	if t.l2.set(vpn2m).invalidate(vpn2m, pt.Size2M) {
+		hit = true
+	}
+	if t.l2.set(vpn1g).invalidate(vpn1g, pt.Size1G) {
 		hit = true
 	}
 	if hit {

@@ -14,13 +14,21 @@
 //   - GuestSpace: a guest process's page-table, stored in guest-physical
 //     frames, with optional per-socket guest-table replicas (gPT
 //     replication needs guest-visible NUMA, exactly as §7.4 observes).
-//   - Walk2D: the two-dimensional walker with per-access NUMA cycle costs,
-//     for measuring how nested walks amplify page-table misplacement and
-//     how replicating either (or both) levels recovers it.
+//   - Walk2D: a software two-dimensional walker with per-access NUMA cycle
+//     costs, used by unit tests and as the reference for the hardware
+//     walker (hw.Machine performs the TLB-integrated 2D walk in the main
+//     access path; this package supplies it with roots and table storage).
+//
+// Guest page-table pages live in guest *data* frames, but their payloads
+// are provisioned into the physical memory's table storage
+// (mem.ProvisionTable) and every guest entry is read and written through
+// the atomic pt entry accessors — concurrent hardware walkers on other
+// cores observe guest tables exactly as they observe host tables.
 package virt
 
 import (
 	"fmt"
+	"slices"
 
 	"github.com/mitosis-project/mitosis-sim/internal/core"
 	"github.com/mitosis-project/mitosis-sim/internal/mem"
@@ -54,12 +62,9 @@ type VM struct {
 
 	nextGuestFrame GuestFrame
 	// backing maps each guest frame to its host frame (a software shadow
-	// of the nested table, used for guest-side writes).
+	// of the nested table, used for guest-side writes). NilFrame marks
+	// alignment holes left by huge-page allocation.
 	backing []mem.FrameID
-	// payloads holds 512-entry storage for data frames used as guest
-	// page-table pages (host PhysMem only provisions payloads for host
-	// page-table frames).
-	payloads map[mem.FrameID]*[512]uint64
 }
 
 // NewVM creates a VM whose nested page-table root lives on hostNode. When
@@ -82,6 +87,32 @@ func NewVM(pm *mem.PhysMem, cost *numa.CostModel, backend pvops.Backend, hostNod
 // when the VM runs on the native backend.
 func (vm *VM) NestedSpace() *core.Space { return vm.nspace }
 
+// HomeNode returns the node the hypervisor builds the VM's nested tables on.
+func (vm *VM) HomeNode() numa.NodeID { return vm.homeNode }
+
+// NestedLevels returns the nested table's paging depth.
+func (vm *VM) NestedLevels() uint8 { return vm.npt.Levels() }
+
+// DrainCycles returns and clears the hypervisor-side cycle meter (nested
+// table construction and replication work done on behalf of the VM). The
+// kernel bills these to the faulting core.
+func (vm *VM) DrainCycles() numa.Cycles {
+	cy := vm.ctx.Meter.Cycles
+	vm.ctx.Meter.Cycles = 0
+	return cy
+}
+
+// nestedPlace returns the placement for new nested-table pages:
+// hypervisor state built on the VM's home node, replicated per the current
+// nested mask.
+func (vm *VM) nestedPlace() pvops.PTPlacement {
+	place := pvops.PTPlacement{Primary: vm.homeNode}
+	if vm.nspace != nil {
+		place.Replicas = vm.nspace.Mask()
+	}
+	return place
+}
+
 // AllocGuestFrame extends guest-physical memory by one frame backed by a
 // host frame on node, and maps it in the nested table.
 func (vm *VM) AllocGuestFrame(node numa.NodeID) (GuestFrame, error) {
@@ -90,32 +121,81 @@ func (vm *VM) AllocGuestFrame(node numa.NodeID) (GuestFrame, error) {
 		return 0, err
 	}
 	gf := vm.nextGuestFrame
-	vm.nextGuestFrame++
-	// Nested-table pages are hypervisor state: they are built on the VM's
-	// home node regardless of where the guest frame's data lives.
-	place := pvops.PTPlacement{Primary: vm.homeNode}
-	if vm.nspace != nil {
-		place.Replicas = vm.nspace.Mask()
-	}
-	if err := vm.npt.Map(vm.ctx, gpaOf(gf), pt.Size4K, hf, pt.FlagWrite|pt.FlagUser, place); err != nil {
+	if err := vm.npt.Map(vm.ctx, gpaOf(gf), pt.Size4K, hf, pt.FlagWrite|pt.FlagUser, vm.nestedPlace()); err != nil {
 		vm.pm.Free(hf)
 		return 0, fmt.Errorf("virt: mapping guest frame %d: %w", gf, err)
 	}
+	vm.nextGuestFrame++
 	vm.backing = append(vm.backing, hf)
+	return gf, nil
+}
+
+// AllocGuestTablePage allocates a guest frame destined to hold a guest
+// page-table page: like AllocGuestFrame, plus table storage provisioned so
+// hardware walkers can read the page through the published table pointer.
+func (vm *VM) AllocGuestTablePage(node numa.NodeID) (GuestFrame, error) {
+	gf, err := vm.AllocGuestFrame(node)
+	if err != nil {
+		return 0, err
+	}
+	vm.pm.ProvisionTable(vm.hostFrameOf(gf))
+	return gf, nil
+}
+
+// AllocGuestHuge extends guest-physical memory by one 2MB block (512
+// guest frames, 2MB-aligned in guest-physical space) backed by a host huge
+// page on node, nested-mapped with a single 2MB leaf. Guest 2MB pages thus
+// compose with nested 2MB leaves, so the effective gVA->hPA translation is
+// 2MB-grained end to end.
+func (vm *VM) AllocGuestHuge(node numa.NodeID) (GuestFrame, error) {
+	hf, err := vm.pm.AllocHuge(node)
+	if err != nil {
+		return 0, err
+	}
+	// Align the next guest frame to a 2MB guest-physical boundary; the
+	// skipped frame numbers stay unbacked holes.
+	gf := (vm.nextGuestFrame + mem.HugeFrames - 1) / mem.HugeFrames * mem.HugeFrames
+	if err := vm.npt.Map(vm.ctx, gpaOf(gf), pt.Size2M, hf, pt.FlagWrite|pt.FlagUser, vm.nestedPlace()); err != nil {
+		vm.pm.FreeHuge(hf)
+		return 0, fmt.Errorf("virt: mapping guest huge frame %d: %w", gf, err)
+	}
+	for len(vm.backing) < int(gf) {
+		vm.backing = append(vm.backing, mem.NilFrame)
+	}
+	for i := mem.FrameID(0); i < mem.HugeFrames; i++ {
+		vm.backing = append(vm.backing, hf+i)
+	}
+	vm.nextGuestFrame = gf + mem.HugeFrames
 	return gf, nil
 }
 
 // hostFrameOf returns the host frame backing a guest frame.
 func (vm *VM) hostFrameOf(gf GuestFrame) mem.FrameID {
-	if uint64(gf) >= uint64(len(vm.backing)) {
+	if uint64(gf) >= uint64(len(vm.backing)) || vm.backing[gf] == mem.NilFrame {
 		panic(fmt.Sprintf("virt: guest frame %d beyond guest memory", gf))
 	}
 	return vm.backing[gf]
 }
 
+// HostFrameOf returns the host frame backing a guest frame (the software
+// shadow of the nested translation). Call it only at quiescent points.
+func (vm *VM) HostFrameOf(gf GuestFrame) mem.FrameID { return vm.hostFrameOf(gf) }
+
+// freeGuestFrame releases the host frame behind gf and removes its nested
+// mapping (guest-table replica teardown).
+func (vm *VM) freeGuestFrame(gf GuestFrame) {
+	hf := vm.hostFrameOf(gf)
+	if _, err := vm.npt.Unmap(vm.ctx, gpaOf(gf), pt.Size4K); err != nil {
+		panic(fmt.Sprintf("virt: unmapping guest frame %d: %v", gf, err))
+	}
+	vm.pm.Free(hf)
+	vm.backing[gf] = mem.NilFrame
+}
+
 // ReplicateNested replicates the nested page-table on the given nodes via
 // the ordinary Mitosis machinery (§7.4: "we can extend Mitosis' design to
 // replicate both guest page-tables and nested page-tables independently").
+// It is a full SetMask: nodes absent from the list lose their replicas.
 func (vm *VM) ReplicateNested(nodes []numa.NodeID) error {
 	if vm.nspace == nil {
 		return fmt.Errorf("virt: nested replication requires the Mitosis backend")
@@ -123,9 +203,18 @@ func (vm *VM) ReplicateNested(nodes []numa.NodeID) error {
 	return vm.nspace.SetMask(vm.ctx, nodes)
 }
 
-// nptRootFor returns the nested-table root the given socket's hardware
-// would use.
-func (vm *VM) nptRootFor(socket numa.SocketID) mem.FrameID {
+// NestedReplicaNodes returns the nodes holding a copy of the nested table
+// (the primary's node included), ascending.
+func (vm *VM) NestedReplicaNodes() []numa.NodeID {
+	if vm.nspace == nil {
+		return []numa.NodeID{vm.homeNode}
+	}
+	return vm.nspace.ReplicaNodes()
+}
+
+// NestedRootFor returns the nested-table root the given socket's hardware
+// would use (the per-socket nCR3 of §5.3 applied to the nested dimension).
+func (vm *VM) NestedRootFor(socket numa.SocketID) mem.FrameID {
 	if vm.nspace != nil {
 		return vm.nspace.RootFor(socket)
 	}
@@ -149,7 +238,7 @@ type GuestSpace struct {
 // NewGuestSpace creates an empty guest page-table with its root backed on
 // homeNode.
 func (vm *VM) NewGuestSpace(homeNode numa.NodeID) (*GuestSpace, error) {
-	root, err := vm.AllocGuestFrame(homeNode)
+	root, err := vm.AllocGuestTablePage(homeNode)
 	if err != nil {
 		return nil, err
 	}
@@ -166,65 +255,152 @@ func (vm *VM) NewGuestSpace(homeNode numa.NodeID) (*GuestSpace, error) {
 	return gs, nil
 }
 
+// VM returns the machine the guest space lives in.
+func (gs *GuestSpace) VM() *VM { return gs.vm }
+
+// HomeNode returns the node unreplicated guest-table frames are backed on.
+func (gs *GuestSpace) HomeNode() numa.NodeID { return gs.homeNode }
+
+// GuestRootFor returns the guest-physical frame number of the guest root
+// table the vCPU on socket uses (the guest CR3 frame).
+func (gs *GuestSpace) GuestRootFor(socket numa.SocketID) uint64 {
+	return uint64(gs.roots[socket])
+}
+
+// ReplicaNodes returns the nodes holding a copy of the guest table (the
+// home node included), ascending.
+func (gs *GuestSpace) ReplicaNodes() []numa.NodeID {
+	nodes := []numa.NodeID{gs.homeNode}
+	for n := range gs.replicas {
+		nodes = append(nodes, n)
+	}
+	slices.Sort(nodes)
+	return nodes
+}
+
+// PTPageCount returns the number of guest page-table pages in the primary
+// tree — the size of the copy a guest replication commits to (policy cost
+// input).
+func (gs *GuestSpace) PTPageCount() int {
+	return gs.countTree(gs.primary, 4)
+}
+
+func (gs *GuestSpace) countTree(root GuestFrame, level uint8) int {
+	n := 1
+	if level > 1 {
+		for i := 0; i < mem.PTEntries; i++ {
+			e := gs.readGuest(root, i)
+			if e.Present() && !e.Huge() {
+				n += gs.countTree(GuestFrame(e.Frame()), level-1)
+			}
+		}
+	}
+	return n
+}
+
 // gptTable returns the host-memory view of a guest page-table page.
-func (gs *GuestSpace) gptTable(gf GuestFrame) *[512]uint64 {
-	hf := gs.vm.hostFrameOf(gf)
-	// Guest page-table pages live in guest DATA frames; the simulator
-	// stores their payloads in the host frame's table storage, which it
-	// provisions on first use.
-	return gs.vm.ensurePayload(hf)
+func (gs *GuestSpace) gptTable(gf GuestFrame) mem.FrameID {
+	return gs.vm.hostFrameOf(gf)
 }
 
-// ensurePayload returns (allocating on demand) a 512-entry payload for a
-// data frame used as guest page-table storage.
-func (vm *VM) ensurePayload(hf mem.FrameID) *[512]uint64 {
-	if vm.payloads == nil {
-		vm.payloads = make(map[mem.FrameID]*[512]uint64)
-	}
-	p, ok := vm.payloads[hf]
-	if !ok {
-		p = new([512]uint64)
-		vm.payloads[hf] = p
-	}
-	return p
+// readGuest reads one guest page-table entry atomically.
+func (gs *GuestSpace) readGuest(gf GuestFrame, idx int) pt.PTE {
+	return pt.ReadEntry(gs.vm.pm, pt.EntryRef{Frame: gs.gptTable(gf), Index: idx})
 }
 
-// Map installs gva -> gframe in the guest table (guest-kernel work),
-// allocating intermediate guest-table frames on the guest space's home
-// node. Replicas, if any, are updated eagerly — the guest-level equivalent
-// of the eager PV-Ops propagation.
-func (gs *GuestSpace) Map(gva pt.VirtAddr, gframe GuestFrame, flags pt.PTE) error {
-	if err := gs.mapInTree(gs.primary, gs.homeNode, gva, gframe, flags); err != nil {
+// writeGuest writes one guest page-table entry atomically.
+func (gs *GuestSpace) writeGuest(gf GuestFrame, idx int, e pt.PTE) {
+	pt.WriteEntryRaw(gs.vm.pm, pt.EntryRef{Frame: gs.gptTable(gf), Index: idx}, e)
+}
+
+// Map installs gva -> gframe at the given page size in the guest table
+// (guest-kernel work), allocating intermediate guest-table frames on
+// ptNode for the primary tree. Replicas, if any, are updated eagerly — the
+// guest-level equivalent of the eager PV-Ops propagation — with their
+// intermediate pages backed replica-locally. 2MB mappings require gframe
+// to be the base of an AllocGuestHuge block.
+func (gs *GuestSpace) Map(gva pt.VirtAddr, gframe GuestFrame, size pt.PageSize, flags pt.PTE, ptNode numa.NodeID) error {
+	if err := gs.mapInTree(gs.primary, ptNode, gva, gframe, size, flags); err != nil {
 		return err
 	}
-	for node, root := range gs.replicas {
-		if err := gs.mapInTree(root, node, gva, gframe, flags); err != nil {
+	// Replica trees update in ascending node order: intermediate-page
+	// allocation draws guest frames from the shared counter, so the
+	// iteration order is part of the bit-identical replay contract (a Go
+	// map range would randomize it).
+	for _, node := range gs.replicaNodesSorted() {
+		if err := gs.mapInTree(gs.replicas[node], node, gva, gframe, size, flags); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (gs *GuestSpace) mapInTree(root GuestFrame, node numa.NodeID, gva pt.VirtAddr, gframe GuestFrame, flags pt.PTE) error {
+// replicaNodesSorted returns the replica map's keys in ascending order.
+func (gs *GuestSpace) replicaNodesSorted() []numa.NodeID {
+	nodes := make([]numa.NodeID, 0, len(gs.replicas))
+	for n := range gs.replicas {
+		nodes = append(nodes, n)
+	}
+	slices.Sort(nodes)
+	return nodes
+}
+
+func (gs *GuestSpace) mapInTree(root GuestFrame, node numa.NodeID, gva pt.VirtAddr, gframe GuestFrame, size pt.PageSize, flags pt.PTE) error {
+	leafLevel := size.LeafLevel()
+	if uint64(gva)%size.Bytes() != 0 {
+		panic(fmt.Sprintf("virt: gva %#x not aligned to %v", uint64(gva), size))
+	}
 	cur := root
-	for level := uint8(4); level > 1; level-- {
-		tbl := gs.gptTable(cur)
+	for level := uint8(4); level > leafLevel; level-- {
 		idx := pt.Index(gva, level)
-		e := pt.PTE(tbl[idx])
+		e := gs.readGuest(cur, idx)
 		if !e.Present() {
-			child, err := gs.vm.AllocGuestFrame(node)
+			child, err := gs.vm.AllocGuestTablePage(node)
 			if err != nil {
 				return err
 			}
-			tbl[idx] = uint64(pt.NewPTE(mem.FrameID(child), pt.FlagPresent|pt.FlagWrite|pt.FlagUser))
+			// The child's storage is provisioned before this atomic store
+			// publishes it: concurrent walkers acquire the table pointer
+			// through the entry load.
+			gs.writeGuest(cur, idx, pt.NewPTE(mem.FrameID(child), pt.FlagPresent|pt.FlagWrite|pt.FlagUser))
 			cur = child
 			continue
 		}
+		if e.Huge() {
+			return fmt.Errorf("virt: mapping %#x: level-%d huge leaf in the way", uint64(gva), level)
+		}
 		cur = GuestFrame(e.Frame())
 	}
-	tbl := gs.gptTable(cur)
-	tbl[pt.Index(gva, 1)] = uint64(pt.NewPTE(mem.FrameID(gframe), flags|pt.FlagPresent))
+	e := pt.NewPTE(mem.FrameID(gframe), flags|pt.FlagPresent)
+	if size != pt.Size4K {
+		e |= pt.FlagHuge
+	}
+	gs.writeGuest(cur, pt.Index(gva, leafLevel), e)
 	return nil
+}
+
+// Lookup translates gva through the primary guest tree, returning the
+// guest leaf entry and its page size.
+func (gs *GuestSpace) Lookup(gva pt.VirtAddr) (pt.PTE, pt.PageSize, bool) {
+	cur := gs.primary
+	for level := uint8(4); level >= 1; level-- {
+		e := gs.readGuest(cur, pt.Index(gva, level))
+		if !e.Present() {
+			return 0, pt.Size4K, false
+		}
+		if level == 1 {
+			return e, pt.Size4K, true
+		}
+		if e.Huge() {
+			size, ok := pt.SizeAtLevel(level)
+			if !ok {
+				panic(fmt.Sprintf("virt: PS bit at guest level %d", level))
+			}
+			return e, size, true
+		}
+		cur = GuestFrame(e.Frame())
+	}
+	panic("virt: guest lookup descended past level 1")
 }
 
 // ReplicateGuest builds a guest-table replica backed by guest frames on
@@ -244,39 +420,75 @@ func (gs *GuestSpace) ReplicateGuest(nodes []numa.NodeID) error {
 		}
 		gs.replicas[node] = copyRoot
 	}
+	gs.repointRoots()
+	return nil
+}
+
+// DropGuestReplica tears down the guest-table replica on node, freeing its
+// guest frames, and repoints that node's vCPUs at the primary tree. The
+// home node's primary cannot be dropped. Reports whether a replica
+// existed.
+func (gs *GuestSpace) DropGuestReplica(node numa.NodeID) bool {
+	root, ok := gs.replicas[node]
+	if !ok {
+		return false
+	}
+	delete(gs.replicas, node)
+	gs.repointRoots()
+	gs.freeGuestTree(root, 4)
+	return true
+}
+
+// repointRoots reassigns each socket's guest root: the node-local replica
+// where one exists, the primary otherwise.
+func (gs *GuestSpace) repointRoots() {
 	topo := gs.vm.pm.Topology()
 	for s := range gs.roots {
 		node := topo.NodeOf(numa.SocketID(s))
 		if r, ok := gs.replicas[node]; ok {
 			gs.roots[s] = r
-		} else if node == gs.homeNode {
+		} else {
 			gs.roots[s] = gs.primary
 		}
 	}
-	return nil
+}
+
+// freeGuestTree releases a replica tree's table frames (interior pages
+// only; leaf entries point at shared guest data frames).
+func (gs *GuestSpace) freeGuestTree(root GuestFrame, level uint8) {
+	if level > 1 {
+		for i := 0; i < mem.PTEntries; i++ {
+			e := gs.readGuest(root, i)
+			if !e.Present() || e.Huge() {
+				continue
+			}
+			gs.freeGuestTree(GuestFrame(e.Frame()), level-1)
+		}
+	}
+	gs.vm.freeGuestFrame(root)
 }
 
 func (gs *GuestSpace) copyGuestTree(src GuestFrame, level uint8, node numa.NodeID) (GuestFrame, error) {
-	cp, err := gs.vm.AllocGuestFrame(node)
+	cp, err := gs.vm.AllocGuestTablePage(node)
 	if err != nil {
 		return 0, err
 	}
-	srcTbl := gs.gptTable(src)
-	dstTbl := gs.gptTable(cp)
-	for i := 0; i < 512; i++ {
-		e := pt.PTE(srcTbl[i])
+	for i := 0; i < mem.PTEntries; i++ {
+		e := gs.readGuest(src, i)
 		if !e.Present() {
 			continue
 		}
-		if level > 1 {
+		if level > 1 && !e.Huge() {
 			child, err := gs.copyGuestTree(GuestFrame(e.Frame()), level-1, node)
 			if err != nil {
 				return 0, err
 			}
-			dstTbl[i] = uint64(pt.NewPTE(mem.FrameID(child), e.Flags()))
+			gs.writeGuest(cp, i, pt.NewPTE(mem.FrameID(child), e.Flags()))
 			continue
 		}
-		dstTbl[i] = uint64(e)
+		// Leaf entries (4KB at level 1, huge leaves above) are copied
+		// verbatim: replicas share the guest data frames.
+		gs.writeGuest(cp, i, e)
 	}
 	return cp, nil
 }

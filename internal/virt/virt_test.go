@@ -44,7 +44,7 @@ func buildGuest(t testing.TB, fx *fixture, gptNode, dataNode numa.NodeID, n int)
 			t.Fatal(err)
 		}
 		va := pt.VirtAddr(uint64(i) * 0x201000) // spread over guest L1 tables
-		if err := gs.Map(va, gf, pt.FlagWrite|pt.FlagUser); err != nil {
+		if err := gs.Map(va, gf, pt.Size4K, pt.FlagWrite|pt.FlagUser, gptNode); err != nil {
 			t.Fatal(err)
 		}
 		vas = append(vas, va)
@@ -124,7 +124,7 @@ func TestReplicateNestedRestoresLocality(t *testing.T) {
 		t.Fatal(err)
 	}
 	va := pt.VirtAddr(0x7000000000)
-	if err := gs.Map(va, gf, pt.FlagWrite); err != nil {
+	if err := gs.Map(va, gf, pt.Size4K, pt.FlagWrite, gs.HomeNode()); err != nil {
 		t.Fatal(err)
 	}
 	for s := numa.SocketID(0); s < 4; s++ {
@@ -173,7 +173,7 @@ func TestReplicateGuestTables(t *testing.T) {
 	// Updates after replication propagate to all guest replicas.
 	gf, _ := fx.vm.AllocGuestFrame(0)
 	va := pt.VirtAddr(0x7100000000)
-	if err := gs.Map(va, gf, pt.FlagWrite); err != nil {
+	if err := gs.Map(va, gf, pt.Size4K, pt.FlagWrite, gs.HomeNode()); err != nil {
 		t.Fatal(err)
 	}
 	for _, s := range []numa.SocketID{0, 1} {
@@ -230,5 +230,146 @@ func TestNativeBackendVMHasNoNestedSpace(t *testing.T) {
 	}
 	if err := vm.ReplicateNested([]numa.NodeID{1}); err == nil {
 		t.Error("nested replication succeeded on native backend")
+	}
+}
+
+// Guest and nested 2MB leaves shorten the 2D walk: 3 guest levels x (4+1)
+// accesses plus a 3-access final nested translation = 18, versus the
+// 24-access worst case for 4KB pages end to end (§7.4).
+func TestWalk2DGuestHugeLeaf(t *testing.T) {
+	fx := newFixture(t, 0)
+	gs, err := fx.vm.NewGuestSpace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := fx.vm.AllocGuestHuge(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := pt.VirtAddr(0x40000000) // 1GB-aligned, so 2MB-aligned
+	if err := gs.Map(va, gf, pt.Size2M, pt.FlagWrite|pt.FlagUser, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Probe an offset inside the huge page: the composed translation must
+	// land on the right 4KB host frame.
+	off := pt.VirtAddr(0x1F5000)
+	res, err := fx.vm.Walk2D(gs, 0, va+off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accesses != 18 {
+		t.Errorf("accesses = %d, want 18 (3 guest levels x 5 + 3 nested)", res.Accesses)
+	}
+	if res.Size != pt.Size2M {
+		t.Errorf("effective size = %v, want 2MB", res.Size)
+	}
+	want := fx.vm.HostFrameOf(gf) + mem.FrameID(uint64(off)>>12)
+	if res.HostFrame != want {
+		t.Errorf("host frame = %d, want %d (base + in-page offset)", res.HostFrame, want)
+	}
+	// The pre-fix walker descended into the huge leaf as if it were a
+	// table pointer; the base of the page must also translate correctly.
+	res0, err := fx.vm.Walk2D(gs, 0, va)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.HostFrame != fx.vm.HostFrameOf(gf) {
+		t.Errorf("host frame at base = %d, want %d", res0.HostFrame, fx.vm.HostFrameOf(gf))
+	}
+}
+
+// A guest 2MB leaf whose backing is nested-mapped at 4KB granularity (the
+// mismatched case) still composes the correct host frame, with a 4KB
+// effective translation size.
+func TestWalk2DGuestHugeOverNested4K(t *testing.T) {
+	fx := newFixture(t, 0)
+	gs, err := fx.vm.NewGuestSpace(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a 2MB-aligned run of individually nested-mapped guest frames.
+	var first GuestFrame
+	var hfs []mem.FrameID
+	for i := 0; i < 512; i++ {
+		gf, err := fx.vm.AllocGuestFrame(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = gf
+			if uint64(gf)%512 != 0 {
+				t.Skipf("guest frame run not 2MB-aligned (starts at %d)", gf)
+			}
+		}
+		hfs = append(hfs, fx.vm.HostFrameOf(gf))
+	}
+	va := pt.VirtAddr(0x80000000)
+	if err := gs.Map(va, first, pt.Size2M, pt.FlagWrite|pt.FlagUser, 0); err != nil {
+		t.Fatal(err)
+	}
+	off := pt.VirtAddr(37 << 12)
+	res, err := fx.vm.Walk2D(gs, 0, va+off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != pt.Size4K {
+		t.Errorf("effective size = %v, want 4KB (nested side is 4KB)", res.Size)
+	}
+	if res.HostFrame != hfs[37] {
+		t.Errorf("host frame = %d, want %d", res.HostFrame, hfs[37])
+	}
+	// 3 guest levels x 5 + 4 for the final 4KB nested translation.
+	if res.Accesses != 19 {
+		t.Errorf("accesses = %d, want 19", res.Accesses)
+	}
+}
+
+// A malformed tree (PS bit at the nested root level) errors clearly
+// instead of descending into garbage.
+func TestNptTranslateMalformed(t *testing.T) {
+	fx := newFixture(t, 0)
+	gs, vas := buildGuest(t, fx, 0, 0, 1)
+	// Corrupt the nested root: set PS on its first present entry.
+	root := fx.vm.NestedRootFor(0)
+	tbl := fx.pm.Table(root)
+	for i := range tbl {
+		e := pt.PTE(tbl[i])
+		if e.Present() {
+			tbl[i] = uint64(e | pt.FlagHuge)
+			break
+		}
+	}
+	if _, err := fx.vm.Walk2D(gs, 0, vas[0]); err == nil {
+		t.Fatal("walk over malformed nested table succeeded")
+	}
+}
+
+// Dropping a guest replica repoints the vCPUs at the primary and frees the
+// replica's table frames.
+func TestDropGuestReplica(t *testing.T) {
+	fx := newFixture(t, 0)
+	gs, vas := buildGuest(t, fx, 1, 0, 10)
+	if err := gs.ReplicateGuest([]numa.NodeID{0}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := fx.vm.Walk2D(gs, 0, vas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gs.DropGuestReplica(0) {
+		t.Fatal("replica on node 0 not found")
+	}
+	if gs.DropGuestReplica(0) {
+		t.Fatal("second drop reported a replica")
+	}
+	after, err := fx.vm.Walk2D(gs, 0, vas[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.HostFrame != before.HostFrame {
+		t.Error("dropping the replica changed the translation")
+	}
+	if after.RemoteAccesses <= before.RemoteAccesses {
+		t.Errorf("walk after drop should be more remote (%d -> %d)", before.RemoteAccesses, after.RemoteAccesses)
 	}
 }

@@ -29,6 +29,11 @@ type Result struct {
 	// RemoteWalkCycles is the raw DRAM latency of remote page-table reads
 	// (pre overlap scaling) — the walk-locality signal policies tick on.
 	RemoteWalkCycles numa.Cycles
+	// GuestWalkCycles / NestedWalkCycles split two-dimensional walk reads
+	// by dimension for virtualized runs (raw, pre overlap scaling); zero
+	// for native runs.
+	GuestWalkCycles  numa.Cycles
+	NestedWalkCycles numa.Cycles
 	// PerCore retains the raw counters.
 	PerCore []hw.CoreStats
 }
@@ -452,6 +457,8 @@ func Collect(env *Env, cores []numa.CoreID) *Result {
 		res.WalkMemAccesses += s.WalkMemAccesses
 		res.WalkLLCHits += s.WalkLLCHits
 		res.RemoteWalkCycles += s.WalkRemoteCycles
+		res.GuestWalkCycles += s.GuestWalkCycles
+		res.NestedWalkCycles += s.NestedWalkCycles
 	}
 	return res
 }

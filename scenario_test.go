@@ -369,3 +369,169 @@ func TestQuiesce(t *testing.T) {
 		t.Error("not replicated")
 	}
 }
+
+// testVirtScenario is the virtualized counterpart of testScenario: a
+// guest GUPS whose VM (nested table, guest table, data) was initialized
+// on node 2 while its vCPUs run on sockets 0 and 1, driven by the
+// ondemand policy replicating gPT and ePT at round barriers.
+func testVirtScenario() Scenario {
+	return NewScenario("test/virt",
+		OnMachine(SystemConfig{Sockets: 4, CoresPerSocket: 2, MemoryPerNode: 256 << 20}),
+		WithSeed(7),
+		WithProc(NewProc("gups-vm",
+			GUPS(InSuite("wm"), Scaled(1.0/32)),
+			OnSockets(0, 1),
+			WithDataBind(2),
+			WithVM(VMSpec{HomeNode: 2, PolicyLayers: VMReplicationBoth}),
+			UnderPolicy("ondemand"),
+			WithPhases(Warmup(500), Measure(2000)),
+		)),
+	)
+}
+
+func TestVirtScenarioJSONRoundTrip(t *testing.T) {
+	sc := testVirtScenario()
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"vm":{"home_node":2`) {
+		t.Errorf("marshaled scenario missing vm section: %s", data)
+	}
+	var back Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc, back) {
+		t.Errorf("round trip diverged:\nin:  %+v\nout: %+v", sc, back)
+	}
+	again, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(again) {
+		t.Errorf("re-marshal not byte-identical:\n%s\n%s", data, again)
+	}
+}
+
+func TestVirtScenarioValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"vm home range", func(s *Scenario) { s.Processes[0].VM.HomeNode = 9 }, "vm home_node 9"},
+		{"vm bad replication", func(s *Scenario) { s.Processes[0].VM.Replication = "all" }, `vm replication "all"`},
+		{"vm bad layers", func(s *Scenario) { s.Processes[0].VM.PolicyLayers = "none" }, `vm policy_layers "none"`},
+		{"vm host replication", func(s *Scenario) {
+			s.Processes[0].Replication = ReplicationSpec{All: true}
+		}, "host replication spec set on a virtualized process"},
+		{"vm move pt", func(s *Scenario) {
+			node := 0
+			s.Processes[0].Phases = []PhaseSpec{{Ops: 10, MovePT: &node}}
+		}, "virtualized process recovers locality"},
+		{"vm five level", func(s *Scenario) { s.Machine.FiveLevel = true }, "vm requires 4-level paging"},
+	}
+	for _, tc := range cases {
+		sc := testVirtScenario()
+		tc.mut(&sc)
+		err := sc.Validate()
+		if err == nil {
+			t.Errorf("%s: validated without error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestVirtRunDeterminismAcrossModes: the acceptance bar of the
+// virtualized scenario path — a multi-socket guest process under the
+// ondemand policy produces bit-identical counters in Sequential, Parallel
+// and Auto engine modes, and replaying the serialized spec reproduces
+// them again.
+func TestVirtRunDeterminismAcrossModes(t *testing.T) {
+	sc := testVirtScenario()
+	var ref *RunResult
+	for _, mode := range []EngineMode{SequentialEngine, ParallelEngine, AutoEngine} {
+		rr, err := Run(sc, WithEngine(mode))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if len(rr.Policies) == 0 || len(rr.Policies[0].Actions) == 0 {
+			t.Fatalf("%v: ondemand policy never acted on the VM (policies %v)", mode, rr.Policies)
+		}
+		if ref == nil {
+			ref = rr
+			continue
+		}
+		if !reflect.DeepEqual(ref.Phases, rr.Phases) {
+			t.Errorf("%v: phase counters diverged:\nseq: %+v\ngot: %+v", mode, ref.Phases, rr.Phases)
+		}
+		if !reflect.DeepEqual(ref.Policies, rr.Policies) {
+			t.Errorf("%v: policy telemetry diverged:\nseq: %+v\ngot: %+v", mode, ref.Policies, rr.Policies)
+		}
+	}
+
+	m := ref.Measured("gups-vm")
+	if m == nil {
+		t.Fatal("no measured phase")
+	}
+	if m.Counters.GuestWalkCycles == 0 || m.Counters.NestedWalkCycles == 0 {
+		t.Errorf("guest/nested walk split missing from counters: %+v", m.Counters)
+	}
+	if len(m.ReplicaNodes) < 2 {
+		t.Errorf("replica nodes after policy run = %v, want vCPU nodes added", m.ReplicaNodes)
+	}
+
+	// JSON replay reproduces the run bit-for-bit.
+	data, err := json.Marshal(ref.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayed Scenario
+	if err := json.Unmarshal(data, &replayed); err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Run(replayed, WithEngine(SequentialEngine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.Phases, rr.Phases) {
+		t.Error("JSON replay of the virtualized scenario diverged")
+	}
+}
+
+// TestVirtStaticReplicationRecovery: statically replicating both
+// dimensions recovers over half of the worst case's remote-walk cycles —
+// the §7.4 acceptance shape.
+func TestVirtStaticReplicationRecovery(t *testing.T) {
+	run := func(mode string) Counters {
+		sc := NewScenario("test/virt-static/"+mode,
+			OnMachine(SystemConfig{Sockets: 2, CoresPerSocket: 2, MemoryPerNode: 256 << 20}),
+			WithSeed(7),
+			WithProc(NewProc("gups-vm",
+				GUPS(InSuite("wm"), Scaled(1.0/32)),
+				OnSockets(0),
+				WithDataBind(1),
+				WithVM(VMSpec{HomeNode: 1, Replication: mode}),
+				WithPhases(Warmup(500), Measure(2000)),
+			)),
+		)
+		rr, err := Run(sc, WithEngine(SequentialEngine))
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		return rr.Measured("gups-vm").Counters
+	}
+	worst := run(VMReplicationNone)
+	both := run(VMReplicationBoth)
+	if worst.RemoteWalkCycles == 0 {
+		t.Fatal("worst-case virtualized run had no remote walk cycles")
+	}
+	if both.RemoteWalkCycles*2 >= worst.RemoteWalkCycles {
+		t.Errorf("gPT+ePT replication recovered under half the remote-walk cycles: worst %d, both %d",
+			worst.RemoteWalkCycles, both.RemoteWalkCycles)
+	}
+}
