@@ -238,6 +238,7 @@ func reportBestImprovement(b *testing.B, groups []metrics.Group) {
 // BenchmarkMicroAccessTLBHit measures the simulator's fast path: one
 // memory operation whose translation hits the first-level TLB.
 func BenchmarkMicroAccessTLBHit(b *testing.B) {
+	b.ReportAllocs()
 	k := kernel.New(kernel.Config{FramesPerNode: 1 << 16})
 	p, err := k.CreateProcess(kernel.ProcessOpts{Name: "micro", Home: 0})
 	if err != nil {
@@ -266,6 +267,7 @@ func BenchmarkMicroAccessTLBHit(b *testing.B) {
 // L1-TLB-hit op stream issued through AccessBatch, which amortizes the
 // per-op context and stats overhead.
 func BenchmarkMicroAccessBatchTLBHit(b *testing.B) {
+	b.ReportAllocs()
 	k := kernel.New(kernel.Config{FramesPerNode: 1 << 16})
 	p, err := k.CreateProcess(kernel.ProcessOpts{Name: "micro", Home: 0})
 	if err != nil {
@@ -296,6 +298,7 @@ func BenchmarkMicroAccessBatchTLBHit(b *testing.B) {
 // BenchmarkMicroAccessTLBMiss measures a full simulated page walk per
 // operation (random batched accesses over a large region).
 func BenchmarkMicroAccessTLBMiss(b *testing.B) {
+	b.ReportAllocs()
 	k := kernel.New(kernel.Config{FramesPerNode: 1 << 18})
 	p, err := k.CreateProcess(kernel.ProcessOpts{Name: "micro", Home: 0})
 	if err != nil {
@@ -334,6 +337,7 @@ func BenchmarkMicroEngineParallelGUPS(b *testing.B) {
 		m    workloads.Mode
 	}{{"seq", workloads.Sequential}, {"par", workloads.Parallel}} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			k := kernel.New(kernel.Config{})
 			p, err := k.CreateProcess(kernel.ProcessOpts{Name: "gups", Home: 0})
 			if err != nil {
@@ -367,6 +371,7 @@ func BenchmarkMicroEngineParallelGUPS(b *testing.B) {
 // BenchmarkMicroSetPTEReplicated measures one PTE store propagated to four
 // replicas through the ring.
 func BenchmarkMicroSetPTEReplicated(b *testing.B) {
+	b.ReportAllocs()
 	topo := numa.FourSocketXeon()
 	pm := mem.New(mem.Config{Topology: topo, FramesPerNode: 1 << 16})
 	cost := numa.NewCostModel(topo, numa.DefaultCostParams())
@@ -388,6 +393,7 @@ func BenchmarkMicroSetPTEReplicated(b *testing.B) {
 // BenchmarkMicroReplicateTable measures full-table replication (the
 // SetMask walk) for a 64MB address space.
 func BenchmarkMicroReplicateTable(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		k := kernel.New(kernel.Config{FramesPerNode: 1 << 17})
@@ -409,8 +415,51 @@ func BenchmarkMicroReplicateTable(b *testing.B) {
 	}
 }
 
+// TestHotPathZeroAlloc pins the allocation-free contract of the TLB-hit
+// AccessBatch fast path: after one warmup batch has sized the per-core
+// sample/coherence buffers, steady-state batches must not allocate at all
+// — an allocation per op is exactly the kind of structural regression the
+// perf bench target exists to catch, and AllocsPerRun catches it without
+// wall-clock noise.
+func TestHotPathZeroAlloc(t *testing.T) {
+	k := kernel.New(kernel.Config{FramesPerNode: 1 << 16})
+	p, err := k.CreateProcess(kernel.ProcessOpts{Name: "zeroalloc", Home: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RunOn(p, []numa.CoreID{0}); err != nil {
+		t.Fatal(err)
+	}
+	base, err := k.Mmap(p, 1<<20, kernel.MmapOpts{Writable: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := k.Machine()
+	m.BeginSingleWriter()
+	defer m.EndSingleWriter()
+	ops := make([]hw.AccessOp, 512)
+	for i := range ops {
+		ops[i] = hw.AccessOp{VA: base + pt.VirtAddr(i%256)<<12}
+	}
+	// Warmup: grow the sample/coherence buffers and fill the TLB.
+	if err := m.AccessBatch(0, ops); err != nil {
+		t.Fatal(err)
+	}
+	m.DrainCoherence([]numa.CoreID{0})
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := m.AccessBatch(0, ops); err != nil {
+			t.Fatal(err)
+		}
+		m.DrainCoherence([]numa.CoreID{0})
+	})
+	if allocs != 0 {
+		t.Errorf("TLB-hit AccessBatch path allocates %.1f times per batch, want 0", allocs)
+	}
+}
+
 // BenchmarkMicroWorkloadStep measures workload generator overhead.
 func BenchmarkMicroWorkloadStep(b *testing.B) {
+	b.ReportAllocs()
 	k := kernel.New(kernel.Config{FramesPerNode: 1 << 16})
 	p, err := k.CreateProcess(kernel.ProcessOpts{Name: "gen", Home: 0})
 	if err != nil {

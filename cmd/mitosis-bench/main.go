@@ -7,8 +7,18 @@
 //	mitosis-bench -replay FILE
 //
 // Experiments: fig1 fig3 fig4 fig6 fig9a fig9b fig10a fig10b fig11
-// table4 table5 table6 ablations engine policy scenario virt, or "all"
-// (default).
+// table4 table5 table6 ablations engine policy scenario virt perf, or
+// "all" (default).
+//
+// The perf target measures the simulator's own hot-path host throughput
+// (simulated ops per wall-clock second) for the TLB-hit fast path, the
+// TLB-miss walk path, the fault-storm populate path and the parallel
+// engine on GUPS, writing the trajectory to BENCH_perf.json.
+// -perf-baseline FILE additionally fills each row's baseline/speedup
+// columns from a previous BENCH_perf.json and fails the run when any row
+// regresses below (1 - perf-tolerance) x its baseline; the default
+// tolerance (0.7) is deliberately generous — baselines travel between
+// hosts, so only structural slowdowns should trip CI, not host noise.
 //
 // With -json DIR, every target additionally writes DIR/BENCH_<target>.json
 // containing the wall-clock time of the target, the simulator throughput
@@ -52,6 +62,8 @@ func main() {
 	jsonDir := flag.String("json", "", "directory for machine-readable BENCH_<target>.json output (empty = off)")
 	policyList := flag.String("policy", "", "comma-separated replication policies for the policy target (empty = all)")
 	replay := flag.String("replay", "", "replay the scenario in FILE (BENCH_scenario.json or bare scenario JSON) and verify counters")
+	perfBaseline := flag.String("perf-baseline", "", "BENCH_perf.json to compare the perf target against (fills baseline columns, fails on regression)")
+	perfTolerance := flag.Float64("perf-tolerance", 0.7, "allowed fractional throughput drop vs -perf-baseline before the perf target fails")
 	flag.Parse()
 
 	if *replay != "" {
@@ -89,7 +101,7 @@ func main() {
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
 		targets = []string{"fig1", "fig3", "fig4", "fig6", "fig9a", "fig9b",
 			"fig10a", "fig10b", "fig11", "table4", "table5", "table6",
-			"ablations", "policy", "scenario", "virt", "engine"}
+			"ablations", "policy", "scenario", "virt", "engine", "perf"}
 	}
 
 	for _, target := range targets {
@@ -100,6 +112,14 @@ func main() {
 			os.Exit(1)
 		}
 		wall := time.Since(start)
+		if target == "perf" && *perfBaseline != "" {
+			pb := payload.(*experiments.PerfBench)
+			if err := comparePerf(pb, *perfBaseline, *perfTolerance); err != nil {
+				fmt.Fprintf(os.Stderr, "mitosis-bench: perf: %v\n", err)
+				os.Exit(1)
+			}
+			out = pb.String()
+		}
 		fmt.Println(out)
 		fmt.Printf("[%s completed in %v]\n\n", target, wall.Round(time.Millisecond))
 		if *jsonDir != "" {
@@ -188,6 +208,9 @@ func run(cfg experiments.Config, target string, policies []string) (string, any,
 	case "engine":
 		r, err := experiments.RunEngineBench(cfg)
 		return str(r, err)
+	case "perf":
+		r, err := experiments.RunPerfBench(cfg)
+		return str(r, err)
 	case "policy":
 		pc, err := experiments.RunPolicyComparison(cfg, policies)
 		return str(pc, err)
@@ -229,6 +252,33 @@ func run(cfg experiments.Config, target string, policies []string) (string, any,
 	default:
 		return "", nil, fmt.Errorf("unknown experiment %q", target)
 	}
+}
+
+// comparePerf fills pb's baseline columns from the BENCH_perf.json at
+// path and fails when any row regressed beyond tolerance.
+func comparePerf(pb *experiments.PerfBench, path string, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rec struct {
+		Result experiments.PerfBench `json:"result"`
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if len(rec.Result.Rows) == 0 {
+		return fmt.Errorf("%s carries no perf rows", path)
+	}
+	pb.ApplyBaseline(&rec.Result)
+	if errs := pb.Compare(&rec.Result, tolerance); len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		return fmt.Errorf("throughput regressed vs %s:\n  %s", path, strings.Join(msgs, "\n  "))
+	}
+	return nil
 }
 
 // runReplay re-executes a serialized scenario. A BENCH_scenario.json

@@ -170,6 +170,15 @@ type coreState struct {
 	// immediately. Events accumulate across batches until an apply step
 	// clears them.
 	pending []mmucache.LineID
+	// samples buffers this core's AutoNUMA access samples (one per data
+	// access). Like pending, the batch engine folds them into FrameMeta at
+	// round barriers in canonical core order (FoldSampling), so the hot
+	// path appends to a core-private slice instead of hammering two
+	// atomics on a shared frame-metadata cache line per op; the single-op
+	// Access path folds immediately. Fold order reproduces the sequential
+	// engine's update order exactly, so AutoNUMA observes identical state
+	// at every quiescent point.
+	samples []sample
 	// busy is 1 while an Access or AccessBatch executes on this core;
 	// engaged is 1 for the whole duration of a parallel engine run
 	// (BeginConcurrent/EndConcurrent), covering the instants between a
@@ -178,6 +187,16 @@ type coreState struct {
 	// enough to collapse its page-table replicas under memory pressure.
 	busy    atomic.Int32
 	engaged atomic.Int32
+}
+
+// sample is a run of buffered AutoNUMA access samples: count consecutive
+// accesses to the same frame with the same locality. Run-length encoding
+// keeps tight loops (the TLB-hit fast path re-touching one page) from
+// growing the buffer at all.
+type sample struct {
+	frame mem.FrameID
+	count uint32
+	local bool
 }
 
 // Config assembles a Machine.
@@ -199,7 +218,30 @@ type Machine struct {
 	cores []coreState
 	llcs  []*mmucache.LLC
 	fault FaultHandler
+	// cPipeline/cLLCHit/cL2TLB cache the immutable cost constants so the
+	// per-op path loads a field instead of calling through the cost model.
+	cPipeline numa.Cycles
+	cLLCHit   numa.Cycles
+	cL2TLB    numa.Cycles
+	// singleWriter marks the machine as running under the round-based
+	// engine's single-writer discipline: every socket's cores are driven
+	// by at most one goroutine at a time, and cross-socket LLC
+	// invalidations happen only at quiescent barriers. Page-table line
+	// lookups then skip the LLC mutex entirely (see DESIGN.md, "Host
+	// performance & the single-writer LLC").
+	singleWriter bool
 }
+
+// BeginSingleWriter declares that, until EndSingleWriter, each socket's
+// cores are driven from at most one goroutine at a time and coherence is
+// applied only at quiescent points — the round-based engine's discipline.
+// Access/AccessBatch then use the lock-free LLC path. Callers that drive
+// cores of one socket from multiple goroutines concurrently (hand-rolled
+// worker loops) must NOT set this. Set/clear it only at quiescent points.
+func (m *Machine) BeginSingleWriter() { m.singleWriter = true }
+
+// EndSingleWriter reverts to the fully locked LLC path.
+func (m *Machine) EndSingleWriter() { m.singleWriter = false }
 
 // New builds the machine.
 func New(cfg Config) *Machine {
@@ -207,11 +249,14 @@ func New(cfg Config) *Machine {
 		panic("hw: Config requires Topology, Cost and Mem")
 	}
 	m := &Machine{
-		topo:  cfg.Topology,
-		cost:  cfg.Cost,
-		pm:    cfg.Mem,
-		cores: make([]coreState, cfg.Topology.Cores()),
-		llcs:  make([]*mmucache.LLC, cfg.Topology.Sockets()),
+		topo:      cfg.Topology,
+		cost:      cfg.Cost,
+		pm:        cfg.Mem,
+		cores:     make([]coreState, cfg.Topology.Cores()),
+		llcs:      make([]*mmucache.LLC, cfg.Topology.Sockets()),
+		cPipeline: cfg.Cost.PipelineOp(),
+		cLLCHit:   cfg.Cost.LLCHit(),
+		cL2TLB:    cfg.Cost.L2TLBHit(),
 	}
 	for i := range m.cores {
 		m.cores[i] = coreState{
@@ -387,12 +432,19 @@ func (m *Machine) Access(core numa.CoreID, va pt.VirtAddr, write bool) error {
 	}
 	socket := m.topo.SocketOf(core)
 	c.busy.Store(1)
-	err := m.accessOne(c, core, socket, va, write, &c.stats)
+	err := m.accessOne(c, core, socket, m.topo.NodeOf(socket), va, write, &c.stats)
 	c.busy.Store(0)
 	for _, line := range c.pending {
 		m.invalidateOthers(socket, line)
 	}
 	c.pending = c.pending[:0]
+	if m.singleWriter {
+		m.foldCoreSamples(c, socket)
+	} else {
+		// Inline accesses may run concurrently on other cores; fold with
+		// atomics like the pre-engine sampling path.
+		m.foldCoreSamplesAtomic(c, socket)
+	}
 	return err
 }
 
@@ -414,16 +466,24 @@ func (m *Machine) AccessBatch(core numa.CoreID, ops []AccessOp) error {
 		return ErrNoContext
 	}
 	socket := m.topo.SocketOf(core)
+	home := m.topo.NodeOf(socket)
 	c.busy.Store(1)
 	var delta CoreStats
 	var err error
 	for i := range ops {
-		if err = m.accessOne(c, core, socket, ops[i].VA, ops[i].Write, &delta); err != nil {
+		if err = m.accessOne(c, core, socket, home, ops[i].VA, ops[i].Write, &delta); err != nil {
 			break
 		}
 	}
 	c.stats.merge(&delta)
 	c.busy.Store(0)
+	if !m.singleWriter {
+		// Outside the engine's barrier discipline there is no later
+		// quiescent fold point this path can rely on (and concurrent
+		// batches on other cores may be in flight): fold this batch's
+		// samples now, atomically.
+		m.foldCoreSamplesAtomic(c, socket)
+	}
 	return err
 }
 
@@ -460,10 +520,11 @@ func (m *Machine) EndConcurrent(cores []numa.CoreID) {
 
 // accessOne is the shared per-op path of Access and AccessBatch. Cycle and
 // counter charges go to st (the caller's accumulator); coherence ownership
-// events go to c.pending.
-func (m *Machine) accessOne(c *coreState, core numa.CoreID, socket numa.SocketID, va pt.VirtAddr, write bool, st *CoreStats) error {
+// events go to c.pending, AutoNUMA samples to c.samples. home is socket's
+// local memory node, resolved once per call by the caller.
+func (m *Machine) accessOne(c *coreState, core numa.CoreID, socket numa.SocketID, home numa.NodeID, va pt.VirtAddr, write bool, st *CoreStats) error {
 	st.Ops++
-	cycles := m.cost.PipelineOp()
+	cycles := m.cPipeline
 
 	entry, hit := c.tlb.Lookup(va)
 	// A store through a read-only cached translation must take the
@@ -473,12 +534,15 @@ func (m *Machine) accessOne(c *coreState, core numa.CoreID, socket numa.SocketID
 		hit = tlb.Miss
 	}
 	var frame mem.FrameID
+	node := numa.InvalidNode
 	switch hit {
 	case tlb.HitL1:
 		frame = entry.Frame(va)
+		node = entry.Node
 	case tlb.HitL2:
-		cycles += m.cost.L2TLBHit()
+		cycles += m.cL2TLB
 		frame = entry.Frame(va)
+		node = entry.Node
 	case tlb.Miss:
 		leaf, size, walkCy, err := m.walk(c, core, socket, va, write, st)
 		if err != nil {
@@ -489,26 +553,39 @@ func (m *Machine) accessOne(c *coreState, core numa.CoreID, socket numa.SocketID
 		st.Walks++
 		st.WalkCycles += walkCy
 		cycles += walkCy
-		c.tlb.Insert(va, leaf, size)
+		// The mapping's node rides along in the TLB entry, so hits skip
+		// the frame->node computation; mappings spanning nodes cache
+		// InvalidNode and recompute per access below.
+		node = m.pm.NodeOfRange(leaf.Frame(), size.Bytes()>>pt.PageShift4K)
+		c.tlb.InsertMapped(va, leaf, size, node)
 		e := tlb.Entry{VPN: uint64(va) >> uint(sizeShift(size)), Leaf: leaf, Size: size}
 		frame = e.Frame(va)
+	}
+	if node == numa.InvalidNode {
+		node = m.pm.NodeOf(frame)
 	}
 
 	// Data access cost: statistically cached, else DRAM at the frame's
 	// node (with interference).
-	node := m.pm.NodeOf(frame)
+	local := node == home
 	if m.nextRand(c) < c.dataHitRate {
-		cycles += m.cost.LLCHit()
+		cycles += m.cLLCHit
 	} else {
 		cycles += m.cost.DRAM(socket, node)
 		st.DataMemAccesses++
-		if node != m.topo.NodeOf(socket) {
+		if !local {
 			st.DataRemoteAccesses++
 		}
 	}
 
-	// Sample the access for the kernel's NUMA balancer (AutoNUMA).
-	m.pm.SampleAccess(frame, socket, node == m.topo.NodeOf(socket))
+	// Buffer the access sample for the kernel's NUMA balancer (AutoNUMA);
+	// folded into FrameMeta at the next quiescent point. Consecutive
+	// samples of the same frame collapse into one run.
+	if n := len(c.samples); n > 0 && c.samples[n-1].frame == frame && c.samples[n-1].local == local {
+		c.samples[n-1].count++
+	} else {
+		c.samples = append(c.samples, sample{frame: frame, count: 1, local: local})
+	}
 
 	st.Cycles += cycles
 	return nil
@@ -606,7 +683,7 @@ func (m *Machine) walkOnce(c *coreState, socket numa.SocketID, va pt.VirtAddr, w
 		if !e.Accessed() {
 			pt.OrEntryFlagsRaw(m.pm, ref, pt.FlagAccessed)
 		}
-		c.psc.Insert(va, level, e.Frame())
+		c.psc.InsertFresh(va, level, e.Frame())
 		frame = e.Frame()
 	}
 	panic("hw: walk descended past level 1")
@@ -729,12 +806,20 @@ func (m *Machine) nptWalk(c *coreState, socket numa.SocketID, gpa pt.VirtAddr, s
 }
 
 // ptRead charges one page-table entry read: LLC hit or DRAM at the table
-// page's node.
+// page's node. Under the engine's single-writer discipline the LLC lookup
+// is lock-free; the legacy locked path remains for arbitrary concurrent
+// callers.
 func (m *Machine) ptRead(c *coreState, socket numa.SocketID, frame mem.FrameID, idx int, st *CoreStats) numa.Cycles {
 	line := mmucache.LineOf(frame, idx)
-	if m.llcs[socket].Access(line) {
+	var llcHit bool
+	if m.singleWriter {
+		llcHit = m.llcs[socket].AccessOwned(line)
+	} else {
+		llcHit = m.llcs[socket].Access(line)
+	}
+	if llcHit {
 		st.WalkLLCHits++
-		return m.cost.LLCHit()
+		return m.cLLCHit
 	}
 	node := m.pm.NodeOf(frame)
 	st.WalkMemAccesses++
@@ -756,10 +841,11 @@ func (m *Machine) invalidateOthers(owner numa.SocketID, line mmucache.LineID) {
 }
 
 // DrainCoherence applies the coherence events buffered by AccessBatch on
-// the given cores, in core order, then clears the buffers. Call it at a
-// quiescent point (no batch in flight on any core). The order is part of
-// the determinism contract: a fixed core list yields a fixed sequence of
-// LLC invalidations.
+// the given cores, in core order, then clears the buffers, and folds the
+// cores' buffered AutoNUMA samples into frame metadata in the same order.
+// Call it at a quiescent point (no batch in flight on any core). The order
+// is part of the determinism contract: a fixed core list yields a fixed
+// sequence of LLC invalidations and metadata updates.
 func (m *Machine) DrainCoherence(cores []numa.CoreID) {
 	for _, core := range cores {
 		c := m.core(core)
@@ -769,6 +855,41 @@ func (m *Machine) DrainCoherence(cores []numa.CoreID) {
 		}
 		c.pending = c.pending[:0]
 	}
+	m.FoldSampling(cores)
+}
+
+// FoldSampling folds the AutoNUMA access samples buffered by the given
+// cores into frame metadata, in core order, and clears the buffers. Call
+// it only at quiescent points (round barriers): the fold mutates shared
+// FrameMeta without atomics. Folding per-core buffers in canonical core
+// order reproduces the sequential engine's update order exactly, which
+// keeps AutoNUMA decisions — and therefore all counters — bit-identical
+// across engine modes.
+func (m *Machine) FoldSampling(cores []numa.CoreID) {
+	for _, core := range cores {
+		c := m.core(core)
+		m.foldCoreSamples(c, m.topo.SocketOf(core))
+	}
+}
+
+func (m *Machine) foldCoreSamples(c *coreState, socket numa.SocketID) {
+	if len(c.samples) == 0 {
+		return
+	}
+	for _, s := range c.samples {
+		m.pm.SampleAccess(s.frame, socket, s.local, s.count)
+	}
+	c.samples = c.samples[:0]
+}
+
+func (m *Machine) foldCoreSamplesAtomic(c *coreState, socket numa.SocketID) {
+	if len(c.samples) == 0 {
+		return
+	}
+	for _, s := range c.samples {
+		m.pm.SampleAccessAtomic(s.frame, socket, s.local, s.count)
+	}
+	c.samples = c.samples[:0]
 }
 
 // ApplyCoherenceTo applies buffered coherence events from the given cores
@@ -781,12 +902,17 @@ func (m *Machine) DrainCoherence(cores []numa.CoreID) {
 // ClearCoherence at the same barrier.
 func (m *Machine) ApplyCoherenceTo(target numa.SocketID, cores []numa.CoreID) {
 	llc := m.llcs[target]
+	owned := m.singleWriter
 	for _, core := range cores {
 		if m.topo.SocketOf(core) == target {
 			continue
 		}
 		for _, line := range m.core(core).pending {
-			llc.Invalidate(line)
+			if owned {
+				llc.InvalidateOwned(line)
+			} else {
+				llc.Invalidate(line)
+			}
 		}
 	}
 }

@@ -1,0 +1,16 @@
+package kernel
+
+import (
+	"github.com/mitosis-project/mitosis-sim/internal/mem"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+)
+
+// MapGiantForTest installs a writable 1GB leaf mapping at va backed by the
+// frame range starting at frame. The kernel has no production path that
+// creates 1GB data mappings (the machine's nodes are smaller than 1GB), so
+// equivalence tests install one directly through the process's mapper to
+// exercise the 1GB TLB/walk paths — including mappings that span NUMA
+// nodes — under the execution engine.
+func MapGiantForTest(k *Kernel, p *Process, va pt.VirtAddr, frame mem.FrameID) error {
+	return p.mapper.Map(p.opCtx(), va, pt.Size1G, frame, pt.FlagUser|pt.FlagWrite, p.place(0))
+}

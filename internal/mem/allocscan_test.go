@@ -1,0 +1,113 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+)
+
+// TestAllocFreeNoFullRescan: the allocator regression bar for the O(1)
+// partial-group free list. Interleaved Alloc/Free churn of 10k frames must
+// not degrade into whole-node scans: the ScanWords hook counts every
+// mask/bitmap word the allocator examines, and the per-op average must stay
+// within a small constant (first-fit over bit masks), far below the
+// hundreds of group-counter reads per allocation the original three-pass
+// scan performed.
+func TestAllocFreeNoFullRescan(t *testing.T) {
+	pm := New(Config{Topology: numa.NewTopology(1, 1), FramesPerNode: 1 << 18}) // 512 groups
+
+	// Age the node first so the partial-group frontier sits deep: a naive
+	// scan-from-zero would pay for every full group below it on every
+	// subsequent allocation.
+	var aged []FrameID
+	for i := 0; i < 100000; i++ {
+		f, err := pm.AllocData(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aged = append(aged, f)
+	}
+
+	start := pm.ScanWords()
+	const churn = 10000
+	live := make([]FrameID, 0, churn)
+	r := rand.New(rand.NewSource(42))
+	ops := 0
+	for i := 0; i < churn; i++ {
+		f, err := pm.AllocData(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, f)
+		ops++
+		// Interleave frees so groups keep flipping full <-> partial.
+		if i%2 == 1 {
+			j := r.Intn(len(live))
+			pm.Free(live[j])
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			ops++
+		}
+	}
+	words := pm.ScanWords() - start
+	// A churn allocation examines at most ~3 mask passes (8 words each at
+	// 512 groups) plus 8 bitmap words in the chosen group; frees examine
+	// none. Allow headroom, but stay an order of magnitude below the ~500
+	// words/op a full-group rescan would burn.
+	if maxAvg := uint64(48); words > uint64(ops)*maxAvg {
+		t.Errorf("allocator scanned %d words over %d ops (avg %.1f), exceeding %d/op — partial-group free list is not O(1)",
+			words, ops, float64(words)/float64(ops), maxAvg)
+	}
+}
+
+// TestGroupMaskConsistency churns allocations of every kind and verifies
+// the three group masks stay in lockstep with the per-group free counters
+// they index.
+func TestGroupMaskConsistency(t *testing.T) {
+	pm := New(Config{Topology: numa.NewTopology(2, 1), FramesPerNode: 1 << 13}) // 16 groups/node
+	r := rand.New(rand.NewSource(7))
+	pm.Fragment(0, 0.3, r)
+
+	var singles []FrameID
+	var huges []FrameID
+	for i := 0; i < 4000; i++ {
+		switch r.Intn(4) {
+		case 0:
+			if f, err := pm.AllocData(numa.NodeID(r.Intn(2))); err == nil {
+				singles = append(singles, f)
+			}
+		case 1:
+			if f, err := pm.AllocHuge(numa.NodeID(r.Intn(2))); err == nil {
+				huges = append(huges, f)
+			}
+		case 2:
+			if len(singles) > 0 {
+				j := r.Intn(len(singles))
+				pm.Free(singles[j])
+				singles = append(singles[:j], singles[j+1:]...)
+			}
+		case 3:
+			if len(huges) > 0 {
+				j := r.Intn(len(huges))
+				pm.FreeHuge(huges[j])
+				huges = append(huges[:j], huges[j+1:]...)
+			}
+		}
+	}
+
+	for ni := range pm.nodes {
+		ns := &pm.nodes[ni]
+		for g := range ns.groupFree {
+			free := ns.groupFree[g]
+			wantPartial := free > 0 && free < HugeFrames
+			wantFree := free == HugeFrames
+			if got := maskTest(ns.partialMask, g); got != wantPartial {
+				t.Errorf("node %d group %d: partialMask=%v, want %v (free %d)", ni, g, got, wantPartial, free)
+			}
+			if got := maskTest(ns.freeMask, g); got != wantFree {
+				t.Errorf("node %d group %d: freeMask=%v, want %v (free %d)", ni, g, got, wantFree, free)
+			}
+		}
+	}
+}

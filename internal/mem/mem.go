@@ -14,6 +14,7 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -90,15 +91,16 @@ type FrameMeta struct {
 	// 0 otherwise. Used by dumps and by replica maintenance.
 	PTLevel uint8
 	// AccessSocket is the socket that most recently touched this data
-	// frame; sampled by the machine for AutoNUMA-style migration. Stored
-	// as int32 so concurrent cores can update it with SampleAccess; read
-	// it only at quiescent points (the AutoNUMA scan).
+	// frame; sampled by the machine for AutoNUMA-style migration. The
+	// machine buffers samples per core and folds them in at quiescent
+	// points (round barriers), so the field needs no atomics; read it
+	// only at quiescent points (the AutoNUMA scan).
 	AccessSocket int32
 	// RemoteAccesses counts sampled accesses from non-local sockets since
-	// the last AutoNUMA scan. Updated atomically by SampleAccess.
+	// the last AutoNUMA scan. Folded in at quiescent points.
 	RemoteAccesses uint32
 	// LocalAccesses counts sampled accesses from the local socket since
-	// the last AutoNUMA scan. Updated atomically by SampleAccess.
+	// the last AutoNUMA scan. Folded in at quiescent points.
 	LocalAccesses uint32
 }
 
@@ -107,26 +109,47 @@ type nodeState struct {
 	// mu guards all allocator state of this node. Locking is per-node so
 	// that concurrent fault paths targeting different nodes do not
 	// serialize on a global allocator lock.
-	mu         sync.Mutex
-	base       FrameID // first frame of this node
-	frames     uint64  // total frames
-	free       uint64  // currently free frames
-	bitmap     []uint64
-	groupFree  []uint32 // free frames per 512-frame group
-	fragmented []bool   // groups excluded from huge allocation (injection)
-	nextSingle uint64   // next-fit hint for single-frame scan (frame offset)
-	nextGroup  int      // next-fit hint for huge-block scan (group index)
-	allocData  uint64   // live data frames
-	allocPT    uint64   // live page-table frames
+	mu        sync.Mutex
+	base      FrameID // first frame of this node
+	frames    uint64  // total frames
+	free      uint64  // currently free frames
+	bitmap    []uint64
+	groupFree []uint32 // free frames per 512-frame group
+	// The three group masks (one bit per 512-frame group) make single-frame
+	// allocation O(1) amortized: instead of scanning every group per alloc,
+	// allocSingle finds the first candidate group with a find-first-set over
+	// a handful of words, and takeFromGroup finds the first free frame with
+	// a find-first-zero over the group's 8 bitmap words. The masks are
+	// maintained on every groupFree transition, preserving the exact
+	// first-fit order of the original full-scan allocator (determinism:
+	// identical frame choices, hence identical NUMA costs and counters).
+	partialMask []uint64 // groups with 0 < free < HugeFrames
+	freeMask    []uint64 // groups with free == HugeFrames
+	fragMask    []uint64 // groups excluded from huge allocation (injection)
+	nextGroup   int      // next-fit hint for huge-block scan (group index)
+	allocData   uint64   // live data frames
+	allocPT     uint64   // live page-table frames
+	// scanWords counts mask/bitmap words examined by the allocator — a
+	// test hook asserting the allocator does not degrade back into
+	// whole-node scans under alloc/free churn.
+	scanWords uint64
 }
+
+func maskSet(m []uint64, g int)       { m[g>>6] |= 1 << (uint(g) & 63) }
+func maskClear(m []uint64, g int)     { m[g>>6] &^= 1 << (uint(g) & 63) }
+func maskTest(m []uint64, g int) bool { return m[g>>6]&(1<<(uint(g)&63)) != 0 }
 
 // PhysMem is the machine's physical memory: a per-node frame allocator plus
 // global frame metadata and page-table page payloads.
 type PhysMem struct {
 	topo          *numa.Topology
 	framesPerNode uint64
-	nodes         []nodeState
-	meta          []FrameMeta
+	// nodeShift is log2(framesPerNode) when framesPerNode is a power of
+	// two (the common configuration), letting NodeOf shift instead of
+	// divide on the access hot path; -1 otherwise.
+	nodeShift int
+	nodes     []nodeState
+	meta      []FrameMeta
 	// tables holds the payload of every page-table frame, indexed by
 	// frame number. A flat slice (rather than a map) lets concurrent page
 	// walkers read table pointers while the allocator publishes new ones:
@@ -165,18 +188,26 @@ func New(cfg Config) *PhysMem {
 	for i := range pm.meta {
 		pm.meta[i].ReplicaNext = NilFrame
 	}
+	pm.nodeShift = -1
+	if cfg.FramesPerNode&(cfg.FramesPerNode-1) == 0 {
+		pm.nodeShift = bits.TrailingZeros64(cfg.FramesPerNode)
+	}
 	groups := cfg.FramesPerNode / HugeFrames
+	maskWords := (groups + 63) / 64
 	for i := range pm.nodes {
 		pm.nodes[i] = nodeState{
-			base:       FrameID(uint64(i) * cfg.FramesPerNode),
-			frames:     cfg.FramesPerNode,
-			free:       cfg.FramesPerNode,
-			bitmap:     make([]uint64, (cfg.FramesPerNode+63)/64),
-			groupFree:  make([]uint32, groups),
-			fragmented: make([]bool, groups),
+			base:        FrameID(uint64(i) * cfg.FramesPerNode),
+			frames:      cfg.FramesPerNode,
+			free:        cfg.FramesPerNode,
+			bitmap:      make([]uint64, (cfg.FramesPerNode+63)/64),
+			groupFree:   make([]uint32, groups),
+			partialMask: make([]uint64, maskWords),
+			freeMask:    make([]uint64, maskWords),
+			fragMask:    make([]uint64, maskWords),
 		}
 		for g := range pm.nodes[i].groupFree {
 			pm.nodes[i].groupFree[g] = HugeFrames
+			maskSet(pm.nodes[i].freeMask, g)
 		}
 	}
 	return pm
@@ -196,7 +227,26 @@ func (pm *PhysMem) TotalFrames() uint64 {
 // NodeOf returns the NUMA node owning frame f.
 func (pm *PhysMem) NodeOf(f FrameID) numa.NodeID {
 	pm.checkFrame(f)
+	if pm.nodeShift >= 0 {
+		return numa.NodeID(uint64(f) >> uint(pm.nodeShift))
+	}
 	return numa.NodeID(uint64(f) / pm.framesPerNode)
+}
+
+// NodeOfRange returns the node owning the whole range [f, f+frames) when
+// the range lies fully inside one node's memory, and numa.InvalidNode when
+// it spans nodes or exceeds physical memory. The TLB caches this per
+// mapping so the access path skips the frame->node computation.
+func (pm *PhysMem) NodeOfRange(f FrameID, frames uint64) numa.NodeID {
+	last := uint64(f) + frames - 1
+	if frames == 0 || last >= uint64(len(pm.meta)) {
+		return numa.InvalidNode
+	}
+	n := pm.NodeOf(f)
+	if pm.NodeOf(FrameID(last)) != n {
+		return numa.InvalidNode
+	}
+	return n
 }
 
 // Meta returns the metadata for frame f. The pointer stays valid for the
@@ -241,17 +291,34 @@ func (pm *PhysMem) ProvisionTable(f FrameID) *[PTEntries]uint64 {
 	return pm.tables[f]
 }
 
-// SampleAccess records one data access to frame f from the given socket for
-// the AutoNUMA balancer. It is the only FrameMeta mutation allowed while
-// other cores run: all fields involved are updated atomically.
-func (pm *PhysMem) SampleAccess(f FrameID, socket numa.SocketID, local bool) {
+// SampleAccess records n data accesses to frame f from the given socket
+// for the AutoNUMA balancer. Call it only at quiescent points: the machine
+// buffers per-core samples during execution and folds them here (in
+// canonical core order) at round barriers, so FrameMeta sees no concurrent
+// mutation and the fold needs no atomics.
+func (pm *PhysMem) SampleAccess(f FrameID, socket numa.SocketID, local bool, n uint32) {
+	pm.checkFrame(f)
+	m := &pm.meta[f]
+	m.AccessSocket = int32(socket)
+	if local {
+		m.LocalAccesses += n
+	} else {
+		m.RemoteAccesses += n
+	}
+}
+
+// SampleAccessAtomic is SampleAccess for non-quiescent folds: callers that
+// drive cores from multiple goroutines without the engine's barrier
+// discipline (hand-rolled concurrent batch loops) fold their per-core
+// buffers with atomics instead, trading hot-path speed for safety.
+func (pm *PhysMem) SampleAccessAtomic(f FrameID, socket numa.SocketID, local bool, n uint32) {
 	pm.checkFrame(f)
 	m := &pm.meta[f]
 	atomic.StoreInt32(&m.AccessSocket, int32(socket))
 	if local {
-		atomic.AddUint32(&m.LocalAccesses, 1)
+		atomic.AddUint32(&m.LocalAccesses, n)
 	} else {
-		atomic.AddUint32(&m.RemoteAccesses, 1)
+		atomic.AddUint32(&m.RemoteAccesses, n)
 	}
 }
 
@@ -326,27 +393,27 @@ func (pm *PhysMem) AllocHuge(n numa.NodeID) (FrameID, error) {
 	if groups == 0 {
 		return NilFrame, ErrNoContiguous
 	}
-	for i := 0; i < groups; i++ {
-		g := (ns.nextGroup + i) % groups
-		if ns.fragmented[g] || ns.groupFree[g] != HugeFrames {
-			continue
-		}
-		ns.nextGroup = (g + 1) % groups
-		base := ns.base + FrameID(uint64(g)*HugeFrames)
-		for off := FrameID(0); off < HugeFrames; off++ {
-			f := base + off
-			pm.setBit(ns, uint64(f-ns.base))
-			m := &pm.meta[f]
-			m.Kind = KindData
-			m.HugeTail = off != 0
-		}
-		pm.meta[base].HugeHead = true
-		ns.groupFree[g] = 0
-		ns.free -= HugeFrames
-		ns.allocData += HugeFrames
-		return base, nil
+	// Next-fit over fully-free, non-fragmented groups: first set bit of
+	// (freeMask &^ fragMask) at or after nextGroup, wrapping.
+	g := ns.firstGroupFrom(ns.nextGroup, func(free, frag uint64) uint64 { return free &^ frag })
+	if g < 0 {
+		return NilFrame, ErrNoContiguous
 	}
-	return NilFrame, ErrNoContiguous
+	ns.nextGroup = (g + 1) % groups
+	base := ns.base + FrameID(uint64(g)*HugeFrames)
+	for off := FrameID(0); off < HugeFrames; off++ {
+		f := base + off
+		pm.setBit(ns, uint64(f-ns.base))
+		m := &pm.meta[f]
+		m.Kind = KindData
+		m.HugeTail = off != 0
+	}
+	pm.meta[base].HugeHead = true
+	ns.groupFree[g] = 0
+	maskClear(ns.freeMask, g)
+	ns.free -= HugeFrames
+	ns.allocData += HugeFrames
+	return base, nil
 }
 
 // Free releases a single data or page-table frame. Freeing a huge-page head
@@ -376,7 +443,15 @@ func (pm *PhysMem) Free(f FrameID) {
 	*m = FrameMeta{Kind: KindFree, ReplicaNext: NilFrame}
 	pm.clearBit(ns, uint64(f-ns.base))
 	ns.free++
-	ns.groupFree[(f-ns.base)/HugeFrames]++
+	g := int((f - ns.base) / HugeFrames)
+	ns.groupFree[g]++
+	switch ns.groupFree[g] {
+	case 1:
+		maskSet(ns.partialMask, g)
+	case HugeFrames:
+		maskClear(ns.partialMask, g)
+		maskSet(ns.freeMask, g)
+	}
 }
 
 // FreeHuge releases the 2MB block whose head frame is base.
@@ -396,8 +471,9 @@ func (pm *PhysMem) FreeHuge(base FrameID) {
 		pm.tables[f] = nil
 		pm.clearBit(ns, uint64(f-ns.base))
 	}
-	g := (base - ns.base) / HugeFrames
+	g := int((base - ns.base) / HugeFrames)
 	ns.groupFree[g] = HugeFrames
+	maskSet(ns.freeMask, g)
 	ns.free += HugeFrames
 	ns.allocData -= HugeFrames
 }
@@ -430,9 +506,9 @@ func (pm *PhysMem) Fragment(n numa.NodeID, fraction float64, r *rand.Rand) {
 	ns := pm.node(n)
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	for g := range ns.fragmented {
+	for g := range ns.groupFree {
 		if r.Float64() < fraction {
-			ns.fragmented[g] = true
+			maskSet(ns.fragMask, g)
 		}
 	}
 }
@@ -442,52 +518,122 @@ func (pm *PhysMem) DefragNode(n numa.NodeID) {
 	ns := pm.node(n)
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
-	for g := range ns.fragmented {
-		ns.fragmented[g] = false
+	for i := range ns.fragMask {
+		ns.fragMask[i] = 0
 	}
 }
 
 // allocSingle finds one free 4KB frame on node ns, whose mutex the caller
 // holds. It prefers groups that are already partially used so that
 // fully-free 2MB groups are preserved for huge-page allocation (a
-// simplified buddy-allocator anti-fragmentation heuristic).
+// simplified buddy-allocator anti-fragmentation heuristic). Group selection
+// is a find-first-set over the group masks — O(1) amortized instead of the
+// original three whole-node scans — while choosing exactly the same frame
+// the scans would have chosen (lowest-index candidate group, lowest free
+// frame within it).
 func (pm *PhysMem) allocSingle(ns *nodeState) (FrameID, error) {
 	if ns.free == 0 {
 		return NilFrame, ErrOutOfMemory
 	}
-	// First pass: a partially-used, non-full group.
-	for g := range ns.groupFree {
-		if ns.groupFree[g] > 0 && ns.groupFree[g] < HugeFrames {
-			return pm.takeFromGroup(ns, g), nil
+	// A partially-used, non-full group first; then a fragmented fully-free
+	// group (useless for huge pages anyway); then any fully-free group.
+	g := ns.firstGroup(func(partial, free, frag uint64) uint64 { return partial })
+	if g < 0 {
+		g = ns.firstGroup(func(partial, free, frag uint64) uint64 { return free & frag })
+	}
+	if g < 0 {
+		g = ns.firstGroup(func(partial, free, frag uint64) uint64 { return free })
+	}
+	if g < 0 {
+		return NilFrame, ErrOutOfMemory
+	}
+	return pm.takeFromGroup(ns, g), nil
+}
+
+// firstGroup returns the lowest group index whose bit is set in the mask
+// composed by pick from the node's three group masks, or -1.
+func (ns *nodeState) firstGroup(pick func(partial, free, frag uint64) uint64) int {
+	for i := range ns.partialMask {
+		ns.scanWords++
+		if w := pick(ns.partialMask[i], ns.freeMask[i], ns.fragMask[i]); w != 0 {
+			return i*64 + bits.TrailingZeros64(w)
 		}
 	}
-	// Second pass: prefer fragmented fully-free groups (useless for huge
-	// pages anyway), then any fully-free group.
-	for g := range ns.groupFree {
-		if ns.groupFree[g] == HugeFrames && ns.fragmented[g] {
-			return pm.takeFromGroup(ns, g), nil
+	return -1
+}
+
+// firstGroupFrom returns the first group at or after start (wrapping) whose
+// bit is set in the mask composed by pick from (freeMask, fragMask), or -1.
+// This preserves AllocHuge's next-fit rotation exactly.
+func (ns *nodeState) firstGroupFrom(start int, pick func(free, frag uint64) uint64) int {
+	groups := len(ns.groupFree)
+	words := len(ns.freeMask)
+	scan := func(wi int, low uint64) int {
+		ns.scanWords++
+		w := pick(ns.freeMask[wi], ns.fragMask[wi]) &^ low
+		if w == 0 {
+			return -1
+		}
+		g := wi*64 + bits.TrailingZeros64(w)
+		if g >= groups {
+			return -1
+		}
+		return g
+	}
+	startW := start >> 6
+	// The start word, masking off bits below start.
+	if g := scan(startW, (1<<(uint(start)&63))-1); g >= 0 {
+		return g
+	}
+	for wi := startW + 1; wi < words; wi++ {
+		if g := scan(wi, 0); g >= 0 {
+			return g
 		}
 	}
-	for g := range ns.groupFree {
-		if ns.groupFree[g] == HugeFrames {
-			return pm.takeFromGroup(ns, g), nil
+	for wi := 0; wi <= startW; wi++ {
+		if g := scan(wi, 0); g >= 0 {
+			return g
 		}
 	}
-	return NilFrame, ErrOutOfMemory
+	return -1
 }
 
 func (pm *PhysMem) takeFromGroup(ns *nodeState, g int) FrameID {
 	base := uint64(g) * HugeFrames
-	for off := uint64(0); off < HugeFrames; off++ {
-		idx := base + off
-		if !pm.testBit(ns, idx) {
+	wbase := base / 64
+	for wi := uint64(0); wi < HugeFrames/64; wi++ {
+		ns.scanWords++
+		if w := ns.bitmap[wbase+wi]; w != ^uint64(0) {
+			idx := base + wi*64 + uint64(bits.TrailingZeros64(^w))
 			pm.setBit(ns, idx)
+			wasFull := ns.groupFree[g] == HugeFrames
 			ns.groupFree[g]--
 			ns.free--
+			if wasFull {
+				maskClear(ns.freeMask, g)
+				maskSet(ns.partialMask, g)
+			}
+			if ns.groupFree[g] == 0 {
+				maskClear(ns.partialMask, g)
+			}
 			return ns.base + FrameID(idx)
 		}
 	}
 	panic(fmt.Sprintf("mem: group %d reported free frames but none found", g))
+}
+
+// ScanWords returns the cumulative number of allocator mask/bitmap words
+// examined across all nodes — the op-count hook regression tests use to
+// assert allocation stays O(1) under churn.
+func (pm *PhysMem) ScanWords() uint64 {
+	var total uint64
+	for i := range pm.nodes {
+		ns := &pm.nodes[i]
+		ns.mu.Lock()
+		total += ns.scanWords
+		ns.mu.Unlock()
+	}
+	return total
 }
 
 func (pm *PhysMem) node(n numa.NodeID) *nodeState {

@@ -38,6 +38,17 @@ func DefaultLLCConfig() LLCConfig {
 type llcSet struct {
 	lines []LineID
 	valid []bool
+	order []uint8 // recency permutation: order[0] is the MRU slot index
+}
+
+// touch moves recency position oi to MRU.
+func (s *llcSet) touch(oi int) {
+	if oi == 0 {
+		return
+	}
+	idx := s.order[oi]
+	copy(s.order[1:oi+1], s.order[:oi])
+	s.order[0] = idx
 }
 
 // LLC models one socket's last-level cache for page-table lines, with
@@ -77,6 +88,10 @@ func NewLLC(cfg LLCConfig) *LLC {
 	for i := range l.sets {
 		l.sets[i].lines = make([]LineID, cfg.Ways)
 		l.sets[i].valid = make([]bool, cfg.Ways)
+		l.sets[i].order = make([]uint8, cfg.Ways)
+		for w := range l.sets[i].order {
+			l.sets[i].order[w] = uint8(w)
+		}
 	}
 	return l
 }
@@ -84,26 +99,41 @@ func NewLLC(cfg LLCConfig) *LLC {
 func (l *LLC) set(id LineID) *llcSet { return &l.sets[uint64(id)&l.mask] }
 
 // Access looks up line id, inserting it on a miss. It returns true on hit.
-// The explicit unlocks keep this walk-path hot spot free of defer overhead.
+// This locked path supports arbitrary cross-goroutine interleavings (the
+// legacy inline Machine.Access route and hand-rolled concurrent batch
+// loops). The explicit unlocks keep this walk-path hot spot free of defer
+// overhead.
 func (l *LLC) Access(id LineID) bool {
 	l.mu.Lock()
+	hit := l.access(id)
+	l.mu.Unlock()
+	return hit
+}
+
+// AccessOwned is Access without the mutex, for callers running the
+// round-based engine's single-writer discipline: all of this socket's
+// cores are driven by one goroutine at a time, and cross-socket
+// invalidations (Invalidate) are applied only at quiescent round barriers
+// — so during compute the cache is goroutine-private and the lock would
+// serialize nothing. See DESIGN.md, "Host performance & the single-writer
+// LLC".
+func (l *LLC) AccessOwned(id LineID) bool { return l.access(id) }
+
+func (l *LLC) access(id LineID) bool {
 	s := l.set(id)
-	for i := range s.lines {
-		if s.valid[i] && s.lines[i] == id {
-			// LRU move-to-front.
-			copy(s.lines[1:i+1], s.lines[:i])
-			copy(s.valid[1:i+1], s.valid[:i])
-			s.lines[0], s.valid[0] = id, true
+	for oi, idx := range s.order {
+		if s.valid[idx] && s.lines[idx] == id {
+			// LRU move-to-front (index rotation only).
+			s.touch(oi)
 			l.Stats.Hits++
-			l.mu.Unlock()
 			return true
 		}
 	}
-	copy(s.lines[1:], s.lines[:len(s.lines)-1])
-	copy(s.valid[1:], s.valid[:len(s.valid)-1])
-	s.lines[0], s.valid[0] = id, true
+	last := len(s.order) - 1
+	idx := s.order[last]
+	s.lines[idx], s.valid[idx] = id, true
+	s.touch(last)
 	l.Stats.Misses++
-	l.mu.Unlock()
 	return false
 }
 
@@ -111,6 +141,17 @@ func (l *LLC) Access(id LineID) bool {
 // ownership).
 func (l *LLC) Invalidate(id LineID) {
 	l.mu.Lock()
+	l.invalidate(id)
+	l.mu.Unlock()
+}
+
+// InvalidateOwned is Invalidate without the mutex, for round-barrier
+// coherence application under the engine's single-writer discipline (the
+// apply phase runs while no compute batch is in flight, and each LLC is
+// touched by one goroutine).
+func (l *LLC) InvalidateOwned(id LineID) { l.invalidate(id) }
+
+func (l *LLC) invalidate(id LineID) {
 	s := l.set(id)
 	for i := range s.lines {
 		if s.valid[i] && s.lines[i] == id {
@@ -119,7 +160,6 @@ func (l *LLC) Invalidate(id LineID) {
 			break
 		}
 	}
-	l.mu.Unlock()
 }
 
 // Flush empties the cache.

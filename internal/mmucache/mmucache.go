@@ -52,9 +52,13 @@ type pscEntry struct {
 }
 
 // PSC is one core's set of paging-structure caches with LRU replacement
-// (small fully-associative arrays, like real MMU caches).
+// (small fully-associative arrays, like real MMU caches). Recency lives in
+// a per-level order vector (order[0] = MRU slot index) so LRU updates move
+// index bytes, not entries; the permutation matches the shift-down
+// representation exactly, keeping hits and evictions bit-identical.
 type PSC struct {
 	levels [pt.MaxLevels + 1][]pscEntry
+	order  [pt.MaxLevels + 1][]uint8
 	// Stats counts hits by level.
 	Stats PSCStats
 }
@@ -71,9 +75,24 @@ func NewPSC(cfg PSCConfig) *PSC {
 	for l := 2; l <= pt.MaxLevels; l++ {
 		if n := cfg.EntriesPerLevel[l]; n > 0 {
 			p.levels[l] = make([]pscEntry, n)
+			p.order[l] = make([]uint8, n)
+			for w := range p.order[l] {
+				p.order[l][w] = uint8(w)
+			}
 		}
 	}
 	return p
+}
+
+// touch moves recency position oi of level l to MRU.
+func (p *PSC) touch(l uint8, oi int) {
+	if oi == 0 {
+		return
+	}
+	order := p.order[l]
+	idx := order[oi]
+	copy(order[1:oi+1], order[:oi])
+	order[0] = idx
 }
 
 // tagOf extracts the VA prefix that identifies the level-l entry covering
@@ -95,14 +114,12 @@ func (p *PSC) Lookup(va pt.VirtAddr, startLevel uint8) (resumeLevel uint8, child
 			continue
 		}
 		tag := tagOf(va, l)
-		for i := range arr {
-			if arr[i].valid && arr[i].tag == tag {
-				// LRU: move to front.
-				hit := arr[i]
-				copy(arr[1:i+1], arr[:i])
-				arr[0] = hit
+		for oi, idx := range p.order[l] {
+			if e := &arr[idx]; e.valid && e.tag == tag {
+				child := e.child
+				p.touch(l, oi)
 				p.Stats.Hits[l]++
-				return l - 1, hit.child, true
+				return l - 1, child, true
 			}
 		}
 	}
@@ -121,17 +138,35 @@ func (p *PSC) Insert(va pt.VirtAddr, level uint8, child mem.FrameID) {
 		return
 	}
 	tag := tagOf(va, level)
-	for i := range arr {
-		if arr[i].valid && arr[i].tag == tag {
-			hit := arr[i]
-			hit.child = child
-			copy(arr[1:i+1], arr[:i])
-			arr[0] = hit
+	order := p.order[level]
+	for oi, idx := range order {
+		if e := &arr[idx]; e.valid && e.tag == tag {
+			e.child = child
+			p.touch(level, oi)
 			return
 		}
 	}
-	copy(arr[1:], arr[:len(arr)-1])
-	arr[0] = pscEntry{tag: tag, child: child, valid: true}
+	last := len(order) - 1
+	arr[order[last]] = pscEntry{tag: tag, child: child, valid: true}
+	p.touch(level, last)
+}
+
+// InsertFresh is Insert for entries the walker knows are absent: every
+// walk first ran Lookup, which searched all levels at or below the resume
+// point, so the levels the walk descends (and re-caches) missed. Skipping
+// the same-key scan is behaviour-identical for absent tags.
+func (p *PSC) InsertFresh(va pt.VirtAddr, level uint8, child mem.FrameID) {
+	if level < 2 || level > pt.MaxLevels {
+		panic(fmt.Sprintf("mmucache: PSC insert at level %d", level))
+	}
+	arr := p.levels[level]
+	if arr == nil {
+		return
+	}
+	order := p.order[level]
+	last := len(order) - 1
+	arr[order[last]] = pscEntry{tag: tagOf(va, level), child: child, valid: true}
+	p.touch(level, last)
 }
 
 // Flush empties all levels (context switch).

@@ -72,9 +72,16 @@ func DefaultCostParams() CostParams {
 // It is not safe for concurrent mutation; the simulator is single-threaded
 // by design for determinism.
 type CostModel struct {
-	topo   *Topology
-	params CostParams
-	loaded []bool // per node: is a bandwidth hog running against it?
+	topo    *Topology
+	params  CostParams
+	sockets int
+	nodes   int
+	loaded  []bool // per node: is a bandwidth hog running against it?
+	// dram[s*nodes+n] is the precomputed DRAM latency from socket s to
+	// node n including the current interference state, so the per-access
+	// hot path is one table load instead of locality checks and float
+	// scaling. Rebuilt by recompute() whenever interference changes.
+	dram []Cycles
 }
 
 // NewCostModel returns a cost model for topology t with parameters p.
@@ -88,10 +95,33 @@ func NewCostModel(t *Topology, p CostParams) *CostModel {
 	if p.InterferenceFactor < 1 {
 		panic(fmt.Sprintf("numa: interference factor %v must be >= 1", p.InterferenceFactor))
 	}
-	return &CostModel{
-		topo:   t,
-		params: p,
-		loaded: make([]bool, t.Nodes()),
+	m := &CostModel{
+		topo:    t,
+		params:  p,
+		sockets: t.Sockets(),
+		nodes:   t.Nodes(),
+		loaded:  make([]bool, t.Nodes()),
+		dram:    make([]Cycles, t.Sockets()*t.Nodes()),
+	}
+	m.recompute()
+	return m
+}
+
+// recompute rebuilds the socket x node DRAM latency table from the
+// parameters and the current interference marks.
+func (m *CostModel) recompute() {
+	nodes := m.topo.Nodes()
+	for s := 0; s < m.topo.Sockets(); s++ {
+		for n := 0; n < nodes; n++ {
+			base := m.params.RemoteDRAM
+			if m.topo.IsLocal(SocketID(s), NodeID(n)) {
+				base = m.params.LocalDRAM
+			}
+			if m.loaded[n] {
+				base = Cycles(float64(base) * m.params.InterferenceFactor)
+			}
+			m.dram[s*nodes+n] = base
+		}
 	}
 }
 
@@ -106,6 +136,7 @@ func (m *CostModel) Params() CostParams { return m.params }
 // InterferenceFactor times their base latency.
 func (m *CostModel) SetLoaded(n NodeID, loaded bool) {
 	m.loaded[m.checkNode(n)] = loaded
+	m.recompute()
 }
 
 // Loaded reports whether node n currently has an interfering bandwidth hog.
@@ -118,19 +149,25 @@ func (m *CostModel) ClearLoads() {
 	for i := range m.loaded {
 		m.loaded[i] = false
 	}
+	m.recompute()
 }
 
 // DRAM returns the cost of a DRAM access from socket s to memory node n,
-// including any interference penalty on n.
+// including any interference penalty on n. Out-of-range arguments panic:
+// a flat-table index alone would silently alias another socket's row
+// (e.g. s=1, n=-1 lands on socket 0's last node), turning a caller bug
+// into plausible-but-wrong cycle charges.
 func (m *CostModel) DRAM(s SocketID, n NodeID) Cycles {
-	base := m.params.RemoteDRAM
-	if m.topo.IsLocal(s, n) {
-		base = m.params.LocalDRAM
+	if uint(s) >= uint(m.sockets) || uint(n) >= uint(m.nodes) {
+		m.badDRAM(s, n)
 	}
-	if m.loaded[m.checkNode(n)] {
-		return Cycles(float64(base) * m.params.InterferenceFactor)
-	}
-	return base
+	return m.dram[int(s)*m.nodes+int(n)]
+}
+
+// badDRAM is outlined so DRAM's bounds check stays two compares and the
+// function inlines into the access hot path.
+func (m *CostModel) badDRAM(s SocketID, n NodeID) {
+	panic(fmt.Sprintf("numa: DRAM(socket %d, node %d) out of range [0,%d)x[0,%d)", s, n, m.sockets, m.nodes))
 }
 
 // LLCHit returns the cost of a last-level cache hit.

@@ -141,13 +141,30 @@ func (t *Table) Walk(va VirtAddr) Walk {
 	return t.WalkFrom(va, t.levels, t.root)
 }
 
-// Lookup translates va, returning the leaf entry and page size.
+// Lookup translates va, returning the leaf entry and page size. Unlike
+// Walk it records no per-step trace, so it is the cheap probe for hot
+// kernel paths (the fault handler's already-mapped check runs once per
+// page fault).
 func (t *Table) Lookup(va VirtAddr) (leaf PTE, size PageSize, ok bool) {
-	w := t.Walk(va)
-	if !w.OK {
-		return 0, Size4K, false
+	frame := t.root
+	for level := t.levels; level >= 1; level-- {
+		e := ReadEntry(t.pm, EntryRef{Frame: frame, Index: Index(va, level)})
+		if !e.Present() {
+			return 0, Size4K, false
+		}
+		if level == 1 {
+			return e, Size4K, true
+		}
+		if e.Huge() {
+			size, sizeOK := SizeAtLevel(level)
+			if !sizeOK {
+				panic(fmt.Sprintf("pt: PS bit set at level %d", level))
+			}
+			return e, size, true
+		}
+		frame = e.Frame()
 	}
-	return w.Terminal(), w.Size, true
+	panic("pt: walk descended past level 1")
 }
 
 // Visit walks the whole tree in depth-first order, calling fn for every

@@ -212,6 +212,13 @@ func run(env *Env, w Workload, opsPerThread int, reset bool, cfg EngineConfig) (
 		m: m, cores: cores, groups: groups, sockets: groupSockets,
 		allSockets: topo.Sockets(), bufs: bufs, errs: errs,
 	}
+	eng.rebuildBusy()
+	// The engine's round discipline (each socket's cores driven by one
+	// goroutine, coherence applied only at barriers) is exactly the
+	// machine's single-writer contract, so both modes run the lock-free
+	// LLC path for the whole run.
+	m.BeginSingleWriter()
+	defer m.EndSingleWriter()
 	if parallel {
 		// Pin the cores for the whole run so the kernel's memory-pressure
 		// reclaim treats them as busy even between a worker's batches.
@@ -279,11 +286,14 @@ func run(env *Env, w Workload, opsPerThread int, reset bool, cfg EngineConfig) (
 func groupBySocket(topo *numa.Topology, cores []numa.CoreID) ([][]int, []numa.SocketID) {
 	var groups [][]int
 	var groupSockets []numa.SocketID
-	groupOf := make(map[numa.SocketID]int)
+	groupOf := make([]int, topo.Sockets())
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
 	for i, c := range cores {
 		s := topo.SocketOf(c)
-		g, ok := groupOf[s]
-		if !ok {
+		g := groupOf[s]
+		if g < 0 {
 			g = len(groups)
 			groupOf[s] = g
 			groups = append(groups, nil)
@@ -304,10 +314,28 @@ type engine struct {
 	bufs       [][]hw.AccessOp
 	errs       []error
 
+	// busySocket[s] reports whether socket s runs any core of this run —
+	// precomputed once per run/rebind so the per-round idle-socket apply
+	// does not rescan the group list per socket.
+	busySocket []bool
+
 	compute []chan int // per worker: ops this round; closed = exit
 	done    []chan struct{}
 	apply   []chan struct{}
 	applied []chan struct{}
+}
+
+// rebuildBusy recomputes the busy-socket mask from the current groups.
+func (e *engine) rebuildBusy() {
+	if e.busySocket == nil {
+		e.busySocket = make([]bool, e.allSockets)
+	}
+	for s := range e.busySocket {
+		e.busySocket[s] = false
+	}
+	for _, gs := range e.sockets {
+		e.busySocket[gs] = true
+	}
 }
 
 // computeGroup runs one round's batches for group g.
@@ -323,14 +351,7 @@ func (e *engine) computeGroup(g, n int) {
 // LLCs may still cache lines of the shared page-table).
 func (e *engine) applyIdle() {
 	for s := 0; s < e.allSockets; s++ {
-		idle := true
-		for _, gs := range e.sockets {
-			if gs == numa.SocketID(s) {
-				idle = false
-				break
-			}
-		}
-		if idle {
+		if !e.busySocket[s] {
 			e.m.ApplyCoherenceTo(numa.SocketID(s), e.cores)
 		}
 	}
@@ -349,6 +370,7 @@ func (e *engine) round(n int, parallel bool) {
 		}
 		e.applyIdle()
 		e.m.ClearCoherence(e.cores)
+		e.m.FoldSampling(e.cores)
 		return
 	}
 	for _, c := range e.compute {
@@ -368,8 +390,11 @@ func (e *engine) round(n int, parallel bool) {
 		<-c
 	}
 	// Every target socket has applied this round's events: drop them so
-	// the next round's batches start from empty buffers.
+	// the next round's batches start from empty buffers. The coordinator
+	// then folds the round's AutoNUMA samples in canonical core order (the
+	// workers are parked, so the fold is single-threaded).
 	e.m.ClearCoherence(e.cores)
+	e.m.FoldSampling(e.cores)
 }
 
 // startWorkers launches one goroutine per socket group except group 0,
@@ -432,6 +457,7 @@ func (e *engine) rebind(env *Env, w Workload, newCores []numa.CoreID, parallel b
 		e.m.SetWalkOverlap(c, w.WalkOverlap())
 	}
 	e.groups, e.sockets = groupBySocket(env.K.Topology(), e.cores)
+	e.rebuildBusy()
 	if parallel {
 		e.m.BeginConcurrent(e.cores)
 		e.startWorkers()

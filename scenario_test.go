@@ -535,3 +535,81 @@ func TestVirtStaticReplicationRecovery(t *testing.T) {
 			worst.RemoteWalkCycles, both.RemoteWalkCycles)
 	}
 }
+
+// stressScenario combines every dimension the host-speed fast paths touch
+// into one declarative spec: a virtualized guest process (2D walks, vTLB
+// composition) and a native THP process side by side, over pre-fragmented
+// physical memory (allocator fallback churn), both under policies that act
+// at round barriers.
+func stressScenario() Scenario {
+	return NewScenario("test/stress-equivalence",
+		// THP stays off: at the test's scaled footprints 2MB coverage would
+		// erase TLB pressure and the policies would never need to act. The
+		// 0.95 fragmentation still drives the allocator's fragmented-group
+		// preference paths on every 4KB allocation.
+		OnMachine(SystemConfig{Sockets: 4, CoresPerSocket: 2, MemoryPerNode: 256 << 20}),
+		WithSeed(11),
+		WithFragmentation(0.95),
+		WithProc(NewProc("gups-vm",
+			GUPS(InSuite("wm"), Scaled(1.0/32)),
+			OnSockets(0, 1),
+			WithDataBind(2),
+			WithVM(VMSpec{HomeNode: 2, PolicyLayers: VMReplicationBoth}),
+			UnderPolicy("ondemand"),
+			WithPhases(Warmup(500), Measure(2500)),
+		)),
+		WithProc(NewProc("hashjoin",
+			NamedWorkload("HashJoin", InSuite("wm"), Scaled(1.0/32)),
+			OnSockets(2, 3),
+			WithDataBind(0),
+			WithPTNode(0),
+			UnderPolicy("ondemand"),
+			WithPhases(Measure(2500)),
+		)),
+	)
+}
+
+// TestStressEquivalenceAcrossModes is the cross-mode equivalence stress
+// bar guarding the host-speed overhaul (lock-free single-writer LLC, TLB
+// probe short-circuit, O(1) frame allocator, barrier-folded AutoNUMA
+// sampling, cached TLB nodes): the full stress scenario — virtualized
+// process, fragmentation, THP fallback, two policies acting at barriers —
+// must produce bit-identical RunResult counters AND action logs in
+// Sequential, Parallel and Auto modes. CI runs it under -race, which
+// additionally proves the lock-free paths respect the barrier discipline.
+// The 1GB-mapping dimension (no public construction path) is covered by
+// the kernel-level TestEngineEquivalence1GFragmented.
+func TestStressEquivalenceAcrossModes(t *testing.T) {
+	sc := stressScenario()
+	var ref *RunResult
+	for _, mode := range []EngineMode{SequentialEngine, ParallelEngine, AutoEngine} {
+		rr, err := Run(sc, WithEngine(mode))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		acted := 0
+		for _, po := range rr.Policies {
+			acted += len(po.Actions)
+		}
+		if acted == 0 {
+			t.Fatalf("%v: no policy actions — the stress scenario must drive barrier-time kernel work", mode)
+		}
+		if ref == nil {
+			ref = rr
+			continue
+		}
+		if !reflect.DeepEqual(ref.Phases, rr.Phases) {
+			t.Errorf("%v: phase counters diverged:\nref: %+v\ngot: %+v", mode, ref.Phases, rr.Phases)
+		}
+		if !reflect.DeepEqual(ref.Policies, rr.Policies) {
+			t.Errorf("%v: policy action logs diverged:\nref: %+v\ngot: %+v", mode, ref.Policies, rr.Policies)
+		}
+		if ref.ReplicaPTPages != rr.ReplicaPTPages {
+			t.Errorf("%v: replica PT pages %d, want %d", mode, rr.ReplicaPTPages, ref.ReplicaPTPages)
+		}
+	}
+	// The guest dimension must really have run as a guest.
+	if m := ref.Measured("gups-vm"); m == nil || m.Counters.NestedWalkCycles == 0 {
+		t.Error("stress scenario did not exercise the 2D-walk path")
+	}
+}
