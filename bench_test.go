@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	mitosis "github.com/mitosis-project/mitosis-sim"
 	"github.com/mitosis-project/mitosis-sim/internal/core"
 	"github.com/mitosis-project/mitosis-sim/internal/experiments"
 	"github.com/mitosis-project/mitosis-sim/internal/hw"
@@ -477,5 +478,46 @@ func BenchmarkMicroWorkloadStep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		step()
+	}
+}
+
+// sweepCellScenario is the cell both machine-recycling benchmarks run:
+// small machine, modest ops, so the boot-vs-reset difference dominates.
+func sweepCellScenario() mitosis.Scenario {
+	return mitosis.NewScenario("cell",
+		mitosis.OnMachine(mitosis.SystemConfig{Sockets: 2, CoresPerSocket: 2, MemoryPerNode: 64 << 20}),
+		mitosis.WithSeed(9),
+		mitosis.WithProc(mitosis.NewProc("w", mitosis.GUPS(mitosis.Scaled(1.0/64)),
+			mitosis.OnSockets(0),
+			mitosis.WithPhases(mitosis.Measure(400)))))
+}
+
+// BenchmarkMicroSweepCellFresh boots a fresh system for every cell — the
+// serial baseline the sweep runner's pooling is measured against.
+func BenchmarkMicroSweepCellFresh(b *testing.B) {
+	b.ReportAllocs()
+	sc := sweepCellScenario()
+	for i := 0; i < b.N; i++ {
+		if _, err := mitosis.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroSweepCellPooled recycles one system via Reset between
+// cells, the sweep worker's steady state. Compare allocs/op against
+// BenchmarkMicroSweepCellFresh: pooling must allocate measurably less per
+// cell (it skips frame metadata, bitmaps and cache arrays).
+func BenchmarkMicroSweepCellPooled(b *testing.B) {
+	b.ReportAllocs()
+	sc := sweepCellScenario()
+	sys := mitosis.AcquireSystem(sc.Machine)
+	defer sys.Release()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Run(sc); err != nil {
+			b.Fatal(err)
+		}
+		sys.Reset()
 	}
 }

@@ -55,19 +55,81 @@ import (
 	"github.com/mitosis-project/mitosis-sim/internal/experiments"
 )
 
+// targetInfo describes one experiment target for -list and for upfront
+// validation of requested target names.
+type targetInfo struct {
+	name string
+	desc string
+}
+
+// targets is the registry of runnable experiments, in default run order
+// (sweep is opt-in: it is not part of "all").
+var targets = []targetInfo{
+	{"fig1", "composite motivation summary: stranded tables vs replicated"},
+	{"fig3", "page-table placement dump across sockets"},
+	{"fig4", "remote page-walk fractions per configuration"},
+	{"fig6", "multi-socket 4KB speedups over stranded baseline"},
+	{"fig9a", "workload-migration slowdowns, 4KB pages"},
+	{"fig9b", "workload-migration slowdowns, THP"},
+	{"fig10a", "multi-socket Mitosis speedups, 4KB pages"},
+	{"fig10b", "multi-socket Mitosis speedups, THP"},
+	{"fig11", "TLB and page-walk breakdown under migration"},
+	{"table4", "per-workload page-table sizes and replication overhead"},
+	{"table5", "VMA-operation costs with and without replication"},
+	{"table6", "virtualized gPT/ePT replication ladder"},
+	{"ablations", "design ablations: propagation, 5-level, page cache, policies, async, virt"},
+	{"policy", "runtime replication-policy comparison (none/static/ondemand/costadaptive)"},
+	{"scenario", "canonical declarative scenario, replayable via BENCH_scenario.json"},
+	{"virt", "virtualized table plus the canonical virt scenario record"},
+	{"engine", "execution-engine throughput benchmark (sequential vs parallel)"},
+	{"perf", "simulator hot-path host-throughput trajectory (BENCH_perf.json)"},
+	{"sweep", "fleet-scale pooled scenario grid, replayable via BENCH_sweep.json (not in \"all\")"},
+}
+
+func knownTarget(name string) bool {
+	for _, t := range targets {
+		if t.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func targetNames() []string {
+	names := make([]string, len(targets))
+	for i, t := range targets {
+		names[i] = t.name
+	}
+	return names
+}
+
 func main() {
 	ops := flag.Int("ops", 0, "measured operations per thread (0 = default)")
 	seed := flag.Int64("seed", 0, "random seed (0 = default)")
-	quick := flag.Bool("quick", false, "reduced scale smoke run (shapes not meaningful)")
+	quick := flag.Bool("quick", false, "reduced scale smoke run (shapes not meaningful); for sweep: the 64-cell quick grid")
 	jsonDir := flag.String("json", "", "directory for machine-readable BENCH_<target>.json output (empty = off)")
 	policyList := flag.String("policy", "", "comma-separated replication policies for the policy target (empty = all)")
-	replay := flag.String("replay", "", "replay the scenario in FILE (BENCH_scenario.json or bare scenario JSON) and verify counters")
+	replay := flag.String("replay", "", "replay the record in FILE (BENCH_scenario.json, BENCH_sweep.json or bare scenario JSON) and verify counters")
+	replayCell := flag.Int("cell", -1, "with -replay on a sweep record: replay only this cell index (-1 = all cells)")
 	perfBaseline := flag.String("perf-baseline", "", "BENCH_perf.json to compare the perf target against (fills baseline columns, fails on regression)")
 	perfTolerance := flag.Float64("perf-tolerance", 0.7, "allowed fractional throughput drop vs -perf-baseline before the perf target fails")
+	list := flag.Bool("list", false, "list experiment targets with descriptions and exit")
+	cells := flag.Int("cells", 0, "sweep: truncate the grid to its first N cells (0 = all)")
+	workers := flag.Int("workers", 0, "sweep: worker-pool size (0 = host CPU count)")
+	serial := flag.Bool("serial", false, "sweep: also run the serial fresh-build loop for the speedup figure (doubles runtime)")
+	sweepBaseline := flag.String("sweep-baseline", "", "BENCH_sweep.json to compare the sweep target's throughput against (fails on regression)")
+	sweepTolerance := flag.Float64("sweep-tolerance", 0.7, "allowed fractional throughput drop vs -sweep-baseline before the sweep target fails")
 	flag.Parse()
 
+	if *list {
+		for _, t := range targets {
+			fmt.Printf("  %-10s %s\n", t.name, t.desc)
+		}
+		return
+	}
+
 	if *replay != "" {
-		if err := runReplay(*replay); err != nil {
+		if err := runReplay(*replay, *replayCell); err != nil {
 			fmt.Fprintf(os.Stderr, "mitosis-bench: replay: %v\n", err)
 			os.Exit(1)
 		}
@@ -97,16 +159,33 @@ func main() {
 		}
 	}
 
-	targets := flag.Args()
-	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
-		targets = []string{"fig1", "fig3", "fig4", "fig6", "fig9a", "fig9b",
-			"fig10a", "fig10b", "fig11", "table4", "table5", "table6",
-			"ablations", "policy", "scenario", "virt", "engine", "perf"}
+	requested := flag.Args()
+	if len(requested) == 0 || (len(requested) == 1 && requested[0] == "all") {
+		// Everything except sweep, which is opt-in (it has its own record
+		// and CI job).
+		requested = targetNames()[:len(targets)-1]
+	} else {
+		// Reject unknown names before running anything: a typo must not
+		// cost a half-completed multi-target run.
+		for _, name := range requested {
+			if !knownTarget(name) {
+				fmt.Fprintf(os.Stderr, "mitosis-bench: unknown experiment %q; valid targets: %s (or \"all\"; see -list)\n",
+					name, strings.Join(targetNames(), " "))
+				os.Exit(2)
+			}
+		}
 	}
 
-	for _, target := range targets {
+	sweepOpt := experiments.SweepOptions{
+		Quick:   *quick,
+		Cells:   *cells,
+		Workers: *workers,
+		Serial:  *serial,
+	}
+
+	for _, target := range requested {
 		start := time.Now()
-		out, payload, err := run(cfg, target, policies)
+		out, payload, err := run(cfg, target, policies, sweepOpt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mitosis-bench: %s: %v\n", target, err)
 			os.Exit(1)
@@ -119,6 +198,14 @@ func main() {
 				os.Exit(1)
 			}
 			out = pb.String()
+		}
+		if target == "sweep" && *sweepBaseline != "" {
+			sb := payload.(*experiments.SweepBench)
+			if err := compareSweep(sb, *sweepBaseline, *sweepTolerance); err != nil {
+				fmt.Fprintf(os.Stderr, "mitosis-bench: sweep: %v\n", err)
+				os.Exit(1)
+			}
+			out = sb.String()
 		}
 		fmt.Println(out)
 		fmt.Printf("[%s completed in %v]\n\n", target, wall.Round(time.Millisecond))
@@ -165,8 +252,11 @@ func writeJSON(dir, target string, cfg experiments.Config, policy string, wall t
 
 // run executes one target, returning its human-readable output plus the
 // structured payload for -json.
-func run(cfg experiments.Config, target string, policies []string) (string, any, error) {
+func run(cfg experiments.Config, target string, policies []string, sweepOpt experiments.SweepOptions) (string, any, error) {
 	switch target {
+	case "sweep":
+		sb, err := experiments.RunSweep(sweepOpt)
+		return str(sb, err)
 	case "fig1":
 		out, err := experiments.RunFig1(cfg)
 		// fig1/fig3 are genuinely textual (composite summary, PT dump);
@@ -281,11 +371,33 @@ func comparePerf(pb *experiments.PerfBench, path string, tolerance float64) erro
 	return nil
 }
 
-// runReplay re-executes a serialized scenario. A BENCH_scenario.json
-// record carries the original counters, which the rerun must reproduce
-// bit-for-bit (the scenario API's determinism contract); a bare scenario
-// JSON just runs and prints its result.
-func runReplay(path string) error {
+// compareSweep fills sb's baseline column from the BENCH_sweep.json at
+// path and fails when the pooled throughput regressed beyond tolerance.
+func compareSweep(sb *experiments.SweepBench, path string, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rec struct {
+		Result experiments.SweepBench `json:"result"`
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	sb.ApplyBaseline(&rec.Result)
+	if err := sb.Compare(&rec.Result, tolerance); err != nil {
+		return fmt.Errorf("vs %s: %w", path, err)
+	}
+	return nil
+}
+
+// runReplay re-executes a serialized record. A BENCH_scenario.json record
+// carries the original counters, which the rerun must reproduce
+// bit-for-bit (the scenario API's determinism contract); a
+// BENCH_sweep.json record is replayed cell-by-cell from its spec (cell
+// selects a single cell index, -1 replays every recorded cell); a bare
+// scenario JSON just runs and prints its result.
+func runReplay(path string, cell int) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -312,12 +424,21 @@ func runReplay(path string) error {
 			rr.Scenario.Name, len(rr.Phases), rr.ReplicaPTPages)
 		return nil
 	}
+	// A sweep record's result carries a "sweep" key (the SweepResult);
+	// scenario records carry a "scenario" key instead, so the probe is
+	// unambiguous.
+	var sweepProbe struct {
+		Sweep *mitosis.SweepResult `json:"sweep"`
+	}
+	if err := json.Unmarshal(raw, &sweepProbe); err == nil && sweepProbe.Sweep != nil && len(sweepProbe.Sweep.Cells) > 0 {
+		return replaySweep(path, sweepProbe.Sweep, cell)
+	}
 	var orig mitosis.RunResult
 	if err := json.Unmarshal(raw, &orig); err != nil {
 		return fmt.Errorf("%s: decoding recorded result: %w", path, err)
 	}
 	if len(orig.Scenario.Processes) == 0 {
-		return fmt.Errorf("%s: record carries no scenario; replay supports BENCH_scenario.json (or a bare scenario spec)", path)
+		return fmt.Errorf("%s: record carries no scenario; replay supports BENCH_scenario.json, BENCH_sweep.json (or a bare scenario spec)", path)
 	}
 	mode, err := mitosis.ParseEngineMode(orig.Engine)
 	if err != nil {
@@ -343,6 +464,37 @@ func runReplay(path string) error {
 	}
 	fmt.Printf("replay OK: scenario %q reproduced %d phases bit-identically (engine %s)\n",
 		orig.Scenario.Name, len(orig.Phases), orig.Engine)
+	return nil
+}
+
+// replaySweep regenerates cells from the recorded sweep spec and verifies
+// each rerun reproduces the recorded outcome bit-for-bit. With cell >= 0
+// only that cell index is replayed; otherwise every recorded cell is.
+func replaySweep(path string, rec *mitosis.SweepResult, cell int) error {
+	cellsToCheck := rec.Cells
+	if cell >= 0 {
+		i := slices.IndexFunc(rec.Cells, func(c mitosis.CellResult) bool { return c.Index == cell })
+		if i < 0 {
+			return fmt.Errorf("%s: record holds no cell with index %d (it records %d cells)", path, cell, len(rec.Cells))
+		}
+		cellsToCheck = rec.Cells[i : i+1]
+	}
+	for _, want := range cellsToCheck {
+		got, err := rec.Sweep.ReplayCell(want.Index)
+		if err != nil {
+			return fmt.Errorf("cell %d: %w", want.Index, err)
+		}
+		if got.Name != want.Name {
+			return fmt.Errorf("cell %d regenerated as %q, recorded as %q — the sweep spec does not match its cells", want.Index, got.Name, want.Name)
+		}
+		if got.Error != want.Error {
+			return fmt.Errorf("replay of cell %d (%s) diverged: error %q, recorded %q", want.Index, want.Name, got.Error, want.Error)
+		}
+		if !reflect.DeepEqual(got.Outcome, want.Outcome) {
+			return fmt.Errorf("replay of cell %d (%s) diverged:\nrecorded: %+v\nreplayed: %+v", want.Index, want.Name, want.Outcome, got.Outcome)
+		}
+	}
+	fmt.Printf("replay OK: sweep %q reproduced %d cell(s) bit-identically\n", rec.Sweep.Name, len(cellsToCheck))
 	return nil
 }
 

@@ -138,6 +138,26 @@ func NewSystem(cfg SystemConfig) *System {
 	return &System{k: k, cfg: norm, procs: make(map[string]*Proc)}
 }
 
+// Reset restores the system to the state NewSystem returned it in: no
+// processes, pristine memory, caches and counters, boot-time sysctl. A
+// reset system runs any scenario with counters bit-identical to a freshly
+// booted system — that is the contract the sweep runner's machine
+// recycling relies on, and what makes Reset cheaper than a reboot: the
+// machine's large allocations (frame metadata, bitmaps, cache arrays)
+// survive and are rewound in place, with cost proportional to the
+// previous run's footprint.
+//
+// Call it only at quiescence: never while a Run or an access batch is in
+// flight on another goroutine.
+func (s *System) Reset() {
+	s.k.Reset()
+	s.k.SetTHP(s.cfg.THP)
+	s.k.Sysctl().Mode = core.ModePerProcess
+	s.k.Sysctl().PageCacheTarget = 64
+	s.k.ApplySysctl()
+	clear(s.procs)
+}
+
 // Kernel exposes the underlying simulated kernel for advanced use
 // (experiments, policy knobs, hardware counters).
 func (s *System) Kernel() *kernel.Kernel { return s.k }

@@ -61,6 +61,15 @@ func NewBackend(pm *mem.PhysMem, cost *numa.CostModel, cache *mem.PageCache) *Ba
 // SetPropagation selects the replica update strategy (ring vs walk).
 func (b *Backend) SetPropagation(p Propagation) { b.prop = p }
 
+// Reset restores the backend to its just-built state: counters zeroed,
+// propagation strategy and paging-depth accounting back to defaults. The
+// reuse path for recycling a kernel between independent runs.
+func (b *Backend) Reset() {
+	b.prop = PropagateRing
+	b.depth = 4
+	b.Stats = BackendStats{}
+}
+
 // Name implements pvops.Backend.
 func (b *Backend) Name() string { return "mitosis" }
 

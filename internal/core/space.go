@@ -326,11 +326,15 @@ func (s *Space) teardownNode(ctx *pvops.OpCtx, node numa.NodeID) {
 		return true
 	})
 	// doomed maps each to-be-freed frame to the canonical (primary-chain)
-	// page it replicates.
+	// page it replicates. doomedOrder keeps the frames in traversal order:
+	// the free order below feeds the page-cache pool, so it must be
+	// deterministic for run-to-run counter identity.
 	doomed := make(map[mem.FrameID]mem.FrameID)
+	doomedOrder := make([]mem.FrameID, 0, len(pages))
 	for _, pg := range pages {
 		if member, ok := ringMemberOn(s.pm, pg, node); ok && member != pg {
 			doomed[member] = pg
+			doomedOrder = append(doomedOrder, member)
 		}
 	}
 	if len(doomed) == 0 {
@@ -365,7 +369,7 @@ func (s *Space) teardownNode(ctx *pvops.OpCtx, node numa.NodeID) {
 			}
 		}
 	}
-	for member := range doomed {
+	for _, member := range doomedOrder {
 		ringUnlink(s.pm, member)
 		s.backend.cache.FreePT(member)
 		count(ctx, func(m *pvops.Meter) { m.PTFrees++ })

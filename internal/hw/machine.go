@@ -189,6 +189,12 @@ type coreState struct {
 	engaged atomic.Int32
 }
 
+// rngSeed is core i's deterministic locality-model RNG seed (golden-ratio
+// stride so neighbouring cores decorrelate immediately).
+func rngSeed(i int) uint64 {
+	return uint64(i)*0x9E3779B97F4A7C15 + 0x243F6A8885A308D3
+}
+
 // sample is a run of buffered AutoNUMA access samples: count consecutive
 // accesses to the same frame with the same locality. Run-length encoding
 // keeps tight loops (the TLB-hit fast path re-touching one page) from
@@ -265,7 +271,7 @@ func New(cfg Config) *Machine {
 			psc:         mmucache.NewPSC(cfg.PSC),
 			dataHitRate: 0,
 			walkOverlap: 1.0,
-			rng:         uint64(i)*0x9E3779B97F4A7C15 + 0x243F6A8885A308D3,
+			rng:         rngSeed(i),
 		}
 	}
 	for i := range m.llcs {
@@ -387,6 +393,37 @@ func (m *Machine) ResetStats() {
 	for _, l := range m.llcs {
 		l.Stats = mmucache.LLCStats{}
 	}
+}
+
+// Reset restores the machine to its just-built state: contexts unloaded,
+// TLBs/PSCs/LLCs as freshly constructed, locality models rewound, stats
+// and buffered coherence/sampling events dropped. Callers must be
+// quiescent (no run in flight). Buffer capacities are kept so a recycled
+// machine re-runs without reallocating them; a reset machine is
+// behaviourally indistinguishable from a new one.
+func (m *Machine) Reset() {
+	for i := range m.cores {
+		c := &m.cores[i]
+		c.cr3 = mem.NilFrame
+		c.levels = 0
+		c.virt = false
+		c.groot = 0
+		c.nlevels = 0
+		c.tlb.Reset()
+		c.psc.Reset()
+		c.dataHitRate = 0
+		c.walkOverlap = 1.0
+		c.rng = rngSeed(i)
+		c.stats = CoreStats{}
+		c.pending = c.pending[:0]
+		c.samples = c.samples[:0]
+		c.busy.Store(0)
+		c.engaged.Store(0)
+	}
+	for _, l := range m.llcs {
+		l.Reset()
+	}
+	m.singleWriter = false
 }
 
 // AddCycles charges extra cycles to a core: the kernel uses it to bill

@@ -69,10 +69,14 @@ func (k *Kernel) populateOne(p *Process, v *VMA, va pt.VirtAddr, socket numa.Soc
 	// Try a 2MB mapping when THP is on, the VMA wants it, and the aligned
 	// block lies inside the VMA. Huge pages are only allocated on the
 	// target node itself (Linux's __GFP_THISNODE THP policy): a local 4KB
-	// page beats a remote 2MB page.
+	// page beats a remote 2MB page. The block must also be free of 4KB
+	// mappings (Linux's pmd_none check): under fragmentation an earlier
+	// fault in the block may have fallen back to 4KB, and a later huge
+	// allocation that happens to succeed would collide with it.
 	if k.thp && v.THP {
 		hugeBase := pt.PageBase(va, pt.Size2M)
-		if hugeBase >= v.Start && hugeBase+pt.VirtAddr(pt.Size2M.Bytes()) <= v.End {
+		if hugeBase >= v.Start && hugeBase+pt.VirtAddr(pt.Size2M.Bytes()) <= v.End &&
+			pmdEmpty(p.mapper.Table(), hugeBase) {
 			if frame, err := k.pm.AllocHuge(dataNode); err == nil {
 				// Zeroing 2MB streams better than 512 separate pages.
 				p.Meter.Cycles += 256 * k.cost.Params().PageZero
@@ -106,6 +110,17 @@ func (k *Kernel) populateOne(p *Process, v *VMA, va pt.VirtAddr, socket numa.Soc
 		}
 	}
 	return pt.Size4K, nil
+}
+
+// pmdEmpty reports whether no translation exists under the 2MB-aligned
+// block at hugeBase: the walk stops at a non-present entry at level 2 or
+// above, so no L1 table (and no leaf of any size) covers the block and a
+// huge mapping can be installed without colliding with existing pages —
+// the simulator's equivalent of Linux's pmd_none check on the THP fault
+// path.
+func pmdEmpty(t *pt.Table, hugeBase pt.VirtAddr) bool {
+	w := t.Walk(hugeBase)
+	return !w.OK && w.Steps[w.N-1].Level >= 2
 }
 
 // allocDataWithFallback tries the preferred node first, then the remaining

@@ -177,6 +177,34 @@ func New(cfg Config) *Kernel {
 	return k
 }
 
+// Reset restores the kernel and its machine to the state New returned
+// them in: no processes or VMs, PID/VM/interleave counters rewound,
+// sysctl and THP back to defaults, interference cleared, hardware caches
+// and physical memory pristine. Call it only at quiescence (no run in
+// flight). The reuse path for recycling a booted kernel across
+// independent runs: a reset kernel must be behaviourally
+// indistinguishable from a freshly built one.
+func (k *Kernel) Reset() {
+	clear(k.procs)
+	for i := range k.current {
+		k.current[i] = nil
+	}
+	k.nextPID = 1
+	k.nextVMID = 0
+	k.nextIntlv = 0
+	k.faultCore = -1
+	k.sysctl = core.Sysctl{}
+	k.thp = false
+	k.cost.ClearLoads()
+	k.backend.Reset()
+	// The page cache forgets its reserved frames first so physical memory
+	// can be reclaimed wholesale; the facade re-applies the sysctl target
+	// (Refill over empty memory reproduces the fresh-boot pool exactly).
+	k.cache.Reset()
+	k.pm.Reset()
+	k.machine.Reset()
+}
+
 // Topology returns the machine topology.
 func (k *Kernel) Topology() *numa.Topology { return k.topo }
 

@@ -36,7 +36,16 @@ func (k *Kernel) ReclaimReplicas() uint64 {
 	for n := 0; n < k.topo.Nodes(); n++ {
 		before += k.pm.FreeFrames(numa.NodeID(n))
 	}
-	for _, p := range k.procs {
+	// Walk processes in PID order: teardown frees frames into the page
+	// cache, so the visit order must be deterministic for run-to-run
+	// counter identity.
+	pids := make([]int, 0, len(k.procs))
+	for pid := range k.procs {
+		pids = append(pids, pid)
+	}
+	slices.Sort(pids)
+	for _, pid := range pids {
+		p := k.procs[pid]
 		if !p.space.Replicated() || k.replicaHolderBusy(p) {
 			continue
 		}

@@ -114,10 +114,13 @@ func (k *Kernel) populateGuestOne(p *Process, v *VMA, va pt.VirtAddr, socket num
 
 	// Try a guest 2MB mapping when THP is on: a host huge page backs a
 	// 2MB-contiguous guest-physical block with a single nested 2MB leaf,
-	// so the composed translation stays 2MB-grained end to end.
+	// so the composed translation stays 2MB-grained end to end. As on the
+	// native path, the block must be free of existing guest 4KB mappings
+	// (the guest kernel's pmd_none check).
 	if k.thp && v.THP {
 		hugeBase := pt.PageBase(va, pt.Size2M)
-		if hugeBase >= v.Start && hugeBase+pt.VirtAddr(pt.Size2M.Bytes()) <= v.End {
+		if hugeBase >= v.Start && hugeBase+pt.VirtAddr(pt.Size2M.Bytes()) <= v.End &&
+			p.guest.PMDEmpty(hugeBase) {
 			if gf, err := vm.AllocGuestHuge(dataNode); err == nil {
 				p.Meter.Cycles += 256 * k.cost.Params().PageZero
 				p.Meter.Cycles += k.costs.FrameAlloc

@@ -133,6 +133,35 @@ type nodeState struct {
 	// test hook asserting the allocator does not degrade back into
 	// whole-node scans under alloc/free churn.
 	scanWords uint64
+	// tablePool recycles page-table payload arrays freed on this node, so
+	// alloc/free churn (and sweep-style run recycling via Reset) reuses
+	// zeroed 4KB payloads instead of allocating fresh ones. Capacity is
+	// capped; overflow falls back to the garbage collector.
+	tablePool []*[PTEntries]uint64
+}
+
+// tablePoolCap bounds the per-node payload free list (1024 payloads = 4MB
+// per node, enough to cover a process teardown burst).
+const tablePoolCap = 1024
+
+// recycleTable parks a payload for reuse; caller holds ns.mu.
+func (ns *nodeState) recycleTable(t *[PTEntries]uint64) {
+	if len(ns.tablePool) < tablePoolCap {
+		ns.tablePool = append(ns.tablePool, t)
+	}
+}
+
+// takeTable returns a zeroed payload, reusing a recycled one when
+// available; caller holds ns.mu.
+func (ns *nodeState) takeTable() *[PTEntries]uint64 {
+	if n := len(ns.tablePool); n > 0 {
+		t := ns.tablePool[n-1]
+		ns.tablePool[n-1] = nil
+		ns.tablePool = ns.tablePool[:n-1]
+		*t = [PTEntries]uint64{}
+		return t
+	}
+	return new([PTEntries]uint64)
 }
 
 func maskSet(m []uint64, g int)       { m[g>>6] |= 1 << (uint(g) & 63) }
@@ -286,7 +315,7 @@ func (pm *PhysMem) ProvisionTable(f FrameID) *[PTEntries]uint64 {
 		panic(fmt.Sprintf("mem: provisioning table storage on free frame %d", f))
 	}
 	if pm.tables[f] == nil {
-		pm.tables[f] = new([PTEntries]uint64)
+		pm.tables[f] = ns.takeTable()
 	}
 	return pm.tables[f]
 }
@@ -377,7 +406,7 @@ func (pm *PhysMem) AllocPageTable(n numa.NodeID, level uint8) (FrameID, error) {
 	m := &pm.meta[f]
 	m.Kind = KindPageTable
 	m.PTLevel = level
-	pm.tables[f] = new([PTEntries]uint64)
+	pm.tables[f] = ns.takeTable()
 	ns.allocPT++
 	return f, nil
 }
@@ -439,7 +468,10 @@ func (pm *PhysMem) Free(f FrameID) {
 	}
 	// Data frames may carry provisioned guest-table storage; drop it so a
 	// reused frame never exposes a stale payload.
-	pm.tables[f] = nil
+	if t := pm.tables[f]; t != nil {
+		ns.recycleTable(t)
+		pm.tables[f] = nil
+	}
 	*m = FrameMeta{Kind: KindFree, ReplicaNext: NilFrame}
 	pm.clearBit(ns, uint64(f-ns.base))
 	ns.free++
@@ -468,7 +500,10 @@ func (pm *PhysMem) FreeHuge(base FrameID) {
 		f := base + off
 		m := &pm.meta[f]
 		*m = FrameMeta{Kind: KindFree, ReplicaNext: NilFrame}
-		pm.tables[f] = nil
+		if t := pm.tables[f]; t != nil {
+			ns.recycleTable(t)
+			pm.tables[f] = nil
+		}
 		pm.clearBit(ns, uint64(f-ns.base))
 	}
 	g := int((base - ns.base) / HugeFrames)
@@ -620,6 +655,55 @@ func (pm *PhysMem) takeFromGroup(ns *nodeState, g int) FrameID {
 		}
 	}
 	panic(fmt.Sprintf("mem: group %d reported free frames but none found", g))
+}
+
+// Reset returns the whole physical memory to its just-built state: every
+// frame free, metadata pristine, fragmentation marks cleared, allocator
+// cursors rewound. It is the reuse path for recycling a machine between
+// independent runs; callers must be quiescent (no concurrent walkers or
+// allocations).
+//
+// Free and FreeHuge fully restore the metadata and payload slot of every
+// frame they release, so a 2MB group whose frames were never allocated —
+// or were all freed — is already pristine. Reset therefore only wipes
+// groups with live allocations, making its cost proportional to the run's
+// peak footprint rather than to machine size.
+func (pm *PhysMem) Reset() {
+	for i := range pm.nodes {
+		ns := &pm.nodes[i]
+		ns.mu.Lock()
+		for g := range ns.groupFree {
+			if ns.groupFree[g] == HugeFrames {
+				continue
+			}
+			base := uint64(g) * HugeFrames
+			for w := base / 64; w < base/64+HugeFrames/64; w++ {
+				ns.bitmap[w] = 0
+			}
+			for off := uint64(0); off < HugeFrames; off++ {
+				f := ns.base + FrameID(base+off)
+				if t := pm.tables[f]; t != nil {
+					ns.recycleTable(t)
+					pm.tables[f] = nil
+				}
+				pm.meta[f] = FrameMeta{Kind: KindFree, ReplicaNext: NilFrame}
+			}
+			ns.groupFree[g] = HugeFrames
+		}
+		for w := range ns.partialMask {
+			ns.partialMask[w] = 0
+			ns.freeMask[w] = 0
+			ns.fragMask[w] = 0
+		}
+		for g := range ns.groupFree {
+			maskSet(ns.freeMask, g)
+		}
+		ns.free = ns.frames
+		ns.allocData, ns.allocPT = 0, 0
+		ns.nextGroup = 0
+		ns.scanWords = 0
+		ns.mu.Unlock()
+	}
 }
 
 // ScanWords returns the cumulative number of allocator mask/bitmap words

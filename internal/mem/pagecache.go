@@ -116,6 +116,19 @@ func (pc *PageCache) FreePT(f FrameID) {
 	pc.pm.Free(f)
 }
 
+// Reset forgets all reserved frames without freeing them and rewinds the
+// target to the just-built state. It is the companion of PhysMem.Reset,
+// which reclaims every frame wholesale: call pc.Reset first (so the pool
+// holds no stale frame IDs), then pm.Reset, then re-apply the sysctl
+// target and Refill — first-fit allocation over empty memory reproduces
+// the fresh-boot pool exactly.
+func (pc *PageCache) Reset() {
+	for n := range pc.pools {
+		pc.pools[n] = pc.pools[n][:0]
+	}
+	pc.target = 0
+}
+
 // Drain releases all reserved frames back to the allocator.
 func (pc *PageCache) Drain() {
 	for n := range pc.pools {

@@ -1,0 +1,124 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+)
+
+// churn drives pm through a mixed allocation workload and returns the
+// sequence of frames it handed out — the allocator's observable behavior.
+func churn(t *testing.T, pm *PhysMem) []FrameID {
+	t.Helper()
+	var got []FrameID
+	var frees []FrameID
+	for i := 0; i < 300; i++ {
+		n := numa.NodeID(i % 4)
+		switch i % 3 {
+		case 0:
+			f, err := pm.AllocData(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, f)
+			if i%6 == 0 {
+				frees = append(frees, f)
+			}
+		case 1:
+			f, err := pm.AllocPageTable(n, uint8(1+i%4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pm.Table(f)[i%PTEntries] = uint64(i) // dirty the payload
+			got = append(got, f)
+		case 2:
+			f, err := pm.AllocHuge(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, f)
+		}
+	}
+	for _, f := range frees {
+		pm.Free(f)
+	}
+	return got
+}
+
+// TestResetRestoresFreshAllocator pins the machine-recycling contract at
+// the physical-memory layer: after arbitrary churn — including
+// fragmentation — Reset returns the allocator to a state that replays a
+// fresh machine's allocation sequence frame-for-frame, with all memory
+// free and all page-table payloads zeroed.
+func TestResetRestoresFreshAllocator(t *testing.T) {
+	mk := func() *PhysMem { return newTestMem(t, 1<<15) }
+
+	dirty := mk()
+	churn(t, dirty)
+	dirty.Fragment(1, 0.9, rand.New(rand.NewSource(7)))
+	dirty.Reset()
+
+	for n := numa.NodeID(0); n < 4; n++ {
+		if got := dirty.FreeFrames(n); got != 1<<15 {
+			t.Fatalf("node %d: FreeFrames after Reset = %d, want 32768", n, got)
+		}
+		if dirty.AllocatedPT(n) != 0 || dirty.AllocatedData(n) != 0 {
+			t.Fatalf("node %d: allocation counters not zero after Reset", n)
+		}
+	}
+
+	fresh := mk()
+	want := churn(t, fresh)
+	got := churn(t, dirty)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("allocation %d: reset machine returned frame %d, fresh returned %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRecycledTableZeroed pins that a page-table payload recycled through
+// the per-node pool — by Free or by Reset — comes back fully zeroed, so a
+// reused table cannot leak stale entries into a later walk.
+func TestRecycledTableZeroed(t *testing.T) {
+	pm := newTestMem(t, 2048)
+	f, err := pm.AllocPageTable(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := pm.Table(f)
+	for i := range tbl {
+		tbl[i] = ^uint64(0)
+	}
+	pm.Free(f)
+
+	g, err := pm.AllocPageTable(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range pm.Table(g) {
+		if v != 0 {
+			t.Fatalf("recycled table entry %d = %#x, want 0", i, v)
+		}
+	}
+
+	// Same through Reset: dirty a live table, reset, re-provision.
+	h, err := pm.AllocPageTable(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pm.Table(h) {
+		pm.Table(h)[i] = 0xabcd
+	}
+	pm.Reset()
+	f2, err := pm.AllocPageTable(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range pm.Table(f2) {
+		if v != 0 {
+			t.Fatalf("post-Reset table entry %d = %#x, want 0", i, v)
+		}
+	}
+}

@@ -172,3 +172,23 @@ func (l *LLC) Flush() {
 		}
 	}
 }
+
+// Reset restores the LLC to its just-built state: lines invalidated, LRU
+// permutations back to identity, counters zeroed. Callers must be
+// quiescent (no concurrent accesses); this is the reuse path for
+// recycling a machine between independent runs.
+func (l *LLC) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.sets {
+		s := &l.sets[i]
+		for j := range s.valid {
+			s.lines[j] = 0
+			s.valid[j] = false
+		}
+		for w := range s.order {
+			s.order[w] = uint8(w)
+		}
+	}
+	l.Stats = LLCStats{}
+}

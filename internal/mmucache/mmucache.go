@@ -177,3 +177,18 @@ func (p *PSC) Flush() {
 		}
 	}
 }
+
+// Reset restores the PSC to its just-built state: entries cleared, LRU
+// permutations back to identity, counters zeroed. This is the reuse path
+// for recycling a machine between independent runs.
+func (p *PSC) Reset() {
+	for l := range p.levels {
+		for i := range p.levels[l] {
+			p.levels[l][i] = pscEntry{}
+		}
+		for w := range p.order[l] {
+			p.order[l][w] = uint8(w)
+		}
+	}
+	p.Stats = PSCStats{}
+}

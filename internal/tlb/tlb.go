@@ -249,6 +249,21 @@ func (a *array) flush() {
 	a.pop = [3]uint32{}
 }
 
+// reset restores the array to its just-built state: empty slots, identity
+// recency permutation, zero population.
+func (a *array) reset() {
+	for i := range a.sets {
+		s := &a.sets[i]
+		for j := range s.slots {
+			s.slots[j] = Entry{}
+		}
+		for w := range s.order {
+			s.order[w] = uint8(w)
+		}
+	}
+	a.pop = [3]uint32{}
+}
+
 // TLB is a per-core two-level TLB.
 type TLB struct {
 	l1x4k *array
@@ -398,6 +413,18 @@ func (t *TLB) Flush() {
 
 // ResetStats zeroes the counters.
 func (t *TLB) ResetStats() { t.Stats = Stats{} }
+
+// Reset restores the TLB to its just-built state: all arrays empty, LRU
+// permutations back to identity, counters zeroed. Unlike Flush it does not
+// count as a flush event — it is the reuse path for recycling a machine
+// between independent runs, and a reset TLB must be indistinguishable from
+// a freshly constructed one.
+func (t *TLB) Reset() {
+	t.l1x4k.reset()
+	t.l1x2m.reset()
+	t.l2.reset()
+	t.Stats = Stats{}
+}
 
 // HitRate returns the fraction of lookups served from any level.
 func (s *Stats) HitRate() float64 {

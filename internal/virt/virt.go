@@ -403,6 +403,28 @@ func (gs *GuestSpace) Lookup(gva pt.VirtAddr) (pt.PTE, pt.PageSize, bool) {
 	panic("virt: guest lookup descended past level 1")
 }
 
+// PMDEmpty reports whether no guest translation exists under the
+// 2MB-aligned block covering gva: the primary guest walk stops at a
+// non-present entry at level 2 or above, so no guest L1 table (and no
+// leaf) covers the block and a guest huge mapping can be installed
+// without colliding with existing 4KB guest pages — the guest kernel's
+// pmd_none check on its THP fault path.
+func (gs *GuestSpace) PMDEmpty(gva pt.VirtAddr) bool {
+	cur := gs.primary
+	for level := uint8(4); level >= 2; level-- {
+		e := gs.readGuest(cur, pt.Index(gva, level))
+		if !e.Present() {
+			return true
+		}
+		if e.Huge() {
+			return false
+		}
+		cur = GuestFrame(e.Frame())
+	}
+	// The walk reached a live L1 table: 4KB guest pages exist here.
+	return false
+}
+
 // ReplicateGuest builds a guest-table replica backed by guest frames on
 // each given node (guest-visible NUMA), so each socket's vCPU walks a
 // socket-local guest table.

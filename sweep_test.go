@@ -1,0 +1,185 @@
+package mitosis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// testSweep is a small grid covering every axis: 2 workloads x 2 policies
+// x 2 socket counts x 2 fragmentations x 2 virt modes x 2 seed rungs =
+// 64 cells on a small machine.
+func testSweep() Sweep {
+	return Sweep{
+		Name:          "unit",
+		Machine:       SystemConfig{Sockets: 2, CoresPerSocket: 2, MemoryPerNode: 64 << 20, THP: true},
+		Workloads:     []string{"GUPS", "Redis"},
+		Policies:      []string{"none", "ondemand"},
+		SocketCounts:  []int{1, 2},
+		Fragmentation: []float64{0, 0.95},
+		Virt:          []bool{false, true},
+		SeedRungs:     2,
+		Scale:         1.0 / 64,
+		WarmupOps:     100,
+		MeasureOps:    400,
+		StrandPT:      true,
+	}
+}
+
+func TestSweepValidate(t *testing.T) {
+	good := testSweep()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid sweep rejected: %v", err)
+	}
+	if n := good.Cells(); n != 64 {
+		t.Fatalf("cell count = %d, want 64", n)
+	}
+	cases := []struct {
+		mutate func(*Sweep)
+		want   string
+	}{
+		{func(s *Sweep) { s.Workloads = nil }, "no workloads"},
+		{func(s *Sweep) { s.Workloads = []string{"NoSuch"} }, "NoSuch"},
+		{func(s *Sweep) { s.Policies = []string{"bogus"} }, "unknown policy"},
+		{func(s *Sweep) { s.SocketCounts = []int{3} }, "socket count 3"},
+		{func(s *Sweep) { s.Fragmentation = []float64{1.5} }, "fragmentation"},
+		{func(s *Sweep) { s.BaseSeed = -1; s.SeedStride = 1; s.SeedRungs = 3 }, "seed 0"},
+		{func(s *Sweep) { s.MeasureOps = -5 }, "measure_ops"},
+		{func(s *Sweep) { s.Engine = "warp" }, "engine mode"},
+		{func(s *Sweep) { s.Machine.FiveLevel = true }, "4-level"},
+	}
+	for _, c := range cases {
+		sw := testSweep()
+		c.mutate(&sw)
+		err := sw.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("mutation expecting %q: got %v", c.want, err)
+		}
+	}
+}
+
+// TestSweepCellGenerator pins that every cell materializes to a valid,
+// distinct scenario and that the index mapping round-trips.
+func TestSweepCellGenerator(t *testing.T) {
+	sw := testSweep()
+	seen := map[string]bool{}
+	for i := 0; i < sw.Cells(); i++ {
+		sc, err := sw.Cell(i)
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("cell %d invalid: %v", i, err)
+		}
+		if seen[sc.Name] {
+			t.Fatalf("cell %d: duplicate name %q", i, sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+	if _, err := sw.Cell(sw.Cells()); err == nil {
+		t.Fatal("out-of-range cell accepted")
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers is the seed-ladder contract: the
+// same spec produces byte-identical cell outcomes for any worker count,
+// dispatch order, and pooling setting.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	sw := testSweep()
+	ref, err := RunSweep(sw, WithSweepWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Errors != 0 {
+		for _, c := range ref.Cells {
+			if c.Error != "" {
+				t.Fatalf("cell %d (%s): %s", c.Index, c.Name, c.Error)
+			}
+		}
+	}
+	refJSON, err := ref.OutcomesJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	variants := []struct {
+		label string
+		opts  []SweepOpt
+	}{
+		{"workers=4", []SweepOpt{WithSweepWorkers(4)}},
+		{"workers=4+shuffle", []SweepOpt{WithSweepWorkers(4), WithSweepShuffle(99)}},
+		{"workers=3+nopool", []SweepOpt{WithSweepWorkers(3), WithSweepPooling(false)}},
+		{"workers=1+again", []SweepOpt{WithSweepWorkers(1)}},
+	}
+	for _, v := range variants {
+		got, err := RunSweep(sw, v.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", v.label, err)
+		}
+		gotJSON, err := got.OutcomesJSON()
+		if err != nil {
+			t.Fatalf("%s: %v", v.label, err)
+		}
+		if !bytes.Equal(refJSON, gotJSON) {
+			t.Errorf("%s: outcomes diverge from workers=1 reference", v.label)
+		}
+	}
+}
+
+// TestSweepShuffledScheduleStress drives many workers over a shuffled
+// dispatch order with a progress observer attached — the arrangement most
+// likely to surface scheduling races (run under -race in CI).
+func TestSweepShuffledScheduleStress(t *testing.T) {
+	sw := testSweep()
+	sw.WarmupOps = 0
+	sw.MeasureOps = 200
+	events := 0
+	res, err := RunSweep(sw,
+		WithSweepWorkers(8),
+		WithSweepShuffle(1234),
+		WithSweepProgress(func(ev SweepEvent) {
+			events++
+			if ev.Cell == nil || ev.Total != sw.Cells() {
+				t.Errorf("bad event: %+v", ev)
+			}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != sw.Cells() {
+		t.Errorf("observer saw %d events, want %d", events, sw.Cells())
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d cells failed", res.Errors)
+	}
+	for i, c := range res.Cells {
+		if c.Index != i || c.Name == "" {
+			t.Fatalf("cell slot %d holds index %d (%q)", i, c.Index, c.Name)
+		}
+	}
+}
+
+// TestSweepLimit pins the quick-subset knob: limiting to n cells runs
+// exactly the first n cells of the full grid, with identical outcomes.
+func TestSweepLimit(t *testing.T) {
+	sw := testSweep()
+	sw.WarmupOps = 0
+	sw.MeasureOps = 200
+	full, err := RunSweep(sw, WithSweepWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := RunSweep(sw, WithSweepWorkers(2), WithSweepLimit(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Cells) != 10 {
+		t.Fatalf("limited sweep ran %d cells, want 10", len(part.Cells))
+	}
+	for i := range part.Cells {
+		a, b := full.Cells[i], part.Cells[i]
+		if a.Name != b.Name || a.Outcome != b.Outcome {
+			t.Errorf("cell %d diverges between full and limited runs", i)
+		}
+	}
+}
