@@ -435,23 +435,47 @@ func TestHotPathZeroAlloc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A second process on another socket: the fault path is sharded per
+	// process, and steady-state batches interleaved across two processes'
+	// cores must stay allocation-free too — the per-core current[] lookup
+	// and the per-process lock plumbing may not allocate.
+	p2, err := k.CreateProcess(kernel.ProcessOpts{Name: "zeroalloc2", Home: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core2 := k.Topology().FirstCoreOf(1)
+	if err := k.RunOn(p2, []numa.CoreID{core2}); err != nil {
+		t.Fatal(err)
+	}
+	base2, err := k.Mmap(p2, 1<<20, kernel.MmapOpts{Writable: true, Populate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := k.Machine()
 	m.BeginSingleWriter()
 	defer m.EndSingleWriter()
 	ops := make([]hw.AccessOp, 512)
+	ops2 := make([]hw.AccessOp, 512)
 	for i := range ops {
 		ops[i] = hw.AccessOp{VA: base + pt.VirtAddr(i%256)<<12}
+		ops2[i] = hw.AccessOp{VA: base2 + pt.VirtAddr(i%256)<<12}
 	}
-	// Warmup: grow the sample/coherence buffers and fill the TLB.
+	// Warmup: grow the sample/coherence buffers and fill both TLBs.
 	if err := m.AccessBatch(0, ops); err != nil {
 		t.Fatal(err)
 	}
-	m.DrainCoherence([]numa.CoreID{0})
+	if err := m.AccessBatch(core2, ops2); err != nil {
+		t.Fatal(err)
+	}
+	m.DrainCoherence([]numa.CoreID{0, core2})
 	allocs := testing.AllocsPerRun(100, func() {
 		if err := m.AccessBatch(0, ops); err != nil {
 			t.Fatal(err)
 		}
-		m.DrainCoherence([]numa.CoreID{0})
+		if err := m.AccessBatch(core2, ops2); err != nil {
+			t.Fatal(err)
+		}
+		m.DrainCoherence([]numa.CoreID{0, core2})
 	})
 	if allocs != 0 {
 		t.Errorf("TLB-hit AccessBatch path allocates %.1f times per batch, want 0", allocs)

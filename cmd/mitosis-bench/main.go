@@ -34,10 +34,20 @@
 // its full spec in BENCH_scenario.json; the virt target renders the
 // virtualized Table 6 (§7.4 gPT/ePT replication ladder) and embeds the
 // canonical policy-driven virtualized scenario in BENCH_virt.json the
-// same way. -replay FILE re-executes the scenario found in FILE (a
-// BENCH_scenario.json / BENCH_virt.json record, or a bare
-// mitosis.Scenario JSON) and — when the record carries counters —
-// verifies the rerun reproduces them bit-for-bit.
+// same way. -replay FILE re-executes the record found in FILE (a
+// BENCH_scenario.json / BENCH_virt.json / BENCH_sweep.json /
+// BENCH_churn.json record, or a bare mitosis.Scenario JSON) and — when
+// the record carries counters — verifies the rerun reproduces them
+// bit-for-bit.
+//
+// The churn target (opt-in, like sweep) runs the datacenter-churn
+// multi-process fault storm under both the sharded per-process fault lock
+// and the legacy global lock, reporting the host-throughput ratio and the
+// simulated fault-latency tail (p50/p95/p99); -churn-baseline FILE
+// compares against a committed BENCH_churn.json like -sweep-baseline.
+//
+// -cpuprofile FILE and -memprofile FILE write runtime/pprof profiles of
+// the whole invocation for digging into simulator hot paths.
 package main
 
 import (
@@ -47,6 +57,8 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strings"
 	"time"
@@ -83,8 +95,13 @@ var targets = []targetInfo{
 	{"virt", "virtualized table plus the canonical virt scenario record"},
 	{"engine", "execution-engine throughput benchmark (sequential vs parallel)"},
 	{"perf", "simulator hot-path host-throughput trajectory (BENCH_perf.json)"},
+	{"churn", "multi-process churn: sharded vs global fault lock + tail latency, replayable via BENCH_churn.json (not in \"all\")"},
 	{"sweep", "fleet-scale pooled scenario grid, replayable via BENCH_sweep.json (not in \"all\")"},
 }
+
+// optInTargets is the count of trailing registry entries excluded from
+// "all": churn and sweep have their own records and CI jobs.
+const optInTargets = 2
 
 func knownTarget(name string) bool {
 	for _, t := range targets {
@@ -104,6 +121,13 @@ func targetNames() []string {
 }
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain is main's body returning the process exit code: the
+// -cpuprofile/-memprofile defers must run before os.Exit, which a plain
+// os.Exit inside main would skip.
+func realMain() int {
 	ops := flag.Int("ops", 0, "measured operations per thread (0 = default)")
 	seed := flag.Int64("seed", 0, "random seed (0 = default)")
 	quick := flag.Bool("quick", false, "reduced scale smoke run (shapes not meaningful); for sweep: the 64-cell quick grid")
@@ -119,21 +143,52 @@ func main() {
 	serial := flag.Bool("serial", false, "sweep: also run the serial fresh-build loop for the speedup figure (doubles runtime)")
 	sweepBaseline := flag.String("sweep-baseline", "", "BENCH_sweep.json to compare the sweep target's throughput against (fails on regression)")
 	sweepTolerance := flag.Float64("sweep-tolerance", 0.7, "allowed fractional throughput drop vs -sweep-baseline before the sweep target fails")
+	churnBaseline := flag.String("churn-baseline", "", "BENCH_churn.json to compare the churn target's throughput against (fails on regression)")
+	churnTolerance := flag.Float64("churn-tolerance", 0.7, "allowed fractional throughput drop vs -churn-baseline before the churn target fails")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to FILE")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to FILE")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mitosis-bench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "mitosis-bench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mitosis-bench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live allocations, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "mitosis-bench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, t := range targets {
 			fmt.Printf("  %-10s %s\n", t.name, t.desc)
 		}
-		return
+		return 0
 	}
 
 	if *replay != "" {
 		if err := runReplay(*replay, *replayCell); err != nil {
 			fmt.Fprintf(os.Stderr, "mitosis-bench: replay: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	cfg := experiments.Config{Ops: *ops, Seed: *seed}
@@ -153,7 +208,7 @@ func main() {
 			}
 			if !slices.Contains(known, name) {
 				fmt.Fprintf(os.Stderr, "mitosis-bench: unknown policy %q (have %v)\n", name, known)
-				os.Exit(2)
+				return 2
 			}
 			policies = append(policies, name)
 		}
@@ -161,9 +216,9 @@ func main() {
 
 	requested := flag.Args()
 	if len(requested) == 0 || (len(requested) == 1 && requested[0] == "all") {
-		// Everything except sweep, which is opt-in (it has its own record
-		// and CI job).
-		requested = targetNames()[:len(targets)-1]
+		// Everything except the opt-in tail targets (churn, sweep), which
+		// have their own records and CI jobs.
+		requested = targetNames()[:len(targets)-optInTargets]
 	} else {
 		// Reject unknown names before running anything: a typo must not
 		// cost a half-completed multi-target run.
@@ -171,7 +226,7 @@ func main() {
 			if !knownTarget(name) {
 				fmt.Fprintf(os.Stderr, "mitosis-bench: unknown experiment %q; valid targets: %s (or \"all\"; see -list)\n",
 					name, strings.Join(targetNames(), " "))
-				os.Exit(2)
+				return 2
 			}
 		}
 	}
@@ -182,20 +237,24 @@ func main() {
 		Workers: *workers,
 		Serial:  *serial,
 	}
+	churnOpt := experiments.ChurnOptions{
+		Quick:   *quick,
+		Workers: *workers,
+	}
 
 	for _, target := range requested {
 		start := time.Now()
-		out, payload, err := run(cfg, target, policies, sweepOpt)
+		out, payload, err := run(cfg, target, policies, sweepOpt, churnOpt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mitosis-bench: %s: %v\n", target, err)
-			os.Exit(1)
+			return 1
 		}
 		wall := time.Since(start)
 		if target == "perf" && *perfBaseline != "" {
 			pb := payload.(*experiments.PerfBench)
 			if err := comparePerf(pb, *perfBaseline, *perfTolerance); err != nil {
 				fmt.Fprintf(os.Stderr, "mitosis-bench: perf: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			out = pb.String()
 		}
@@ -203,19 +262,28 @@ func main() {
 			sb := payload.(*experiments.SweepBench)
 			if err := compareSweep(sb, *sweepBaseline, *sweepTolerance); err != nil {
 				fmt.Fprintf(os.Stderr, "mitosis-bench: sweep: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			out = sb.String()
+		}
+		if target == "churn" && *churnBaseline != "" {
+			cb := payload.(*experiments.ChurnBench)
+			if err := compareChurn(cb, *churnBaseline, *churnTolerance); err != nil {
+				fmt.Fprintf(os.Stderr, "mitosis-bench: churn: %v\n", err)
+				return 1
+			}
+			out = cb.String()
 		}
 		fmt.Println(out)
 		fmt.Printf("[%s completed in %v]\n\n", target, wall.Round(time.Millisecond))
 		if *jsonDir != "" {
 			if err := writeJSON(*jsonDir, target, cfg, *policyList, wall, payload); err != nil {
 				fmt.Fprintf(os.Stderr, "mitosis-bench: %s: writing json: %v\n", target, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
+	return 0
 }
 
 // textResult wraps targets whose natural output is formatted text.
@@ -252,11 +320,14 @@ func writeJSON(dir, target string, cfg experiments.Config, policy string, wall t
 
 // run executes one target, returning its human-readable output plus the
 // structured payload for -json.
-func run(cfg experiments.Config, target string, policies []string, sweepOpt experiments.SweepOptions) (string, any, error) {
+func run(cfg experiments.Config, target string, policies []string, sweepOpt experiments.SweepOptions, churnOpt experiments.ChurnOptions) (string, any, error) {
 	switch target {
 	case "sweep":
 		sb, err := experiments.RunSweep(sweepOpt)
 		return str(sb, err)
+	case "churn":
+		cb, err := experiments.RunChurn(churnOpt)
+		return str(cb, err)
 	case "fig1":
 		out, err := experiments.RunFig1(cfg)
 		// fig1/fig3 are genuinely textual (composite summary, PT dump);
@@ -391,6 +462,26 @@ func compareSweep(sb *experiments.SweepBench, path string, tolerance float64) er
 	return nil
 }
 
+// compareChurn fills cb's baseline column from the BENCH_churn.json at
+// path and fails when the sharded throughput regressed beyond tolerance.
+func compareChurn(cb *experiments.ChurnBench, path string, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rec struct {
+		Result experiments.ChurnBench `json:"result"`
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	cb.ApplyBaseline(&rec.Result)
+	if err := cb.Compare(&rec.Result, tolerance); err != nil {
+		return fmt.Errorf("vs %s: %w", path, err)
+	}
+	return nil
+}
+
 // runReplay re-executes a serialized record. A BENCH_scenario.json record
 // carries the original counters, which the rerun must reproduce
 // bit-for-bit (the scenario API's determinism contract); a
@@ -433,6 +524,14 @@ func runReplay(path string, cell int) error {
 	if err := json.Unmarshal(raw, &sweepProbe); err == nil && sweepProbe.Sweep != nil && len(sweepProbe.Sweep.Cells) > 0 {
 		return replaySweep(path, sweepProbe.Sweep, cell)
 	}
+	// A churn record's result carries a "churn" key holding the full
+	// ChurnResult (whose Spawned count is always positive on a record).
+	var churnProbe struct {
+		Churn *mitosis.ChurnResult `json:"churn"`
+	}
+	if err := json.Unmarshal(raw, &churnProbe); err == nil && churnProbe.Churn != nil && churnProbe.Churn.Spawned > 0 {
+		return replayChurn(churnProbe.Churn)
+	}
 	var orig mitosis.RunResult
 	if err := json.Unmarshal(raw, &orig); err != nil {
 		return fmt.Errorf("%s: decoding recorded result: %w", path, err)
@@ -464,6 +563,26 @@ func runReplay(path string, cell int) error {
 	}
 	fmt.Printf("replay OK: scenario %q reproduced %d phases bit-identically (engine %s)\n",
 		orig.Scenario.Name, len(orig.Phases), orig.Engine)
+	return nil
+}
+
+// replayChurn reruns the recorded churn spec and verifies the rerun
+// reproduces every deterministic field — counters, counts and the full
+// fault-latency histogram — bit-for-bit. Host-side throughput is expected
+// to differ and is not compared.
+func replayChurn(rec *mitosis.ChurnResult) error {
+	got, err := mitosis.RunChurn(rec.Churn)
+	if err != nil {
+		return err
+	}
+	if !got.DeterministicEquals(rec) {
+		return fmt.Errorf("replay of churn %q diverged from the record\nrecorded: spawned=%d ops=%d faults=%d cycles=%d p50=%d p95=%d p99=%d\nreplayed: spawned=%d ops=%d faults=%d cycles=%d p50=%d p95=%d p99=%d",
+			rec.Churn.Name,
+			rec.Spawned, rec.Ops, rec.Faults, rec.Cycles, rec.P50, rec.P95, rec.P99,
+			got.Spawned, got.Ops, got.Faults, got.Cycles, got.P50, got.P95, got.P99)
+	}
+	fmt.Printf("replay OK: churn %q reproduced %d faults bit-identically (p99 %d sim cycles)\n",
+		rec.Churn.Name, rec.Faults, rec.P99)
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"github.com/mitosis-project/mitosis-sim/internal/mem"
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
 	"github.com/mitosis-project/mitosis-sim/internal/pt"
@@ -37,7 +39,11 @@ type Backend struct {
 	Stats BackendStats
 }
 
-// BackendStats counts replica maintenance work.
+// BackendStats counts replica maintenance work. The counters are bumped
+// with atomic adds: the fault path is sharded per process, so two
+// processes' page-table operations may increment them concurrently.
+// Read them only at quiescence (all simulated counters are reported from
+// quiescent points).
 type BackendStats struct {
 	// ReplicaStores counts PTE stores into non-primary replicas.
 	ReplicaStores uint64
@@ -104,7 +110,7 @@ func (b *Backend) AllocPT(ctx *pvops.OpCtx, spec pvops.AllocSpec) (mem.FrameID, 
 			return mem.NilFrame, err
 		}
 		ringInsert(b.pm, master, rep)
-		b.Stats.ReplicaPTPages++
+		atomic.AddUint64(&b.Stats.ReplicaPTPages, 1)
 		count(ctx, func(m *pvops.Meter) { m.PTAllocs++ })
 		charge(ctx, p.PTAllocInit+p.PageZero)
 	}
@@ -155,7 +161,7 @@ func (b *Backend) SetPTE(ctx *pvops.OpCtx, ref pt.EntryRef, e pt.PTE) {
 
 	for cur := b.pm.Meta(ref.Frame).ReplicaNext; cur != mem.NilFrame && cur != ref.Frame; cur = b.pm.Meta(cur).ReplicaNext {
 		pt.WriteEntryRaw(b.pm, pt.EntryRef{Frame: cur, Index: ref.Index}, b.translate(cur, e))
-		b.Stats.ReplicaStores++
+		atomic.AddUint64(&b.Stats.ReplicaStores, 1)
 		switch b.prop {
 		case PropagateRing:
 			// One metadata pointer chase plus one store per replica: the
@@ -191,7 +197,7 @@ func (b *Backend) translate(dst mem.FrameID, e pt.PTE) pt.PTE {
 	if !ok || local == target {
 		return e
 	}
-	b.Stats.TranslatedPointers++
+	atomic.AddUint64(&b.Stats.TranslatedPointers, 1)
 	return pt.NewPTE(local, e.Flags())
 }
 

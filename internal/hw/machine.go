@@ -45,6 +45,12 @@ var ErrSegfault = errors.New("hw: unresolvable page fault")
 // FaultHandler resolves page faults: the simulator's kernel entry point.
 // It returns the cycles the fault handling consumed (charged to the
 // faulting core, outside walk cycles).
+//
+// The handler must be safe for concurrent calls from different cores: the
+// parallel engine drives each socket on its own goroutine, and cores of
+// *different processes* may fault simultaneously. The kernel implements
+// this with per-process fault locks (sharded mmap_sem) — faults of the
+// same process serialize, faults of different processes run concurrently.
 type FaultHandler interface {
 	HandleFault(core numa.CoreID, va pt.VirtAddr, write bool) (numa.Cycles, error)
 }
@@ -187,6 +193,12 @@ type coreState struct {
 	// enough to collapse its page-table replicas under memory pressure.
 	busy    atomic.Int32
 	engaged atomic.Int32
+	// faultLat is this core's fault-latency histogram: one entry per
+	// fault taken on this core, bucketed by the simulated cycles the
+	// handler charged. Kept out of CoreStats deliberately — merge/Sub
+	// deltas and policy telemetry don't want a 48-counter array; the
+	// aggregate view is Machine.FaultLatency.
+	faultLat FaultLatHist
 }
 
 // rngSeed is core i's deterministic locality-model RNG seed (golden-ratio
@@ -389,6 +401,7 @@ func (m *Machine) ResetStats() {
 	for i := range m.cores {
 		m.cores[i].stats = CoreStats{}
 		m.cores[i].tlb.ResetStats()
+		m.cores[i].faultLat = FaultLatHist{}
 	}
 	for _, l := range m.llcs {
 		l.Stats = mmucache.LLCStats{}
@@ -415,6 +428,7 @@ func (m *Machine) Reset() {
 		c.walkOverlap = 1.0
 		c.rng = rngSeed(i)
 		c.stats = CoreStats{}
+		c.faultLat = FaultLatHist{}
 		c.pending = c.pending[:0]
 		c.samples = c.samples[:0]
 		c.busy.Store(0)
@@ -661,6 +675,7 @@ func (m *Machine) walk(c *coreState, core numa.CoreID, socket numa.SocketID, va 
 		faultCy, err := m.fault.HandleFault(core, va, write)
 		st.FaultCycles += faultCy
 		st.Cycles += faultCy
+		c.faultLat.add(faultCy)
 		if err != nil {
 			return 0, 0, 0, fmt.Errorf("%w: core %d va %#x: %v", ErrSegfault, core, uint64(va), err)
 		}

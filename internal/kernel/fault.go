@@ -18,21 +18,26 @@ var ErrPermission = errors.New("kernel: write to read-only mapping")
 // (which propagates to replicas when Mitosis is on), and returns the cycle
 // cost of the fault.
 //
-// The handler is re-entrant across cores: concurrent faults serialize on
-// the kernel's fault lock, and the already-mapped check in populateOne
+// The handler is re-entrant across cores: concurrent faults of the same
+// process serialize on that process's fault lock (its mmap_sem), while
+// faults of different processes proceed concurrently — they share no
+// address-space state, and the allocator/page-cache structures they do
+// share are locked per node. The already-mapped check in populateOne
 // resolves the race where two cores fault on the same page (the loser finds
 // the winner's translation and simply retries its walk).
 func (k *Kernel) HandleFault(core numa.CoreID, va pt.VirtAddr, write bool) (numa.Cycles, error) {
-	k.faultMu.Lock()
-	k.faultCore = core
-	defer func() {
-		k.faultCore = -1
-		k.faultMu.Unlock()
-	}()
-	p := k.current[core]
+	// The current[] slot is an atomic pointer: scheduling writes happen
+	// only at quiescent points, so the load needs no lock.
+	p := k.current[core].Load()
 	if p == nil {
 		return 0, ErrNoProcess
 	}
+	p.faultLock.Lock()
+	p.faultCore = core
+	defer func() {
+		p.faultCore = -1
+		p.faultLock.Unlock()
+	}()
 	v := p.findVMA(va)
 	if v == nil {
 		return k.costs.FaultEntry, fmt.Errorf("%w: %#x", ErrBadAddress, uint64(va))
@@ -92,7 +97,7 @@ func (k *Kernel) populateOne(p *Process, v *VMA, va pt.VirtAddr, socket numa.Soc
 		}
 	}
 
-	frame, err := k.allocDataReclaiming(dataNode)
+	frame, err := k.allocDataReclaiming(p, dataNode)
 	if err != nil {
 		return 0, err
 	}
@@ -101,7 +106,7 @@ func (k *Kernel) populateOne(p *Process, v *VMA, va pt.VirtAddr, socket numa.Soc
 	if err := p.mapper.Map(ctx, base, pt.Size4K, frame, flags, place); err != nil {
 		// Page-table page allocation can hit memory pressure too; replicas
 		// are reclaimable caches, so drop them and retry once.
-		if errors.Is(err, mem.ErrOutOfMemory) && k.ReclaimReplicas() > 0 {
+		if errors.Is(err, mem.ErrOutOfMemory) && k.reclaimReplicas(p) > 0 {
 			err = p.mapper.Map(ctx, base, pt.Size4K, frame, flags, p.place(socket))
 		}
 		if err != nil {

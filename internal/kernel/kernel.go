@@ -14,6 +14,7 @@ package kernel
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"github.com/mitosis-project/mitosis-sim/internal/core"
 	"github.com/mitosis-project/mitosis-sim/internal/hw"
@@ -96,26 +97,35 @@ type Kernel struct {
 	sysctl core.Sysctl
 	thp    bool
 
-	// faultMu serializes the page-fault path (the simulator's mmap_sem):
-	// cores executing parallel access batches may fault concurrently, and
-	// the fault path touches shared state — the process's mapper and
-	// meter, the frame allocator, the page cache and the PV-Ops backend.
-	// All other kernel entry points (syscalls, migration, replication
-	// control) require quiescence: call them only when no access batch is
-	// in flight.
-	faultMu sync.Mutex
-	// faultCore is the core whose fault is currently being handled
-	// (valid only under faultMu; -1 otherwise). The memory-pressure
-	// reclaim path may safely tear down replicas of a process whose only
-	// busy core is the faulting one — that core is parked in the handler
-	// and re-reads CR3 when its walk retries.
-	faultCore numa.CoreID
+	// The fault path is sharded per process: each Process carries its own
+	// fault lock (its mmap_sem), so faults from different processes on
+	// different sockets proceed concurrently — they share no address-space
+	// state, and the structures they do share (per-node frame allocators,
+	// the per-node page-cache pools, backend counters) carry their own
+	// synchronization. See DESIGN.md "Lock hierarchy".
+	//
+	// reclaimMu is the one narrow global lock left on that path: it
+	// serializes memory-pressure replica reclaim, which walks *all*
+	// processes selecting victims and tearing replica rings down. Two
+	// concurrent OOM faults must not collapse the same victim twice.
+	reclaimMu sync.Mutex
+	// globalFault is the machine-wide fault lock of the pre-sharding
+	// design, kept as a measurement baseline: SetGlobalFaultLock(true)
+	// aliases every process's fault lock to this one mutex so the churn
+	// benchmark can quantify exactly what sharding buys (BENCH_churn.json
+	// records both modes). Simulated outcomes are identical either way.
+	globalFault     sync.Mutex
+	globalFaultLock bool
 
-	nextPID   int
-	nextVMID  int
-	procs     map[int]*Process
-	current   []*Process // per core
-	nextIntlv int        // machine-wide interleave cursor for fresh processes
+	nextPID  int
+	nextVMID int
+	procs    map[int]*Process
+	// current is the per-core scheduled process. Writes happen only at
+	// quiescent points (loadContexts, Deschedule, DestroyProcess); reads
+	// happen from concurrent fault handlers without any lock, so the slots
+	// are atomic pointers.
+	current   []atomic.Pointer[Process]
+	nextIntlv int // machine-wide interleave cursor for fresh processes
 }
 
 // New builds a kernel and its machine.
@@ -160,18 +170,17 @@ func New(cfg Config) *Kernel {
 	})
 	cache := mem.NewPageCache(pm, 0)
 	k := &Kernel{
-		topo:      topo,
-		cost:      cost,
-		pm:        pm,
-		machine:   machine,
-		backend:   core.NewBackend(pm, cost, cache),
-		cache:     cache,
-		costs:     costs,
-		levels:    levels,
-		faultCore: -1,
-		nextPID:   1,
-		procs:     make(map[int]*Process),
-		current:   make([]*Process, topo.Cores()),
+		topo:    topo,
+		cost:    cost,
+		pm:      pm,
+		machine: machine,
+		backend: core.NewBackend(pm, cost, cache),
+		cache:   cache,
+		costs:   costs,
+		levels:  levels,
+		nextPID: 1,
+		procs:   make(map[int]*Process),
+		current: make([]atomic.Pointer[Process], topo.Cores()),
 	}
 	machine.SetFaultHandler(k)
 	return k
@@ -187,12 +196,12 @@ func New(cfg Config) *Kernel {
 func (k *Kernel) Reset() {
 	clear(k.procs)
 	for i := range k.current {
-		k.current[i] = nil
+		k.current[i].Store(nil)
 	}
 	k.nextPID = 1
 	k.nextVMID = 0
 	k.nextIntlv = 0
-	k.faultCore = -1
+	k.globalFaultLock = false
 	k.sysctl = core.Sysctl{}
 	k.thp = false
 	k.cost.ClearLoads()
@@ -243,4 +252,25 @@ func (k *Kernel) Levels() uint8 { return k.levels }
 func (k *Kernel) Process(pid int) *Process { return k.procs[pid] }
 
 // CurrentOn returns the process scheduled on core, or nil.
-func (k *Kernel) CurrentOn(c numa.CoreID) *Process { return k.current[c] }
+func (k *Kernel) CurrentOn(c numa.CoreID) *Process { return k.current[c].Load() }
+
+// SetGlobalFaultLock selects between the sharded per-process fault locks
+// (the default) and the legacy machine-wide fault lock. With the global
+// lock, every process's fault path serializes on one mutex — the
+// pre-sharding mmap_sem behaviour kept as the churn benchmark's baseline.
+// Simulated counters are identical in both modes (the lock only changes
+// host-side concurrency); call it only at quiescence.
+func (k *Kernel) SetGlobalFaultLock(on bool) {
+	k.globalFaultLock = on
+	for _, p := range k.procs {
+		if on {
+			p.faultLock = &k.globalFault
+		} else {
+			p.faultLock = &p.ownFaultMu
+		}
+	}
+}
+
+// GlobalFaultLock reports whether the legacy machine-wide fault lock is
+// selected instead of the sharded per-process locks.
+func (k *Kernel) GlobalFaultLock() bool { return k.globalFaultLock }

@@ -119,7 +119,7 @@ func TestReclaimSkipsMidIncrementalReplication(t *testing.T) {
 	if _, err := ir.Step(bgCtx, 2); err != nil { // partial copy in flight
 		t.Fatal(err)
 	}
-	if !k.replicaHolderBusy(p) {
+	if !k.replicaHolderBusy(p, nil) {
 		t.Fatal("process not busy while mid-incremental-replication")
 	}
 	k.ReclaimReplicas()
@@ -137,7 +137,7 @@ func TestReclaimSkipsMidIncrementalReplication(t *testing.T) {
 		}
 	}
 	k.FinishBackgroundReplication(p, ir)
-	if k.replicaHolderBusy(p) {
+	if k.replicaHolderBusy(p, nil) {
 		t.Fatal("process still busy after finish")
 	}
 	k.ReclaimReplicas()
@@ -168,11 +168,11 @@ func TestAbortBackgroundReplicationUnpins(t *testing.T) {
 	if _, err := ir.Step(bgCtx, 2); err != nil {
 		t.Fatal(err)
 	}
-	if !k.replicaHolderBusy(p) {
+	if !k.replicaHolderBusy(p, nil) {
 		t.Fatal("not pinned while copy in flight")
 	}
 	k.AbortBackgroundReplication(p, ir, bgCtx)
-	if k.replicaHolderBusy(p) {
+	if k.replicaHolderBusy(p, nil) {
 		t.Error("still pinned after abort")
 	}
 	if got := k.pm.AllocatedPT(3); got != baseline {
@@ -269,5 +269,77 @@ func TestBackgroundReplicationKernelFlow(t *testing.T) {
 	}
 	if err := k.machine.Access(c2, base, true); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestReclaimFaultCoreIsPerProcess: the faulting-core exemption reclaim
+// grants a caller must cover exactly the caller's own fault. Before the
+// fault path was sharded per process the kernel kept one machine-wide
+// "currently faulting core" slot, so one process's in-flight fault could
+// exempt a busy core while reclaim ran on behalf of a *different* process
+// — collapsing replicas under a walker. faultCore is now per-process
+// state guarded by that process's fault lock; this pins the semantics.
+func TestReclaimFaultCoreIsPerProcess(t *testing.T) {
+	k := newTestKernel(t)
+	k.Sysctl().Mode = core.ModePerProcess
+	a := newProc(t, k, ProcessOpts{Name: "a", Home: 0})
+	b := newProc(t, k, ProcessOpts{Name: "b", Home: 1})
+	for i, pr := range []*Process{a, b} {
+		if err := k.RunOnSocket(pr, numa.SocketID(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Mmap(pr, 4<<20, MmapOpts{Writable: true, Populate: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.SetReplicationMask([]numa.NodeID{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetReplicationMask([]numa.NodeID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// One core of each process is mid-batch, as during concurrent faults.
+	coreA, coreB := a.Cores()[0], b.Cores()[0]
+	busy := []numa.CoreID{coreA, coreB}
+	k.machine.BeginConcurrent(busy)
+
+	// a is mid-fault on coreA: the handler records the core under a's
+	// fault lock before reaching the allocator, exactly as HandleFault
+	// does on the path that leads into reclaim.
+	a.faultLock.Lock()
+	a.faultCore = coreA
+	if k.replicaHolderBusy(a, a) {
+		t.Error("caller's own faulting core not exempt from the busy check")
+	}
+	if !k.replicaHolderBusy(b, a) {
+		t.Error("another process's busy core must pin its replicas — the exemption leaked across processes")
+	}
+	if k.reclaimReplicas(a) == 0 {
+		t.Error("self-reclaim freed nothing despite the caller's collapsible replicas")
+	}
+	if a.Space().Replicated() {
+		t.Error("caller's replicas survived reclaim from its own fault path")
+	}
+	if !b.Space().Replicated() {
+		t.Error("reclaim collapsed replicas under a process with a busy core")
+	}
+	a.faultCore = -1
+	a.faultLock.Unlock()
+	k.machine.EndConcurrent(busy)
+
+	// With all cores quiescent, a victim whose fault lock is contended
+	// (its fault path is between the busy-check window and completion) is
+	// skipped rather than blocked on — and is reclaimed normally once the
+	// lock frees.
+	b.faultLock.Lock()
+	k.ReclaimReplicas()
+	if !b.Space().Replicated() {
+		t.Error("reclaim collapsed a victim whose fault lock was held")
+	}
+	b.faultLock.Unlock()
+	k.ReclaimReplicas()
+	if b.Space().Replicated() {
+		t.Error("replicas survived reclaim at quiescence")
 	}
 }

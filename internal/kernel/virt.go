@@ -139,7 +139,7 @@ func (k *Kernel) populateGuestOne(p *Process, v *VMA, va pt.VirtAddr, socket num
 		// Host replicas are reclaimable caches (as on the native path):
 		// under memory pressure, collapse them and retry once before
 		// failing the guest fault.
-		if errors.Is(err, mem.ErrOutOfMemory) && k.ReclaimReplicas() > 0 {
+		if errors.Is(err, mem.ErrOutOfMemory) && k.reclaimReplicas(p) > 0 {
 			gf, err = vm.AllocGuestFrame(dataNode)
 		}
 		if err != nil {

@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
 )
@@ -15,10 +16,18 @@ import (
 // page-table allocations first try the pool and fall back to the general
 // allocator, and freed page-table frames refill the pool up to its target
 // size.
+//
+// The pools are locked per node, mirroring the frame allocator: the fault
+// path is sharded per process, so page-table pages of different processes
+// may be allocated and freed concurrently. The per-node pools are LIFO
+// stacks, and processes faulting on different sockets touch different
+// pools (first-touch page-table placement), so the locks cost nothing on
+// the common path and the pop/push order per node stays deterministic.
 type PageCache struct {
 	pm     *PhysMem
 	target uint64 // per-node target size in frames
 	pools  [][]FrameID
+	mus    []sync.Mutex // one per node, guarding pools[n]
 }
 
 // NewPageCache creates a page cache over pm with the given per-node target
@@ -28,6 +37,7 @@ func NewPageCache(pm *PhysMem, targetPerNode uint64) *PageCache {
 		pm:     pm,
 		target: targetPerNode,
 		pools:  make([][]FrameID, pm.Topology().Nodes()),
+		mus:    make([]sync.Mutex, pm.Topology().Nodes()),
 	}
 	return pc
 }
@@ -37,11 +47,13 @@ func NewPageCache(pm *PhysMem, targetPerNode uint64) *PageCache {
 func (pc *PageCache) SetTarget(targetPerNode uint64) {
 	pc.target = targetPerNode
 	for n := range pc.pools {
+		pc.mus[n].Lock()
 		for uint64(len(pc.pools[n])) > pc.target {
 			f := pc.pools[n][len(pc.pools[n])-1]
 			pc.pools[n] = pc.pools[n][:len(pc.pools[n])-1]
 			pc.pm.Free(f)
 		}
+		pc.mus[n].Unlock()
 	}
 }
 
@@ -51,6 +63,8 @@ func (pc *PageCache) Target() uint64 { return pc.target }
 // Cached returns the number of frames currently reserved for node n.
 func (pc *PageCache) Cached(n numa.NodeID) int {
 	pc.checkNode(n)
+	pc.mus[n].Lock()
+	defer pc.mus[n].Unlock()
 	return len(pc.pools[n])
 }
 
@@ -61,6 +75,7 @@ func (pc *PageCache) Refill() int {
 	total := 0
 	for n := range pc.pools {
 		node := numa.NodeID(n)
+		pc.mus[n].Lock()
 		for uint64(len(pc.pools[n])) < pc.target {
 			f, err := pc.pm.AllocPageTable(node, 1)
 			if err != nil {
@@ -73,6 +88,7 @@ func (pc *PageCache) Refill() int {
 			pc.pools[n] = append(pc.pools[n], f)
 			total++
 		}
+		pc.mus[n].Unlock()
 	}
 	return total
 }
@@ -81,14 +97,17 @@ func (pc *PageCache) Refill() int {
 // from the reserved pool first and falling back to the general allocator.
 func (pc *PageCache) AllocPT(n numa.NodeID, level uint8) (FrameID, error) {
 	pc.checkNode(n)
+	pc.mus[n].Lock()
 	if len(pc.pools[n]) > 0 {
 		f := pc.pools[n][len(pc.pools[n])-1]
 		pc.pools[n] = pc.pools[n][:len(pc.pools[n])-1]
+		pc.mus[n].Unlock()
 		meta := pc.pm.Meta(f)
 		meta.PTLevel = level
 		clear(pc.pm.Table(f)[:])
 		return f, nil
 	}
+	pc.mus[n].Unlock()
 	return pc.pm.AllocPageTable(n, level)
 }
 
@@ -107,12 +126,15 @@ func (pc *PageCache) FreePT(f FrameID) {
 		panic(fmt.Sprintf("mem: double FreePT of frame %d (already parked)", f))
 	}
 	n := pc.pm.NodeOf(f)
+	pc.mus[n].Lock()
 	if uint64(len(pc.pools[n])) < pc.target {
 		meta.PTLevel = 0
 		clear(pc.pm.Table(f)[:])
 		pc.pools[n] = append(pc.pools[n], f)
+		pc.mus[n].Unlock()
 		return
 	}
+	pc.mus[n].Unlock()
 	pc.pm.Free(f)
 }
 
@@ -130,12 +152,17 @@ func (pc *PageCache) Reset() {
 }
 
 // Drain releases all reserved frames back to the allocator.
+// Drain may race with concurrent per-process fault paths allocating from
+// other nodes' pools (memory-pressure reclaim calls it), so it takes each
+// node's lock like the hot-path entry points.
 func (pc *PageCache) Drain() {
 	for n := range pc.pools {
+		pc.mus[n].Lock()
 		for _, f := range pc.pools[n] {
 			pc.pm.Free(f)
 		}
 		pc.pools[n] = nil
+		pc.mus[n].Unlock()
 	}
 }
 

@@ -43,6 +43,19 @@ func TestRunLeaksNoGoroutines(t *testing.T) {
 	if _, err := RunSweep(sw, WithSweepWorkers(4)); err != nil {
 		t.Fatal(err)
 	}
+	// The churn engine keeps persistent per-socket worker goroutines for
+	// the duration of each run; repeated runs must wind them all down.
+	ch := Churn{
+		Name:         "leak",
+		Machine:      sc.Machine,
+		Procs:        4,
+		PagesPerProc: 64,
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := RunChurn(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
 
 	// Finished goroutines unwind asynchronously; give the scheduler a
 	// moment before declaring a leak.
