@@ -7,8 +7,8 @@
 //	mitosis-bench -replay FILE
 //
 // Experiments: fig1 fig3 fig4 fig6 fig9a fig9b fig10a fig10b fig11
-// table4 table5 table6 ablations engine policy scenario virt perf, or
-// "all" (default).
+// table4 table5 table6 ablations engine policy scenario virt tier perf,
+// or "all" (default).
 //
 // The perf target measures the simulator's own hot-path host throughput
 // (simulated ops per wall-clock second) for the TLB-hit fast path, the
@@ -34,8 +34,10 @@
 // its full spec in BENCH_scenario.json; the virt target renders the
 // virtualized Table 6 (§7.4 gPT/ePT replication ladder) and embeds the
 // canonical policy-driven virtualized scenario in BENCH_virt.json the
-// same way. -replay FILE re-executes the record found in FILE (a
-// BENCH_scenario.json / BENCH_virt.json / BENCH_sweep.json /
+// same way; the tier target renders the CXL recovery ladder and embeds
+// the canonical tiered scenario in BENCH_tier.json. -replay FILE
+// re-executes the record found in FILE (a BENCH_scenario.json /
+// BENCH_virt.json / BENCH_tier.json / BENCH_sweep.json /
 // BENCH_churn.json record, or a bare mitosis.Scenario JSON) and — when
 // the record carries counters — verifies the rerun reproduces them
 // bit-for-bit.
@@ -93,6 +95,7 @@ var targets = []targetInfo{
 	{"policy", "runtime replication-policy comparison (none/static/ondemand/costadaptive)"},
 	{"scenario", "canonical declarative scenario, replayable via BENCH_scenario.json"},
 	{"virt", "virtualized table plus the canonical virt scenario record"},
+	{"tier", "CXL tier recovery ladder plus the canonical tiered scenario record (BENCH_tier.json)"},
 	{"engine", "execution-engine throughput benchmark (sequential vs parallel)"},
 	{"perf", "simulator hot-path host-throughput trajectory (BENCH_perf.json)"},
 	{"churn", "multi-process churn: sharded vs global fault lock + tail latency, replayable via BENCH_churn.json (not in \"all\")"},
@@ -391,6 +394,19 @@ func run(cfg experiments.Config, target string, policies []string, sweepOpt expe
 			return "", nil, err
 		}
 		return t.String() + "\n" + vr.String(), vr, nil
+	case "tier":
+		// Same shape as virt: the human-readable half is the CXL recovery
+		// ladder, the JSON payload the canonical tiered scenario's
+		// RunResult, replayable like BENCH_scenario.json.
+		t, err := experiments.RunTierTable(cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		tr, err := experiments.RunTierScenario(cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		return t.String() + "\n" + tr.String(), tr, nil
 	case "ablations":
 		out := ""
 		var payloads []any
@@ -556,6 +572,10 @@ func runReplay(path string, cell int) error {
 	if !reflect.DeepEqual(rr.Policies, orig.Policies) {
 		return fmt.Errorf("replay of %q diverged: policy telemetry differs from the record\nrecorded: %+v\nreplayed: %+v",
 			orig.Scenario.Name, orig.Policies, rr.Policies)
+	}
+	if !reflect.DeepEqual(rr.Tiering, orig.Tiering) {
+		return fmt.Errorf("replay of %q diverged: tiering telemetry differs from the record\nrecorded: %+v\nreplayed: %+v",
+			orig.Scenario.Name, orig.Tiering, rr.Tiering)
 	}
 	if rr.ReplicaPTPages != orig.ReplicaPTPages {
 		return fmt.Errorf("replay of %q diverged: replica PT pages %d, recorded %d",

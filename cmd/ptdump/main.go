@@ -4,10 +4,17 @@
 // per-socket distribution of page-table pages and their pointers in the
 // Figure 3 layout, plus the Figure 4 remote-leaf-PTE summary.
 //
+// With -tiers the machine gains CPU-less slow-tier nodes (CXL/NVM) and
+// every snapshot also prints the per-node tier residency of the data
+// pages together with their folded AutoNUMA access samples — the hotness
+// stream the tiering engine's Tracker classifies on. -ptnode strands the
+// page-table on a chosen node so the tier placement of the table itself
+// is visible in the dump.
+//
 // Usage:
 //
 //	ptdump [-workload Memcached] [-scenario ms|wm] [-thp] [-interval N]
-//	       [-snapshots N] [-replicate]
+//	       [-snapshots N] [-replicate] [-tiers cxl@0[,nvm@1...]] [-ptnode N]
 package main
 
 import (
@@ -15,14 +22,53 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"github.com/mitosis-project/mitosis-sim/internal/core"
 	"github.com/mitosis-project/mitosis-sim/internal/kernel"
+	"github.com/mitosis-project/mitosis-sim/internal/mem"
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
 	"github.com/mitosis-project/mitosis-sim/internal/pt"
 	"github.com/mitosis-project/mitosis-sim/internal/workloads"
 )
+
+// ptdumpSockets mirrors the default machine (the paper's 4-socket Xeon)
+// when -tiers replaces the topology with a tiered one.
+const (
+	ptdumpSockets = 4
+	ptdumpCores   = 14
+)
+
+// parseTiers parses the -tiers flag: comma-separated kind@socket entries,
+// e.g. "cxl@0,nvm@1", matching the facade's SystemConfig.Tiers syntax.
+func parseTiers(s string) ([]numa.TierNode, error) {
+	var out []numa.TierNode
+	for i, part := range strings.Split(s, ",") {
+		kind, homeStr, ok := strings.Cut(strings.TrimSpace(part), "@")
+		if !ok {
+			return nil, fmt.Errorf("tier %d %q: want kind@socket", i, part)
+		}
+		var tk numa.MemTier
+		switch kind {
+		case "cxl":
+			tk = numa.TierCXL
+		case "nvm":
+			tk = numa.TierNVM
+		default:
+			return nil, fmt.Errorf("tier %d: unknown kind %q (want cxl or nvm)", i, kind)
+		}
+		var home int
+		if _, err := fmt.Sscanf(homeStr, "%d", &home); err != nil || fmt.Sprint(home) != homeStr {
+			return nil, fmt.Errorf("tier %d: bad home socket %q", i, homeStr)
+		}
+		if home < 0 || home >= ptdumpSockets {
+			return nil, fmt.Errorf("tier %d: home socket %d out of range [0,%d)", i, home, ptdumpSockets)
+		}
+		out = append(out, numa.TierNode{Kind: tk, Home: numa.SocketID(home)})
+	}
+	return out, nil
+}
 
 func main() {
 	name := flag.String("workload", "Memcached", "workload name (paper Table 1)")
@@ -31,6 +77,8 @@ func main() {
 	interval := flag.Int("interval", 20000, "operations between snapshots (the paper used 30s)")
 	snapshots := flag.Int("snapshots", 3, "number of snapshots")
 	replicate := flag.Bool("replicate", false, "enable Mitosis replication on all sockets")
+	tiers := flag.String("tiers", "", "slow-tier nodes as kind@socket, e.g. cxl@0,nvm@1")
+	ptnode := flag.Int("ptnode", -1, "pin page-table allocation to this node (default: home socket)")
 	flag.Parse()
 
 	w := workloads.ByName(*name, *scenario)
@@ -43,15 +91,31 @@ func main() {
 		os.Exit(2)
 	}
 
-	k := kernel.New(kernel.Config{})
+	var kcfg kernel.Config
+	if *tiers != "" {
+		tn, err := parseTiers(*tiers)
+		if err != nil {
+			log.Fatalf("ptdump: -tiers: %v", err)
+		}
+		kcfg.Topology = numa.NewTieredTopology(ptdumpSockets, ptdumpCores, tn)
+	}
+	k := kernel.New(kcfg)
 	k.SetTHP(*thp)
 	k.Sysctl().Mode = core.ModePerProcess
 	k.Sysctl().PageCacheTarget = 64
 	k.ApplySysctl()
 
-	p, err := k.CreateProcess(kernel.ProcessOpts{
+	popts := kernel.ProcessOpts{
 		Name: w.Name(), Home: 0, DataLocality: w.DataLocality(),
-	})
+	}
+	if *ptnode >= 0 {
+		if *ptnode >= k.Topology().Nodes() {
+			log.Fatalf("ptdump: -ptnode %d out of range [0,%d)", *ptnode, k.Topology().Nodes())
+		}
+		popts.PTPolicy = kernel.PTFixed
+		popts.PTNode = numa.NodeID(*ptnode)
+	}
+	p, err := k.CreateProcess(popts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +137,9 @@ func main() {
 		log.Fatal(err)
 	}
 	if *replicate {
-		nodes := make([]numa.NodeID, topo.Nodes())
+		// Replicas go on socket DRAM only: a walker never benefits from a
+		// copy on a CPU-less slow-tier node.
+		nodes := make([]numa.NodeID, topo.DRAMNodes())
 		for i := range nodes {
 			nodes[i] = numa.NodeID(i)
 		}
@@ -96,5 +162,52 @@ func main() {
 			remote = append(remote, fmt.Sprintf("socket%d %.0f%%", s, d.RemoteLeafFraction(s)*100))
 		}
 		fmt.Printf("remote leaf PTEs observed: %s\n", strings.Join(remote, ", "))
+		if topo.Tiered() {
+			printTierResidency(k, p)
+		}
+	}
+}
+
+// printTierResidency aggregates the process's mapped data pages per node
+// and prints each node's tier label together with the folded AutoNUMA
+// access samples — the exact hotness stream the tiering engine's Tracker
+// classifies on. ptdump attaches no engine, so nothing clears the folded
+// counters between snapshots and they accumulate over the whole run.
+func printTierResidency(k *kernel.Kernel, p *kernel.Process) {
+	topo, pm := k.Topology(), k.Mem()
+	type nodeAgg struct{ pages, local, remote uint64 }
+	agg := make([]nodeAgg, topo.Nodes())
+	type hotPage struct {
+		va      pt.VirtAddr
+		node    numa.NodeID
+		samples uint64
+	}
+	var hottest []hotPage
+	p.ForEachMappedPage(func(va pt.VirtAddr, f mem.FrameID, size pt.PageSize) {
+		meta := pm.Meta(f)
+		a := &agg[pm.NodeOf(f)]
+		a.pages += size.Bytes() >> pt.PageShift4K
+		a.local += uint64(meta.LocalAccesses)
+		a.remote += uint64(meta.RemoteAccesses)
+		if s := uint64(meta.LocalAccesses) + uint64(meta.RemoteAccesses); s > 0 {
+			hottest = append(hottest, hotPage{va, pm.NodeOf(f), s})
+		}
+	})
+	fmt.Println("per-node data residency (folded access samples, cumulative):")
+	for n := range agg {
+		fmt.Printf("  node%d %-4s %8d pages %8d sampled accesses (%d local, %d remote)\n",
+			n, topo.TierOf(numa.NodeID(n)), agg[n].pages,
+			agg[n].local+agg[n].remote, agg[n].local, agg[n].remote)
+	}
+	primary := p.Space().PrimaryNode()
+	fmt.Printf("page-table primary on node%d (%s)\n", primary, topo.TierOf(primary))
+	// The walk is VA-ordered, so a stable sort keeps ties deterministic.
+	sort.SliceStable(hottest, func(i, j int) bool { return hottest[i].samples > hottest[j].samples })
+	if len(hottest) > 5 {
+		hottest = hottest[:5]
+	}
+	for _, h := range hottest {
+		fmt.Printf("  hottest va=%#x node%d (%s) %d samples\n",
+			h.va, h.node, topo.TierOf(h.node), h.samples)
 	}
 }

@@ -65,7 +65,7 @@ func (s *System) Launch(cfg ProcessConfig) (*Proc, error) {
 // scenario runner's business and are ignored here). An empty socket list
 // schedules one worker per socket on every socket.
 func (s *System) Spawn(spec ProcSpec) (*Proc, error) {
-	if err := spec.Placement.validate("process "+spec.Name, s.k.Topology().Sockets(), s.k.Topology().CoresPerSocket()); err != nil {
+	if err := spec.Placement.validate("process "+spec.Name, s.k.Topology().Sockets(), s.k.Topology().CoresPerSocket(), s.k.Topology().Nodes()); err != nil {
 		return nil, fmt.Errorf("mitosis: %w", err)
 	}
 	return s.spawn(spec, 0)
@@ -219,10 +219,11 @@ func (pr *Proc) AccessBatch(worker int, ops []AccessOp) error {
 }
 
 // ReplicatePageTables enables Mitosis replication on every socket —
-// numactl --pgtablerepl=all.
+// numactl --pgtablerepl=all. Replicas go on socket DRAM only: a walker
+// never benefits from a copy on a CPU-less slow-tier node.
 func (pr *Proc) ReplicatePageTables() error {
 	pr.sys.Quiesce()
-	nodes := make([]numa.NodeID, pr.sys.k.Topology().Nodes())
+	nodes := make([]numa.NodeID, pr.sys.k.Topology().DRAMNodes())
 	for i := range nodes {
 		nodes[i] = numa.NodeID(i)
 	}

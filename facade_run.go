@@ -7,6 +7,7 @@ import (
 	"github.com/mitosis-project/mitosis-sim/internal/hw"
 	"github.com/mitosis-project/mitosis-sim/internal/kernel"
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/tier"
 	"github.com/mitosis-project/mitosis-sim/internal/workloads"
 )
 
@@ -151,6 +152,13 @@ type Counters struct {
 	WalkMemAccesses    uint64 `json:"walk_mem_accesses"`
 	WalkRemoteAccesses uint64 `json:"walk_remote_accesses"`
 	WalkLLCHits        uint64 `json:"walk_llc_hits"`
+	// TierWalkAccesses / TierWalkCycles / TierDataAccesses count the walk
+	// and data reads served by slow-tier (CXL/NVM) nodes — a subset of the
+	// remote counters above. Always zero on flat machines, so existing
+	// records are unchanged.
+	TierWalkAccesses uint64 `json:"tier_walk_accesses,omitempty"`
+	TierWalkCycles   uint64 `json:"tier_walk_cycles,omitempty"`
+	TierDataAccesses uint64 `json:"tier_data_accesses,omitempty"`
 }
 
 // WalkCycleFraction returns walk cycles over total cycles — the hashed
@@ -180,6 +188,16 @@ func (c Counters) RemoteWalkFraction() float64 {
 	return float64(c.WalkRemoteAccesses) / float64(c.WalkMemAccesses)
 }
 
+// TierWalkFraction returns the fraction of page-table memory reads served
+// by slow-tier (CXL/NVM) nodes — how much of the walk path is stranded
+// off DRAM. Zero on flat machines.
+func (c Counters) TierWalkFraction() float64 {
+	if c.WalkMemAccesses == 0 {
+		return 0
+	}
+	return float64(c.TierWalkAccesses) / float64(c.WalkMemAccesses)
+}
+
 // SocketCounters are one socket's counters over a measured phase.
 type SocketCounters struct {
 	Socket             int    `json:"socket"`
@@ -194,6 +212,10 @@ type SocketCounters struct {
 	WalkRemoteAccesses uint64 `json:"walk_remote_accesses"`
 	DataMemAccesses    uint64 `json:"data_mem_accesses"`
 	DataRemoteAccesses uint64 `json:"data_remote_accesses"`
+	// WalkTierAccesses / DataTierAccesses split the remote counters by
+	// destination medium; zero on flat machines.
+	WalkTierAccesses uint64 `json:"walk_tier_accesses,omitempty"`
+	DataTierAccesses uint64 `json:"data_tier_accesses,omitempty"`
 }
 
 // PhaseResult is the outcome of one phase of one process.
@@ -246,6 +268,9 @@ type RunResult struct {
 	Chunk    int             `json:"chunk,omitempty"`
 	Phases   []PhaseResult   `json:"phases"`
 	Policies []PolicyOutcome `json:"policies,omitempty"`
+	// Tiering records each tiering engine's outcome (empty when no process
+	// ran a tier policy, so flat records are unchanged).
+	Tiering []TierOutcome `json:"tiering,omitempty"`
 	// ReplicaPTPages counts the replica page-table pages created over the
 	// whole run — the memory replication spent.
 	ReplicaPTPages uint64 `json:"replica_pt_pages"`
@@ -319,6 +344,7 @@ func (s *System) Run(sc Scenario, opts ...RunOpt) (*RunResult, error) {
 		env  *workloads.Env
 		w    workloads.Workload
 		eng  *kernel.PolicyEngine
+		teng *kernel.TierEngine
 		// tickBase offsets the engine's per-phase round counter so the
 		// policy's action log, the replica timeline and observer events
 		// all share one cumulative round clock across the process's
@@ -363,6 +389,19 @@ func (s *System) Run(sc Scenario, opts ...RunOpt) (*RunResult, error) {
 			}
 			rp.eng = k.AttachPolicy(pr.p, pol, kernel.PolicyEngineConfig{StepPages: ps.Policy.StepPages})
 		}
+		if ps.Tiering.wants() {
+			pol, err := tier.NewPolicy(ps.Tiering.Policy)
+			if err != nil {
+				return nil, fmt.Errorf("mitosis: process %q: %w", ps.Name, err)
+			}
+			rp.teng = k.AttachTierPolicy(pr.p, pol, kernel.TierEngineConfig{
+				StepPages: ps.Tiering.StepPages,
+				Tracker: tier.TrackerConfig{
+					HotThreshold: ps.Tiering.HotThreshold,
+					ColdTicks:    ps.Tiering.ColdTicks,
+				},
+			})
+		}
 		procs = append(procs, rp)
 	}
 	for _, n := range sc.Interference {
@@ -404,12 +443,23 @@ func (s *System) Run(sc Scenario, opts ...RunOpt) (*RunResult, error) {
 					Chunk:     rc.chunk,
 					TickEvery: rp.spec.Policy.TickEvery,
 				}
-				if rp.eng != nil || rc.obs != nil {
-					ecfg.Ticker = &runTicker{
-						engine: rp.eng, obs: rc.obs, m: m, topo: topo,
-						p: rp.pr.p, process: rp.spec.Name, phase: phaseName,
-						base: rp.tickBase,
+				if rp.eng != nil || rp.teng != nil || rc.obs != nil {
+					t := &runTicker{
+						engine: rp.eng, tier: rp.teng, obs: rc.obs, m: m,
+						topo: topo, p: rp.pr.p, process: rp.spec.Name,
+						phase: phaseName, base: rp.tickBase,
 					}
+					if rp.teng != nil {
+						// The replication and tiering engines may want
+						// different cadences; run the ticker every round
+						// and apply each period on the phase-local round
+						// inside it. Without tiering the engine-level
+						// TickEvery governs, exactly as before.
+						t.policyEvery = rp.spec.Policy.TickEvery
+						t.tierEvery = rp.spec.Tiering.TickEvery
+						ecfg.TickEvery = 1
+					}
+					ecfg.Ticker = t
 				}
 				var wres *workloads.Result
 				var err error
@@ -453,6 +503,12 @@ func (s *System) Run(sc Scenario, opts ...RunOpt) (*RunResult, error) {
 		out.ReplicaTimeline = compressTimeline(rp.eng.ReplicaTimeline())
 		rr.Policies = append(rr.Policies, out)
 	}
+	for _, rp := range procs {
+		if rp.teng == nil {
+			continue
+		}
+		rr.Tiering = append(rr.Tiering, tierOutcomeOf(rp.spec.Name, rp.teng))
+	}
 	rr.ReplicaPTPages = k.Backend().Stats.ReplicaPTPages
 	return rr, nil
 }
@@ -479,6 +535,9 @@ func countersOf(res *workloads.Result) Counters {
 		WalkMemAccesses:    res.WalkMemAccesses,
 		WalkRemoteAccesses: res.RemoteWalkAccesses,
 		WalkLLCHits:        res.WalkLLCHits,
+		TierWalkAccesses:   res.TierWalkAccesses,
+		TierWalkCycles:     uint64(res.TierWalkCycles),
+		TierDataAccesses:   res.TierDataAccesses,
 	}
 }
 
@@ -501,6 +560,8 @@ func socketCountersOf(m *hw.Machine, topo *numa.Topology) []SocketCounters {
 			WalkRemoteAccesses: cs.WalkRemoteAccesses,
 			DataMemAccesses:    cs.DataMemAccesses,
 			DataRemoteAccesses: cs.DataRemoteAccesses,
+			WalkTierAccesses:   cs.WalkTierAccesses,
+			DataTierAccesses:   cs.DataTierAccesses,
 		}
 	}
 	return out
@@ -523,6 +584,7 @@ func compressTimeline(tl []int) []ReplicaTick {
 // to the observer (if any).
 type runTicker struct {
 	engine         *kernel.PolicyEngine
+	tier           *kernel.TierEngine
 	obs            Observer
 	m              *hw.Machine
 	topo           *numa.Topology
@@ -531,6 +593,10 @@ type runTicker struct {
 	// base is the cumulative round count of the process's earlier phases;
 	// it keeps the action log, timeline and observer events on one clock.
 	base int
+	// policyEvery / tierEvery gate the engines on the phase-local round
+	// when the two want different cadences (0 or 1: every invocation — the
+	// engine-level TickEvery already set the cadence).
+	policyEvery, tierEvery int
 
 	prev []hw.CoreStats
 }
@@ -559,9 +625,15 @@ func (t *runTicker) RunEnd() {
 // counter every phase; adding base puts policy logs and observer events
 // on one cumulative clock for the whole scenario run.
 func (t *runTicker) Tick(round int) error {
+	local := round
 	round += t.base
-	if t.engine != nil {
+	if t.engine != nil && (t.policyEvery <= 1 || local%t.policyEvery == 0) {
 		if err := t.engine.Tick(round); err != nil {
+			return err
+		}
+	}
+	if t.tier != nil && (t.tierEvery <= 1 || local%t.tierEvery == 0) {
+		if err := t.tier.Tick(round); err != nil {
 			return err
 		}
 	}

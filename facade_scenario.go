@@ -74,6 +74,31 @@ type PolicySpec struct {
 	StepPages int `json:"step_pages,omitempty"`
 }
 
+// TieringSpec attaches a memory-tiering policy (see TierPolicies) that
+// ticks at the engine's round barriers alongside any replication policy:
+// the Tracker classifies pages hot/cold from the folded access samples, the
+// policy decides promotions/demotions (and page-table placement), and the
+// Mover applies a bounded page budget per tick. Meaningful on machines with
+// slow-tier nodes (WithTiers); on a flat machine the policy ticks but finds
+// nothing to move — a valid sweep control point.
+type TieringSpec struct {
+	// Policy is one of TierPolicies(), or ""/"none" for no tiering.
+	Policy string `json:"policy,omitempty"`
+	// TickEvery is the tick period in rounds (default 1).
+	TickEvery int `json:"tick_every,omitempty"`
+	// StepPages bounds the 4KB pages the Mover migrates per tick (default
+	// 64).
+	StepPages int `json:"step_pages,omitempty"`
+	// HotThreshold is the tracker's decayed-score hot cutoff (default 8).
+	HotThreshold uint64 `json:"hot_threshold,omitempty"`
+	// ColdTicks is the unsampled-tick streak after which a page counts as
+	// cold (default 4).
+	ColdTicks int `json:"cold_ticks,omitempty"`
+}
+
+// wants reports whether the spec asks for a tiering engine.
+func (t TieringSpec) wants() bool { return t.Policy != "" && t.Policy != "none" }
+
 // VM replication-mode and policy-layer selector names.
 const (
 	// VMReplicationNone leaves both dimensions unreplicated (default).
@@ -181,6 +206,8 @@ type ProcSpec struct {
 	Replication ReplicationSpec `json:"replication,omitzero"`
 	// Policy is the runtime replication policy.
 	Policy PolicySpec `json:"policy,omitzero"`
+	// Tiering is the runtime memory-tiering policy.
+	Tiering TieringSpec `json:"tiering,omitzero"`
 	// VM, when set, runs the process inside a virtual machine with nested
 	// paging (see VMSpec).
 	VM *VMSpec `json:"vm,omitempty"`
@@ -243,6 +270,18 @@ func UnderPolicy(name string) ProcOpt {
 // engine knobs.
 func WithPolicySpec(ps PolicySpec) ProcOpt {
 	return func(p *ProcSpec) { p.Policy = ps }
+}
+
+// UnderTierPolicy attaches a runtime memory-tiering policy by name (see
+// TierPolicies).
+func UnderTierPolicy(name string) ProcOpt {
+	return func(p *ProcSpec) { p.Tiering.Policy = name }
+}
+
+// WithTiering attaches a runtime memory-tiering policy with explicit
+// tracker/mover knobs.
+func WithTiering(ts TieringSpec) ProcOpt {
+	return func(p *ProcSpec) { p.Tiering = ts }
 }
 
 // WithPhases sets the execution schedule.
@@ -313,8 +352,18 @@ func WithProc(p ProcSpec) ScenarioOpt {
 	return func(s *Scenario) { s.Processes = append(s.Processes, p) }
 }
 
-// validate checks the placement against a concrete machine shape.
-func (pl PlacementSpec) validate(where string, sockets, coresPerSocket int) error {
+// WithTiers appends slow-tier memory nodes (CXL/NVM) to the machine, in
+// order, after the per-socket DRAM nodes: the first listed tier becomes
+// node Sockets, the next Sockets+1, and so on.
+func WithTiers(tiers ...TierSpec) ScenarioOpt {
+	return func(s *Scenario) { s.Machine.Tiers = tierString(tiers) }
+}
+
+// validate checks the placement against a concrete machine shape. Data and
+// page-table nodes range over all memory nodes (DRAM plus slow tiers):
+// binding data — or stranding page-tables — on a CXL/NVM node is exactly
+// the experiment the tier dimension adds.
+func (pl PlacementSpec) validate(where string, sockets, coresPerSocket, nodes int) error {
 	seen := map[int]bool{}
 	for _, s := range pl.Sockets {
 		if s < 0 || s >= sockets {
@@ -334,8 +383,8 @@ func (pl PlacementSpec) validate(where string, sockets, coresPerSocket int) erro
 			return fmt.Errorf("%s: data_node %d set but data policy is %q; use %q", where, pl.DataNode, pl.Data, PlaceBind)
 		}
 	case PlaceBind:
-		if pl.DataNode < 0 || pl.DataNode >= sockets {
-			return fmt.Errorf("%s: data_node %d out of range [0,%d)", where, pl.DataNode, sockets)
+		if pl.DataNode < 0 || pl.DataNode >= nodes {
+			return fmt.Errorf("%s: data_node %d out of range [0,%d)", where, pl.DataNode, nodes)
 		}
 	default:
 		return fmt.Errorf("%s: data policy %q invalid (have %q, %q, %q)", where, pl.Data, PlaceFirstTouch, PlaceInterleave, PlaceBind)
@@ -346,8 +395,8 @@ func (pl PlacementSpec) validate(where string, sockets, coresPerSocket int) erro
 			return fmt.Errorf("%s: pt_node %d set but page_tables policy is %q; use %q", where, pl.PTNode, pl.PageTables, PlaceFixed)
 		}
 	case PlaceFixed:
-		if pl.PTNode < 0 || pl.PTNode >= sockets {
-			return fmt.Errorf("%s: pt_node %d out of range [0,%d)", where, pl.PTNode, sockets)
+		if pl.PTNode < 0 || pl.PTNode >= nodes {
+			return fmt.Errorf("%s: pt_node %d out of range [0,%d)", where, pl.PTNode, nodes)
 		}
 	default:
 		return fmt.Errorf("%s: page_tables policy %q invalid (have %q, %q)", where, pl.PageTables, PlaceFirstTouch, PlaceFixed)
@@ -370,9 +419,19 @@ func (sc Scenario) Validate() error {
 	if sc.Fragmentation < 0 || sc.Fragmentation >= 1 {
 		return fmt.Errorf("scenario %q: fragmentation %v outside [0,1)", sc.Name, sc.Fragmentation)
 	}
+	tiers, err := parseTiers(m.Tiers)
+	if err != nil {
+		return fmt.Errorf("scenario %q: machine tiers: %w", sc.Name, err)
+	}
+	for i, tn := range tiers {
+		if int(tn.Home) >= m.Sockets {
+			return fmt.Errorf("scenario %q: tier %d home socket %d out of range [0,%d)", sc.Name, i, tn.Home, m.Sockets)
+		}
+	}
+	nodes := m.Sockets + len(tiers)
 	for _, n := range sc.Interference {
-		if n < 0 || n >= m.Sockets {
-			return fmt.Errorf("scenario %q: interference node %d out of range [0,%d)", sc.Name, n, m.Sockets)
+		if n < 0 || n >= nodes {
+			return fmt.Errorf("scenario %q: interference node %d out of range [0,%d)", sc.Name, n, nodes)
 		}
 	}
 	if len(sc.Processes) == 0 {
@@ -391,7 +450,7 @@ func (sc Scenario) Validate() error {
 		if err := p.Workload.validate(where); err != nil {
 			return err
 		}
-		if err := p.Placement.validate(where, m.Sockets, m.CoresPerSocket); err != nil {
+		if err := p.Placement.validate(where, m.Sockets, m.CoresPerSocket, nodes); err != nil {
 			return err
 		}
 		if p.VM != nil {
@@ -405,6 +464,15 @@ func (sc Scenario) Validate() error {
 			if sc.Machine.FiveLevel {
 				return fmt.Errorf("%s: vm requires 4-level paging (guest tables are 4-level); drop machine five_level", where)
 			}
+			if p.Tiering.wants() {
+				return fmt.Errorf("%s: tiering policy set on a virtualized process; guest-visible tiering is not modeled", where)
+			}
+		}
+		if tp := p.Tiering.Policy; tp != "" && tp != "none" && !slices.Contains(TierPolicies(), tp) {
+			return fmt.Errorf("%s: unknown tier policy %q (have %v, \"none\")", where, tp, TierPolicies())
+		}
+		if p.Tiering.TickEvery < 0 || p.Tiering.StepPages < 0 || p.Tiering.ColdTicks < 0 {
+			return fmt.Errorf("%s: tiering tick_every/step_pages/cold_ticks must be non-negative", where)
 		}
 		if p.Replication.All && len(p.Replication.Nodes) > 0 {
 			return fmt.Errorf("%s: replication sets both all and an explicit node list; pick one", where)
@@ -440,8 +508,8 @@ func (sc Scenario) Validate() error {
 			if ph.MigratePT && ph.MigrateTo == nil {
 				return fmt.Errorf("%s: migrate_pt set without migrate_to; page-tables can only follow a migration", pw)
 			}
-			if ph.MovePT != nil && (*ph.MovePT < 0 || *ph.MovePT >= m.Sockets) {
-				return fmt.Errorf("%s: move_pt node %d out of range [0,%d)", pw, *ph.MovePT, m.Sockets)
+			if ph.MovePT != nil && (*ph.MovePT < 0 || *ph.MovePT >= nodes) {
+				return fmt.Errorf("%s: move_pt node %d out of range [0,%d)", pw, *ph.MovePT, nodes)
 			}
 			if p.VM != nil && (ph.MigratePT || ph.MovePT != nil) {
 				return fmt.Errorf("%s: migrate_pt/move_pt act on the host table; a virtualized process recovers locality via vm.replication or a policy", pw)

@@ -37,6 +37,14 @@ type Sweep struct {
 	// Virt lists virtualization modes: false = native, true = the process
 	// runs in a VM with nested paging. Default: [false].
 	Virt []bool `json:"virt,omitempty"`
+	// Tiers lists tier topologies in SystemConfig.Tiers form ("" = the
+	// machine's own, typically flat; "cxl@0", "cxl@0,nvm@1", ...). A
+	// non-empty entry overrides the machine's Tiers for that cell.
+	// Default: [""].
+	Tiers []string `json:"tiers,omitempty"`
+	// TierPolicies lists runtime tiering policies (see TierPolicies()),
+	// plus "none" for no tiering engine. Default: ["none"].
+	TierPolicies []string `json:"tier_policies,omitempty"`
 
 	// BaseSeed, SeedRungs and SeedStride form the seed ladder: every axis
 	// combination runs once per rung r in [0,SeedRungs) with scenario seed
@@ -83,6 +91,12 @@ func (sw Sweep) normalized() Sweep {
 	}
 	if len(sw.Virt) == 0 {
 		sw.Virt = []bool{false}
+	}
+	if len(sw.Tiers) == 0 {
+		sw.Tiers = []string{""}
+	}
+	if len(sw.TierPolicies) == 0 {
+		sw.TierPolicies = []string{"none"}
 	}
 	if sw.BaseSeed == 0 {
 		sw.BaseSeed = 42
@@ -134,6 +148,28 @@ func (sw Sweep) Validate() error {
 	if slices.Contains(sw.Virt, true) && m.FiveLevel {
 		return fmt.Errorf("sweep %q: virt cells require 4-level paging; drop machine five_level", sw.Name)
 	}
+	for _, ts := range sw.Tiers {
+		if ts == "" {
+			continue
+		}
+		tn, err := parseTiers(ts)
+		if err != nil {
+			return fmt.Errorf("sweep %q: tiers %q: %w", sw.Name, ts, err)
+		}
+		for _, t := range tn {
+			if int(t.Home) >= m.Sockets {
+				return fmt.Errorf("sweep %q: tiers %q: home socket %d out of range [0,%d)", sw.Name, ts, t.Home, m.Sockets)
+			}
+		}
+	}
+	for _, tp := range sw.TierPolicies {
+		if tp != "" && tp != "none" && !slices.Contains(TierPolicies(), tp) {
+			return fmt.Errorf("sweep %q: unknown tier policy %q (have %v, \"none\")", sw.Name, tp, TierPolicies())
+		}
+		if tp != "" && tp != "none" && slices.Contains(sw.Virt, true) {
+			return fmt.Errorf("sweep %q: virt cells cannot run tier policies (guest-visible tiering is not modeled); split the sweep", sw.Name)
+		}
+	}
 	if sw.SeedRungs < 1 {
 		return fmt.Errorf("sweep %q: seed_rungs %d must be >= 1", sw.Name, sw.SeedRungs)
 	}
@@ -158,17 +194,20 @@ func (sw Sweep) Validate() error {
 func (sw Sweep) Cells() int {
 	sw = sw.normalized()
 	return len(sw.Workloads) * len(sw.Policies) * len(sw.SocketCounts) *
-		len(sw.Fragmentation) * len(sw.Virt) * sw.SeedRungs
+		len(sw.Fragmentation) * len(sw.Virt) * len(sw.Tiers) *
+		len(sw.TierPolicies) * sw.SeedRungs
 }
 
 // cellAxes is one cell's decoded axis tuple.
 type cellAxes struct {
-	workload string
-	policy   string
-	sockets  int
-	frag     float64
-	virt     bool
-	seed     int64
+	workload   string
+	policy     string
+	sockets    int
+	frag       float64
+	virt       bool
+	tiers      string
+	tierPolicy string
+	seed       int64
 }
 
 // axes decodes cell index i (mixed radix; workload varies fastest, the
@@ -182,6 +221,11 @@ func (sw Sweep) axes(i int) cellAxes {
 	ax.sockets = sw.SocketCounts[next(len(sw.SocketCounts))]
 	ax.frag = sw.Fragmentation[next(len(sw.Fragmentation))]
 	ax.virt = sw.Virt[next(len(sw.Virt))]
+	// The tier axes sit between virt and the seed rung; their default
+	// length-1 radix decodes old cell indices unchanged, so recorded flat
+	// sweeps replay the same cells.
+	ax.tiers = sw.Tiers[next(len(sw.Tiers))]
+	ax.tierPolicy = sw.TierPolicies[next(len(sw.TierPolicies))]
 	ax.seed = sw.BaseSeed + int64(next(sw.SeedRungs))*sw.SeedStride
 	return ax
 }
@@ -236,14 +280,35 @@ func (sw Sweep) cell(i int, ax cellAxes) Scenario {
 	if ax.policy != "" && ax.policy != "none" {
 		p.Policy.Name = ax.policy
 	}
+	if ax.tierPolicy != "" && ax.tierPolicy != "none" {
+		p.Tiering.Policy = ax.tierPolicy
+	}
 	if sw.WarmupOps > 0 {
 		p.Phases = append(p.Phases, Warmup(sw.WarmupOps))
 	}
 	p.Phases = append(p.Phases, Measure(sw.MeasureOps))
+	machine := sw.Machine
+	if ax.tiers != "" {
+		machine.Tiers = ax.tiers
+	}
+	name := fmt.Sprintf("%s[%d]:%s/%s/s%d/f%g/%s/seed%d",
+		sw.Name, i, ax.workload, ax.policy, ax.sockets, ax.frag, mode, ax.seed)
+	// Tier components appear only for non-default axis values, keeping
+	// flat cells' names — and so recorded flat sweeps — unchanged.
+	if ax.tiers != "" || (ax.tierPolicy != "" && ax.tierPolicy != "none") {
+		topoName := ax.tiers
+		if topoName == "" {
+			topoName = "flat"
+		}
+		tp := ax.tierPolicy
+		if tp == "" {
+			tp = "none"
+		}
+		name += fmt.Sprintf("/tiers=%s/%s", topoName, tp)
+	}
 	return Scenario{
-		Name: fmt.Sprintf("%s[%d]:%s/%s/s%d/f%g/%s/seed%d",
-			sw.Name, i, ax.workload, ax.policy, ax.sockets, ax.frag, mode, ax.seed),
-		Machine:       sw.Machine,
+		Name:          name,
+		Machine:       machine,
 		Seed:          ax.seed,
 		Fragmentation: ax.frag,
 		Processes:     []ProcSpec{p},
@@ -259,6 +324,9 @@ type CellOutcome struct {
 	ReplicaPTPages uint64 `json:"replica_pt_pages"`
 	// PolicyActions counts runtime-policy actions applied.
 	PolicyActions int `json:"policy_actions,omitempty"`
+	// TierActions counts runtime tiering actions applied (zero, and so
+	// omitted, for cells without a tier policy).
+	TierActions int `json:"tier_actions,omitempty"`
 }
 
 // CellResult is one completed cell: its axis tuple, the deterministic
@@ -271,6 +339,8 @@ type CellResult struct {
 	Sockets       int     `json:"sockets"`
 	Fragmentation float64 `json:"fragmentation"`
 	Virt          bool    `json:"virt,omitempty"`
+	Tiers         string  `json:"tiers,omitempty"`
+	TierPolicy    string  `json:"tier_policy,omitempty"`
 	Seed          int64   `json:"seed"`
 	Engine        string  `json:"engine"`
 	// Outcome is empty when Error is set.
@@ -478,12 +548,23 @@ func (sw Sweep) runCell(idx int, mode EngineMode, sysp **System, pool bool) Cell
 		Sockets:       ax.sockets,
 		Fragmentation: ax.frag,
 		Virt:          ax.virt,
+		Tiers:         ax.tiers,
 		Seed:          ax.seed,
 		Engine:        mode.String(),
+	}
+	if ax.tierPolicy != "" && ax.tierPolicy != "none" {
+		cr.TierPolicy = ax.tierPolicy
 	}
 	begin := time.Now()
 	var sys *System
 	if pool {
+		// The tier axis gives cells genuinely different machine shapes;
+		// park a mismatched system in its own pool (another worker on a
+		// same-shape cell will pick it up) and acquire a matching one.
+		if *sysp != nil && (*sysp).Config() != sc.Machine.normalize() {
+			(*sysp).Release()
+			*sysp = nil
+		}
 		if *sysp == nil {
 			*sysp = AcquireSystem(sc.Machine)
 		}
@@ -509,6 +590,9 @@ func (sw Sweep) runCell(idx int, mode EngineMode, sysp **System, pool bool) Cell
 	}
 	for i := range rr.Policies {
 		cr.Outcome.PolicyActions += len(rr.Policies[i].Actions)
+	}
+	for i := range rr.Tiering {
+		cr.Outcome.TierActions += len(rr.Tiering[i].Actions)
 	}
 	return cr
 }

@@ -80,6 +80,66 @@ type SystemConfig struct {
 	THP bool `json:"thp,omitempty"`
 	// FiveLevel selects 5-level paging instead of 4-level.
 	FiveLevel bool `json:"five_level,omitempty"`
+	// Tiers appends CPU-less slow-tier memory nodes after the per-socket
+	// DRAM nodes, as a canonical comma-separated list of kind@homeSocket
+	// entries, e.g. "cxl@0" or "cxl@0,nvm@1". Kinds are "cxl" and "nvm";
+	// the home socket is the socket whose link the node hangs off. Empty
+	// means a flat all-DRAM machine (the default; bit-identical to
+	// pre-tier configs). A string rather than a slice so SystemConfig
+	// stays comparable — it is used as a map key by the sweep's system
+	// pool. Build it with the TierSpec/WithTiers scenario options.
+	Tiers string `json:"tiers,omitempty"`
+}
+
+// TierSpec describes one slow-tier memory node for WithTiers.
+type TierSpec struct {
+	// Kind is the tier medium: "cxl" or "nvm".
+	Kind string
+	// Socket is the home socket whose link the node hangs off.
+	Socket int
+}
+
+// tierString canonicalizes tier specs into SystemConfig.Tiers form.
+func tierString(tiers []TierSpec) string {
+	parts := make([]string, len(tiers))
+	for i, t := range tiers {
+		parts[i] = fmt.Sprintf("%s@%d", strings.ToLower(strings.TrimSpace(t.Kind)), t.Socket)
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseTiers parses a SystemConfig.Tiers string. It returns an error for
+// malformed entries; home-socket range checking is the caller's job (the
+// socket count may not be normalized yet).
+func parseTiers(s string) ([]numa.TierNode, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []numa.TierNode
+	for i, part := range strings.Split(s, ",") {
+		kind, homeStr, ok := strings.Cut(strings.TrimSpace(part), "@")
+		if !ok {
+			return nil, fmt.Errorf("tier %d %q: want kind@socket", i, part)
+		}
+		var tk numa.MemTier
+		switch kind {
+		case "cxl":
+			tk = numa.TierCXL
+		case "nvm":
+			tk = numa.TierNVM
+		default:
+			return nil, fmt.Errorf("tier %d: unknown kind %q (want cxl or nvm)", i, kind)
+		}
+		var home int
+		if _, err := fmt.Sscanf(homeStr, "%d", &home); err != nil || fmt.Sprint(home) != homeStr {
+			return nil, fmt.Errorf("tier %d: bad home socket %q", i, homeStr)
+		}
+		if home < 0 {
+			return nil, fmt.Errorf("tier %d: negative home socket %d", i, home)
+		}
+		out = append(out, numa.TierNode{Kind: tk, Home: numa.SocketID(home)})
+	}
+	return out, nil
 }
 
 // normalize resolves the config's defaults to concrete values, so two
@@ -106,7 +166,30 @@ func (c SystemConfig) normalize() SystemConfig {
 		}
 	}
 	c.MemoryPerNode = frames * 4096
+	if tn, err := parseTiers(c.Tiers); err == nil {
+		// Canonicalize spacing/case so equal machines normalize equal;
+		// malformed strings pass through for Validate to reject.
+		c.Tiers = renderTiers(tn)
+	}
 	return c
+}
+
+// renderTiers is parseTiers's inverse, producing the canonical form.
+func renderTiers(tiers []numa.TierNode) string {
+	parts := make([]string, len(tiers))
+	for i, t := range tiers {
+		parts[i] = fmt.Sprintf("%s@%d", t.Kind, t.Home)
+	}
+	return strings.Join(parts, ",")
+}
+
+// nodes returns the normalized machine's total memory node count
+// (DRAM nodes plus tier nodes) — the range node-valued spec fields
+// validate against.
+func (c SystemConfig) nodes() int {
+	n := c.normalize()
+	tiers, _ := parseTiers(n.Tiers)
+	return n.Sockets + len(tiers)
 }
 
 // System is a simulated NUMA machine running the Mitosis-enabled kernel.
@@ -125,8 +208,16 @@ func NewSystem(cfg SystemConfig) *System {
 	if norm.FiveLevel {
 		levels = 5
 	}
+	tiers, err := parseTiers(norm.Tiers)
+	if err != nil {
+		panic(fmt.Sprintf("mitosis: invalid SystemConfig.Tiers: %v", err))
+	}
+	topo := numa.NewTopology(norm.Sockets, norm.CoresPerSocket)
+	if len(tiers) > 0 {
+		topo = numa.NewTieredTopology(norm.Sockets, norm.CoresPerSocket, tiers)
+	}
 	k := kernel.New(kernel.Config{
-		Topology:      numa.NewTopology(norm.Sockets, norm.CoresPerSocket),
+		Topology:      topo,
 		FramesPerNode: norm.MemoryPerNode / 4096,
 		Levels:        levels,
 	})

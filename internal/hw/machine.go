@@ -85,11 +85,22 @@ type CoreStats struct {
 	// during two-dimensional walks (the gPA->hPA dimension), before
 	// walk-overlap scaling.
 	NestedWalkCycles numa.Cycles
+	// WalkTierAccesses counts page-table DRAM reads served by a slow-tier
+	// node (CXL/NVM); always zero on flat topologies. Tier-node reads also
+	// count as remote (a tier node is never the socket's local node), so
+	// this splits WalkRemoteAccesses by destination medium.
+	WalkTierAccesses uint64
+	// WalkTierCycles is the raw DRAM latency of the slow-tier page-table
+	// reads in WalkTierAccesses, before walk-overlap scaling.
+	WalkTierCycles numa.Cycles
 	// DataMemAccesses counts data accesses that went to DRAM (missed the
 	// statistically modelled cache hierarchy).
 	DataMemAccesses uint64
 	// DataRemoteAccesses counts data DRAM accesses to a remote node.
 	DataRemoteAccesses uint64
+	// DataTierAccesses counts data DRAM accesses served by a slow-tier
+	// node; always zero on flat topologies.
+	DataTierAccesses uint64
 	// Faults counts page faults taken.
 	Faults uint64
 	// FaultCycles is the time spent in fault handling.
@@ -117,10 +128,13 @@ func (s *CoreStats) merge(o *CoreStats) {
 	s.WalkLLCHits += o.WalkLLCHits
 	s.WalkRemoteAccesses += o.WalkRemoteAccesses
 	s.WalkRemoteCycles += o.WalkRemoteCycles
+	s.WalkTierAccesses += o.WalkTierAccesses
+	s.WalkTierCycles += o.WalkTierCycles
 	s.GuestWalkCycles += o.GuestWalkCycles
 	s.NestedWalkCycles += o.NestedWalkCycles
 	s.DataMemAccesses += o.DataMemAccesses
 	s.DataRemoteAccesses += o.DataRemoteAccesses
+	s.DataTierAccesses += o.DataTierAccesses
 	s.Faults += o.Faults
 	s.FaultCycles += o.FaultCycles
 }
@@ -137,10 +151,13 @@ func (s CoreStats) Sub(o CoreStats) CoreStats {
 		WalkLLCHits:        s.WalkLLCHits - o.WalkLLCHits,
 		WalkRemoteAccesses: s.WalkRemoteAccesses - o.WalkRemoteAccesses,
 		WalkRemoteCycles:   s.WalkRemoteCycles - o.WalkRemoteCycles,
+		WalkTierAccesses:   s.WalkTierAccesses - o.WalkTierAccesses,
+		WalkTierCycles:     s.WalkTierCycles - o.WalkTierCycles,
 		GuestWalkCycles:    s.GuestWalkCycles - o.GuestWalkCycles,
 		NestedWalkCycles:   s.NestedWalkCycles - o.NestedWalkCycles,
 		DataMemAccesses:    s.DataMemAccesses - o.DataMemAccesses,
 		DataRemoteAccesses: s.DataRemoteAccesses - o.DataRemoteAccesses,
+		DataTierAccesses:   s.DataTierAccesses - o.DataTierAccesses,
 		Faults:             s.Faults - o.Faults,
 		FaultCycles:        s.FaultCycles - o.FaultCycles,
 	}
@@ -241,6 +258,10 @@ type Machine struct {
 	cPipeline numa.Cycles
 	cLLCHit   numa.Cycles
 	cL2TLB    numa.Cycles
+	// dramNodes caches Topology.DRAMNodes(): nodes at or above this index
+	// are slow-tier (CXL/NVM), so the per-access tier accounting is one
+	// integer compare.
+	dramNodes int
 	// singleWriter marks the machine as running under the round-based
 	// engine's single-writer discipline: every socket's cores are driven
 	// by at most one goroutine at a time, and cross-socket LLC
@@ -275,6 +296,7 @@ func New(cfg Config) *Machine {
 		cPipeline: cfg.Cost.PipelineOp(),
 		cLLCHit:   cfg.Cost.LLCHit(),
 		cL2TLB:    cfg.Cost.L2TLBHit(),
+		dramNodes: cfg.Topology.DRAMNodes(),
 	}
 	for i := range m.cores {
 		m.cores[i] = coreState{
@@ -626,6 +648,9 @@ func (m *Machine) accessOne(c *coreState, core numa.CoreID, socket numa.SocketID
 		st.DataMemAccesses++
 		if !local {
 			st.DataRemoteAccesses++
+			if int(node) >= m.dramNodes {
+				st.DataTierAccesses++
+			}
 		}
 	}
 
@@ -879,6 +904,10 @@ func (m *Machine) ptRead(c *coreState, socket numa.SocketID, frame mem.FrameID, 
 	if node != m.topo.NodeOf(socket) {
 		st.WalkRemoteAccesses++
 		st.WalkRemoteCycles += cy
+		if int(node) >= m.dramNodes {
+			st.WalkTierAccesses++
+			st.WalkTierCycles += cy
+		}
 	}
 	return cy
 }

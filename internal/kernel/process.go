@@ -118,6 +118,8 @@ type Process struct {
 	// memory-pressure reclaim consults its policy before tearing replicas
 	// down.
 	policyEngine *PolicyEngine
+	// tierEngine is the attached memory-tiering engine, if any.
+	tierEngine *TierEngine
 	// bgRepl counts in-flight background replications (incremental copies
 	// started but not yet finished or aborted). Reclaim must not collapse
 	// the replica rings under an unfinished copy.
@@ -240,6 +242,9 @@ func (p *Process) Space() *core.Space { return p.space }
 // PolicyEngine returns the attached replication-policy engine, or nil.
 func (p *Process) PolicyEngine() *PolicyEngine { return p.policyEngine }
 
+// TierEngine returns the attached memory-tiering engine, or nil.
+func (p *Process) TierEngine() *TierEngine { return p.tierEngine }
+
 // Mapper returns the process's page-table mapper.
 func (p *Process) Mapper() *pvops.Mapper { return p.mapper }
 
@@ -312,7 +317,10 @@ func (p *Process) place(s numa.SocketID) pvops.PTPlacement {
 func (p *Process) dataNode(s numa.SocketID) numa.NodeID {
 	switch p.dataPolicy {
 	case Interleave:
-		n := numa.NodeID(p.intlvNext % p.kernel.topo.Nodes())
+		// Interleave spans the DRAM nodes only: Linux's default policy
+		// never spills onto CPU-less slow tiers; tier placement is the
+		// tiering policy's job. Identical to Nodes() on flat machines.
+		n := numa.NodeID(p.intlvNext % p.kernel.topo.DRAMNodes())
 		p.intlvNext++
 		return n
 	case Bind:

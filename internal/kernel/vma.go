@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/mitosis-project/mitosis-sim/internal/mem"
 	"github.com/mitosis-project/mitosis-sim/internal/pt"
 )
 
@@ -59,6 +60,19 @@ func (p *Process) removeVMA(v *VMA) {
 
 // VMAs returns the process's memory areas in address order.
 func (p *Process) VMAs() []*VMA { return p.vmas }
+
+// ForEachMappedPage visits every present leaf mapping of the process in
+// VA order — the same deterministic walk the AutoNUMA scanner and the
+// tiering engine's Tracker use. Diagnostics (cmd/ptdump) read per-frame
+// placement and folded sample counters through it; callers must hold the
+// process quiescent, exactly like the engines' barrier ticks.
+func (p *Process) ForEachMappedPage(fn func(va pt.VirtAddr, frame mem.FrameID, size pt.PageSize)) {
+	for _, v := range p.vmas {
+		p.forEachMapped(v, func(va pt.VirtAddr, leaf pt.PTE, size pt.PageSize) {
+			fn(va, leaf.Frame(), size)
+		})
+	}
+}
 
 // forEachMapped walks v's address range and invokes fn for every present
 // leaf translation, stepping by the mapping's page size.

@@ -29,6 +29,17 @@ type CostParams struct {
 	// bandwidth hog makes DRAM on that node 2.5x slower.
 	InterferenceFactor float64
 
+	// CXL is the load-to-use latency of a CXL-attached memory expander
+	// reached from its home socket. Accesses from other sockets
+	// additionally pay the cross-socket interconnect hop
+	// (RemoteDRAM - LocalDRAM), mirroring how Linux distances compose.
+	// Tier latencies only matter on tiered topologies; flat topologies
+	// never read them.
+	CXL Cycles
+	// NVM is the read load-to-use latency of a non-volatile memory node
+	// reached from its home socket (Optane-style app-direct mode).
+	NVM Cycles
+
 	// Kernel-side software costs. Unlike hardware page walks — whose
 	// page-table reads mostly miss the caches because the table working
 	// set is large — kernel page-table edits are cached stores and loads,
@@ -59,6 +70,8 @@ func DefaultCostParams() CostParams {
 		L2TLBHit:           7,
 		PipelineOp:         4,
 		InterferenceFactor: 2.5,
+		CXL:                900,
+		NVM:                1600,
 		PTEStore:           12,
 		PTELoad:            8,
 		RingHop:            14,
@@ -95,6 +108,9 @@ func NewCostModel(t *Topology, p CostParams) *CostModel {
 	if p.InterferenceFactor < 1 {
 		panic(fmt.Sprintf("numa: interference factor %v must be >= 1", p.InterferenceFactor))
 	}
+	if t.Tiered() && (p.CXL == 0 || p.NVM == 0) {
+		panic("numa: tiered topology needs CXL and NVM latencies in cost params")
+	}
 	m := &CostModel{
 		topo:    t,
 		params:  p,
@@ -108,14 +124,29 @@ func NewCostModel(t *Topology, p CostParams) *CostModel {
 }
 
 // recompute rebuilds the socket x node DRAM latency table from the
-// parameters and the current interference marks.
+// parameters and the current interference marks. Slow-tier nodes cost the
+// tier's home-socket latency plus — from every other socket — the same
+// interconnect hop remote DRAM pays over local; the flat-DRAM rows are
+// untouched by the tier extension, so flat configs get bit-identical
+// tables.
 func (m *CostModel) recompute() {
 	nodes := m.topo.Nodes()
 	for s := 0; s < m.topo.Sockets(); s++ {
 		for n := 0; n < nodes; n++ {
-			base := m.params.RemoteDRAM
-			if m.topo.IsLocal(SocketID(s), NodeID(n)) {
-				base = m.params.LocalDRAM
+			var base Cycles
+			switch m.topo.TierOf(NodeID(n)) {
+			case TierDRAM:
+				base = m.params.RemoteDRAM
+				if m.topo.IsLocal(SocketID(s), NodeID(n)) {
+					base = m.params.LocalDRAM
+				}
+			case TierCXL:
+				base = m.params.CXL
+			case TierNVM:
+				base = m.params.NVM
+			}
+			if n >= m.topo.DRAMNodes() && m.topo.SocketOfNode(NodeID(n)) != SocketID(s) {
+				base += m.params.RemoteDRAM - m.params.LocalDRAM
 			}
 			if m.loaded[n] {
 				base = Cycles(float64(base) * m.params.InterferenceFactor)

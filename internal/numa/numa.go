@@ -32,11 +32,54 @@ type Cycles uint64
 // InvalidNode is returned by lookups that have no node to report.
 const InvalidNode NodeID = -1
 
+// MemTier classifies a memory node's technology: socket-attached DRAM, a
+// CXL-attached expander, or non-volatile memory. Whether DRAM is "local" or
+// "remote" is a property of the (socket, node) pair, not the node, so the
+// tier enum carries only the media kind; CostModel adds the distance.
+type MemTier uint8
+
+const (
+	// TierDRAM is socket-attached DRAM: the only tier of a flat topology.
+	TierDRAM MemTier = iota
+	// TierCXL is a CXL-attached memory expander: CPU-less node, DRAM media
+	// behind a CXL link (~3x local DRAM latency).
+	TierCXL
+	// TierNVM is non-volatile memory (Optane-style): CPU-less node,
+	// ~5-6x local DRAM read latency.
+	TierNVM
+)
+
+// String returns the tier's conventional short name.
+func (t MemTier) String() string {
+	switch t {
+	case TierDRAM:
+		return "dram"
+	case TierCXL:
+		return "cxl"
+	case TierNVM:
+		return "nvm"
+	}
+	return fmt.Sprintf("tier(%d)", uint8(t))
+}
+
+// TierNode describes one CPU-less slow-tier memory node: its media kind and
+// the socket whose link it hangs off (accesses from other sockets pay the
+// cross-socket interconnect on top of the tier latency, like Linux's
+// CPU-less NUMA nodes for CXL/PMEM).
+type TierNode struct {
+	Kind MemTier
+	Home SocketID
+}
+
 // Topology describes the static shape of the machine: how many sockets,
-// cores and memory nodes exist and how they are wired together.
+// cores and memory nodes exist and how they are wired together. Memory
+// nodes 0..Sockets()-1 are the socket-attached DRAM nodes; any further
+// nodes are CPU-less slow-tier nodes (CXL/NVM) appended in declaration
+// order, exactly how Linux numbers CPU-less memory-only nodes.
 type Topology struct {
 	sockets        int
 	coresPerSocket int
+	tiers          []TierNode
 }
 
 // NewTopology returns a topology with the given socket count and cores per
@@ -52,12 +95,51 @@ func NewTopology(sockets, coresPerSocket int) *Topology {
 	return &Topology{sockets: sockets, coresPerSocket: coresPerSocket}
 }
 
+// NewTieredTopology returns a topology whose socket-attached DRAM nodes are
+// followed by the given CPU-less slow-tier nodes. Tier node i becomes memory
+// node Sockets()+i. It panics on a DRAM tier entry (socket nodes already are
+// DRAM) or an out-of-range home socket.
+func NewTieredTopology(sockets, coresPerSocket int, tiers []TierNode) *Topology {
+	t := NewTopology(sockets, coresPerSocket)
+	for i, tn := range tiers {
+		if tn.Kind == TierDRAM {
+			panic(fmt.Sprintf("numa: tier node %d is DRAM; socket nodes already provide the DRAM tier", i))
+		}
+		if tn.Kind != TierCXL && tn.Kind != TierNVM {
+			panic(fmt.Sprintf("numa: tier node %d has unknown kind %d", i, tn.Kind))
+		}
+		if tn.Home < 0 || int(tn.Home) >= sockets {
+			panic(fmt.Sprintf("numa: tier node %d home socket %d out of range [0,%d)", i, tn.Home, sockets))
+		}
+	}
+	t.tiers = append([]TierNode(nil), tiers...)
+	return t
+}
+
 // Sockets returns the number of processor sockets.
 func (t *Topology) Sockets() int { return t.sockets }
 
-// Nodes returns the number of memory nodes. Every socket has exactly one
-// attached memory node, so Nodes() == Sockets().
-func (t *Topology) Nodes() int { return t.sockets }
+// Nodes returns the number of memory nodes: one DRAM node per socket plus
+// any CPU-less tier nodes.
+func (t *Topology) Nodes() int { return t.sockets + len(t.tiers) }
+
+// DRAMNodes returns the number of socket-attached DRAM nodes (== Sockets()).
+// Nodes DRAMNodes()..Nodes()-1 are slow-tier nodes.
+func (t *Topology) DRAMNodes() int { return t.sockets }
+
+// Tiered reports whether the topology has any slow-tier nodes.
+func (t *Topology) Tiered() bool { return len(t.tiers) > 0 }
+
+// TierOf returns the memory tier of node n.
+func (t *Topology) TierOf(n NodeID) MemTier {
+	if n < 0 || int(n) >= t.Nodes() {
+		panic(fmt.Sprintf("numa: node %d out of range [0,%d)", n, t.Nodes()))
+	}
+	if int(n) < t.sockets {
+		return TierDRAM
+	}
+	return t.tiers[int(n)-t.sockets].Kind
+}
 
 // Cores returns the total number of cores across all sockets.
 func (t *Topology) Cores() int { return t.sockets * t.coresPerSocket }
@@ -81,12 +163,16 @@ func (t *Topology) NodeOf(s SocketID) NodeID {
 	return NodeID(s)
 }
 
-// SocketOfNode returns the socket to which memory node n is attached.
+// SocketOfNode returns the socket to which memory node n is attached: node
+// n itself for DRAM nodes, the home socket for slow-tier nodes.
 func (t *Topology) SocketOfNode(n NodeID) SocketID {
-	if n < 0 || int(n) >= t.sockets {
-		panic(fmt.Sprintf("numa: node %d out of range [0,%d)", n, t.sockets))
+	if n < 0 || int(n) >= t.Nodes() {
+		panic(fmt.Sprintf("numa: node %d out of range [0,%d)", n, t.Nodes()))
 	}
-	return SocketID(n)
+	if int(n) < t.sockets {
+		return SocketID(n)
+	}
+	return t.tiers[int(n)-t.sockets].Home
 }
 
 // CoresOf returns the core IDs belonging to socket s, in ascending order.
@@ -110,12 +196,18 @@ func (t *Topology) FirstCoreOf(s SocketID) CoreID {
 	return CoreID(int(s) * t.coresPerSocket)
 }
 
-// IsLocal reports whether memory node n is local to socket s.
+// IsLocal reports whether memory node n is local to socket s. Slow-tier
+// nodes are never local: even from their home socket they sit behind a
+// CXL link or a memory-mode controller, not the socket's DRAM channels.
 func (t *Topology) IsLocal(s SocketID, n NodeID) bool {
 	return t.NodeOf(s) == n
 }
 
 // String returns a compact human-readable description of the topology.
 func (t *Topology) String() string {
-	return fmt.Sprintf("numa.Topology{%d sockets x %d cores}", t.sockets, t.coresPerSocket)
+	if len(t.tiers) == 0 {
+		return fmt.Sprintf("numa.Topology{%d sockets x %d cores}", t.sockets, t.coresPerSocket)
+	}
+	return fmt.Sprintf("numa.Topology{%d sockets x %d cores, %d tier nodes}",
+		t.sockets, t.coresPerSocket, len(t.tiers))
 }

@@ -1,0 +1,130 @@
+package tier
+
+import (
+	"testing"
+
+	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/pt"
+)
+
+func TestTrackerDecayAndClassification(t *testing.T) {
+	tr := NewTracker(TrackerConfig{HotThreshold: 8, ColdTicks: 3})
+	va := pt.VirtAddr(0x1000)
+
+	score, _, hot, _ := tr.Observe(va, 10)
+	if score != 10 || !hot {
+		t.Fatalf("after 10 samples: score=%d hot=%v, want 10/true", score, hot)
+	}
+	// Quarter-life decay: 10 - 10/4 + 0 = 8, still hot; then 6, no longer.
+	score, idle, hot, cold := tr.Observe(va, 0)
+	if score != 8 || idle != 1 || !hot || cold {
+		t.Fatalf("decay tick 1: score=%d idle=%d hot=%v cold=%v", score, idle, hot, cold)
+	}
+	score, idle, hot, cold = tr.Observe(va, 0)
+	if score != 6 || idle != 2 || hot || cold {
+		t.Fatalf("decay tick 2: score=%d idle=%d hot=%v cold=%v", score, idle, hot, cold)
+	}
+	_, idle, _, cold = tr.Observe(va, 0)
+	if idle != 3 || !cold {
+		t.Fatalf("decay tick 3: idle=%d cold=%v, want 3/true", idle, cold)
+	}
+	// A fresh sample resets the idle streak.
+	_, idle, _, cold = tr.Observe(va, 2)
+	if idle != 0 || cold {
+		t.Fatalf("resample: idle=%d cold=%v, want 0/false", idle, cold)
+	}
+	tr.Forget(va)
+	if tr.Tracked() != 0 {
+		t.Fatalf("Forget left %d pages tracked", tr.Tracked())
+	}
+}
+
+func telemetryFixture() *Telemetry {
+	// 2-socket machine, CXL node 2 and NVM node 3; process home node 0.
+	return &Telemetry{
+		Round:     1,
+		HomeNode:  0,
+		PTNode:    0,
+		PTTier:    numa.TierDRAM,
+		TierNodes: []numa.NodeID{2, 3},
+		Pages: []PageView{
+			{VA: 0x1000, Size: pt.Size4K, Node: 2, Tier: numa.TierCXL, Hot: true},   // promote
+			{VA: 0x2000, Size: pt.Size4K, Node: 0, Tier: numa.TierDRAM, Cold: true}, // demote to 2
+			{VA: 0x3000, Size: pt.Size4K, Node: 2, Tier: numa.TierCXL, Cold: true},  // demote to 3
+			{VA: 0x4000, Size: pt.Size4K, Node: 3, Tier: numa.TierNVM, Cold: true},  // last rung: stays
+			{VA: 0x5000, Size: pt.Size4K, Node: 0, Tier: numa.TierDRAM},             // warm: stays
+		},
+	}
+}
+
+func TestHotColdDecide(t *testing.T) {
+	pol := NewHotCold(HotColdConfig{PT: PTPin})
+	got := pol.Decide(telemetryFixture())
+	want := []Action{
+		{Kind: Promote, VA: 0x1000, Size: pt.Size4K, Target: 0},
+		{Kind: Demote, VA: 0x2000, Size: pt.Size4K, Target: 2},
+		{Kind: Demote, VA: 0x3000, Size: pt.Size4K, Target: 3},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Decide returned %d actions %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("action %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHotColdPTPinRecovers(t *testing.T) {
+	tel := telemetryFixture()
+	tel.PTNode, tel.PTTier = 2, numa.TierCXL
+	got := NewHotCold(HotColdConfig{PT: PTPin}).Decide(tel)
+	if len(got) == 0 || got[0].Kind != MovePT || got[0].Target != tel.HomeNode {
+		t.Fatalf("pinned policy with PT on CXL: first action = %v, want movept->n0", got)
+	}
+	// Float mode leaves the stranded table alone.
+	for _, a := range NewHotCold(HotColdConfig{PT: PTFloat}).Decide(tel) {
+		if a.Kind == MovePT {
+			t.Fatalf("float policy moved the page-table: %v", a)
+		}
+	}
+}
+
+func TestHotColdPTDemote(t *testing.T) {
+	tel := telemetryFixture()
+	// Majority-cold footprint: 3 cold of 5 pages.
+	for _, pv := range tel.Pages {
+		tel.Hist.Add(pv.Tier, pv.Hot, 1)
+	}
+	got := NewHotCold(HotColdConfig{PT: PTDemote}).Decide(tel)
+	if len(got) == 0 || got[0].Kind != MovePT || got[0].Target != 2 {
+		t.Fatalf("demote policy on cold footprint: first action = %v, want movept->n2", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	h.Add(numa.TierDRAM, true, 3)
+	h.Add(numa.TierCXL, false, 5)
+	h.Add(numa.TierNVM, false, 2)
+	if h.Total() != 10 {
+		t.Errorf("Total() = %d, want 10", h.Total())
+	}
+	if h.OnSlowTiers() != 7 {
+		t.Errorf("OnSlowTiers() = %d, want 7", h.OnSlowTiers())
+	}
+}
+
+func TestNewPolicy(t *testing.T) {
+	for _, name := range PolicyNames() {
+		if _, err := NewPolicy(name); err != nil {
+			t.Errorf("NewPolicy(%q): %v", name, err)
+		}
+	}
+	if p, _ := NewPolicy("hotcold"); p.Name() != "hotcold-ptpin" {
+		t.Errorf("hotcold alias resolves to %q, want hotcold-ptpin", p.Name())
+	}
+	if _, err := NewPolicy("bogus"); err == nil {
+		t.Error("NewPolicy(bogus) succeeded")
+	}
+}

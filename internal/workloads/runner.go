@@ -29,6 +29,11 @@ type Result struct {
 	// RemoteWalkCycles is the raw DRAM latency of remote page-table reads
 	// (pre overlap scaling) — the walk-locality signal policies tick on.
 	RemoteWalkCycles numa.Cycles
+	// TierWalkAccesses / TierWalkCycles / TierDataAccesses aggregate the
+	// accesses served by slow-tier (CXL/NVM) nodes; zero on flat machines.
+	TierWalkAccesses uint64
+	TierWalkCycles   numa.Cycles
+	TierDataAccesses uint64
 	// GuestWalkCycles / NestedWalkCycles split two-dimensional walk reads
 	// by dimension for virtualized runs (raw, pre overlap scaling); zero
 	// for native runs.
@@ -485,6 +490,9 @@ func Collect(env *Env, cores []numa.CoreID) *Result {
 		res.RemoteWalkCycles += s.WalkRemoteCycles
 		res.GuestWalkCycles += s.GuestWalkCycles
 		res.NestedWalkCycles += s.NestedWalkCycles
+		res.TierWalkAccesses += s.WalkTierAccesses
+		res.TierWalkCycles += s.WalkTierCycles
+		res.TierDataAccesses += s.DataTierAccesses
 	}
 	return res
 }
