@@ -21,6 +21,7 @@ import (
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
 	"github.com/mitosis-project/mitosis-sim/internal/pt"
 	"github.com/mitosis-project/mitosis-sim/internal/pvops"
+	"github.com/mitosis-project/mitosis-sim/internal/translate"
 	"github.com/mitosis-project/mitosis-sim/internal/workloads"
 )
 
@@ -423,7 +424,23 @@ func BenchmarkMicroReplicateTable(b *testing.B) {
 // perf bench target exists to catch, and AllocsPerRun catches it without
 // wall-clock noise.
 func TestHotPathZeroAlloc(t *testing.T) {
-	k := kernel.New(kernel.Config{FramesPerNode: 1 << 16})
+	testHotPathZeroAlloc(t, nil)
+}
+
+// TestHotPathZeroAllocBackends extends the allocation-free contract to
+// the non-default translation backends: steady-state batches must not
+// allocate whether the walk is 5-level (la57) or hits victima's
+// LLC-backed translation blocks instead of an L2 TLB.
+func TestHotPathZeroAllocBackends(t *testing.T) {
+	for _, name := range []string{translate.BackendX8664LA57, translate.BackendVictima} {
+		t.Run(name, func(t *testing.T) {
+			testHotPathZeroAlloc(t, &translate.Spec{Backend: name})
+		})
+	}
+}
+
+func testHotPathZeroAlloc(t *testing.T, hardware *translate.Spec) {
+	k := kernel.New(kernel.Config{FramesPerNode: 1 << 16, Hardware: hardware})
 	p, err := k.CreateProcess(kernel.ProcessOpts{Name: "zeroalloc", Home: 0})
 	if err != nil {
 		t.Fatal(err)

@@ -7,8 +7,8 @@
 //	mitosis-bench -replay FILE
 //
 // Experiments: fig1 fig3 fig4 fig6 fig9a fig9b fig10a fig10b fig11
-// table4 table5 table6 ablations engine policy scenario virt tier perf,
-// or "all" (default).
+// table4 table5 table6 ablations engine policy scenario virt tier hwcmp
+// perf, or "all" (default).
 //
 // The perf target measures the simulator's own hot-path host throughput
 // (simulated ops per wall-clock second) for the TLB-hit fast path, the
@@ -35,9 +35,12 @@
 // virtualized Table 6 (§7.4 gPT/ePT replication ladder) and embeds the
 // canonical policy-driven virtualized scenario in BENCH_virt.json the
 // same way; the tier target renders the CXL recovery ladder and embeds
-// the canonical tiered scenario in BENCH_tier.json. -replay FILE
+// the canonical tiered scenario in BENCH_tier.json; the hwcmp target
+// runs the same GUPS workload across the x8664, x8664la57 and victima
+// translation backends (stranded and replicated page-tables, MMU caches
+// off) and embeds every cell's RunResult in BENCH_hw.json. -replay FILE
 // re-executes the record found in FILE (a BENCH_scenario.json /
-// BENCH_virt.json / BENCH_tier.json / BENCH_sweep.json /
+// BENCH_virt.json / BENCH_tier.json / BENCH_hw.json / BENCH_sweep.json /
 // BENCH_churn.json record, or a bare mitosis.Scenario JSON) and — when
 // the record carries counters — verifies the rerun reproduces them
 // bit-for-bit.
@@ -96,6 +99,7 @@ var targets = []targetInfo{
 	{"scenario", "canonical declarative scenario, replayable via BENCH_scenario.json"},
 	{"virt", "virtualized table plus the canonical virt scenario record"},
 	{"tier", "CXL tier recovery ladder plus the canonical tiered scenario record (BENCH_tier.json)"},
+	{"hwcmp", "translation-backend comparison: x8664 vs la57 vs victima, replayable via BENCH_hw.json"},
 	{"engine", "execution-engine throughput benchmark (sequential vs parallel)"},
 	{"perf", "simulator hot-path host-throughput trajectory (BENCH_perf.json)"},
 	{"churn", "multi-process churn: sharded vs global fault lock + tail latency, replayable via BENCH_churn.json (not in \"all\")"},
@@ -317,7 +321,12 @@ func writeJSON(dir, target string, cfg experiments.Config, policy string, wall t
 	if err != nil {
 		return err
 	}
-	path := filepath.Join(dir, "BENCH_"+target+".json")
+	// hwcmp's record is the hardware comparison, named for what it holds.
+	name := target
+	if target == "hwcmp" {
+		name = "hw"
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
@@ -394,6 +403,12 @@ func run(cfg experiments.Config, target string, policies []string, sweepOpt expe
 			return "", nil, err
 		}
 		return t.String() + "\n" + vr.String(), vr, nil
+	case "hwcmp":
+		// The payload carries one complete RunResult per backend x
+		// placement cell; -replay BENCH_hw.json re-executes every cell on
+		// its recorded backend and verifies counters bit-for-bit.
+		hr, err := experiments.RunHwCompare(cfg)
+		return str(hr, err)
 	case "tier":
 		// Same shape as virt: the human-readable half is the CXL recovery
 		// ladder, the JSON payload the canonical tiered scenario's
@@ -548,6 +563,28 @@ func runReplay(path string, cell int) error {
 	if err := json.Unmarshal(raw, &churnProbe); err == nil && churnProbe.Churn != nil && churnProbe.Churn.Spawned > 0 {
 		return replayChurn(churnProbe.Churn)
 	}
+	// A hardware-comparison record's result carries a "runs" array, each
+	// entry a complete RunResult; every cell replays on its recorded
+	// backend like a scenario record.
+	var hwProbe struct {
+		Runs []struct {
+			Hardware string             `json:"hardware"`
+			Config   string             `json:"config"`
+			Result   *mitosis.RunResult `json:"result"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &hwProbe); err == nil && len(hwProbe.Runs) > 0 {
+		for _, r := range hwProbe.Runs {
+			if r.Result == nil || len(r.Result.Scenario.Processes) == 0 {
+				return fmt.Errorf("%s: run %s/%s carries no scenario", path, r.Hardware, r.Config)
+			}
+			if err := replayRunResult(r.Result); err != nil {
+				return fmt.Errorf("run %s/%s: %w", r.Hardware, r.Config, err)
+			}
+		}
+		fmt.Printf("replay OK: hardware comparison reproduced %d run(s) bit-identically\n", len(hwProbe.Runs))
+		return nil
+	}
 	var orig mitosis.RunResult
 	if err := json.Unmarshal(raw, &orig); err != nil {
 		return fmt.Errorf("%s: decoding recorded result: %w", path, err)
@@ -555,6 +592,20 @@ func runReplay(path string, cell int) error {
 	if len(orig.Scenario.Processes) == 0 {
 		return fmt.Errorf("%s: record carries no scenario; replay supports BENCH_scenario.json, BENCH_sweep.json (or a bare scenario spec)", path)
 	}
+	if err := replayRunResult(&orig); err != nil {
+		return err
+	}
+	fmt.Printf("replay OK: scenario %q reproduced %d phases bit-identically (engine %s)\n",
+		orig.Scenario.Name, len(orig.Phases), orig.Engine)
+	return nil
+}
+
+// replayRunResult reruns a recorded RunResult's embedded scenario with
+// its recorded engine mode and round length and verifies every
+// deterministic field reproduces bit-for-bit. The Hardware echo is
+// informational and not compared — the scenario spec itself pins the
+// backend the rerun boots.
+func replayRunResult(orig *mitosis.RunResult) error {
 	mode, err := mitosis.ParseEngineMode(orig.Engine)
 	if err != nil {
 		return err
@@ -581,8 +632,6 @@ func runReplay(path string, cell int) error {
 		return fmt.Errorf("replay of %q diverged: replica PT pages %d, recorded %d",
 			orig.Scenario.Name, rr.ReplicaPTPages, orig.ReplicaPTPages)
 	}
-	fmt.Printf("replay OK: scenario %q reproduced %d phases bit-identically (engine %s)\n",
-		orig.Scenario.Name, len(orig.Phases), orig.Engine)
 	return nil
 }
 

@@ -11,10 +11,16 @@
 // page-table on a chosen node so the tier placement of the table itself
 // is visible in the dump.
 //
+// -hardware selects the translation backend the machine boots (x8664,
+// x8664la57 or victima); -geometry prints the booted backend's geometry
+// — name, walk levels, VA reach, TLB arrays and paging-structure cache
+// rows — and exits without running a workload.
+//
 // Usage:
 //
 //	ptdump [-workload Memcached] [-scenario ms|wm] [-thp] [-interval N]
 //	       [-snapshots N] [-replicate] [-tiers cxl@0[,nvm@1...]] [-ptnode N]
+//	       [-hardware BACKEND] [-geometry]
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"github.com/mitosis-project/mitosis-sim/internal/mem"
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
 	"github.com/mitosis-project/mitosis-sim/internal/pt"
+	"github.com/mitosis-project/mitosis-sim/internal/translate"
 	"github.com/mitosis-project/mitosis-sim/internal/workloads"
 )
 
@@ -79,6 +86,8 @@ func main() {
 	replicate := flag.Bool("replicate", false, "enable Mitosis replication on all sockets")
 	tiers := flag.String("tiers", "", "slow-tier nodes as kind@socket, e.g. cxl@0,nvm@1")
 	ptnode := flag.Int("ptnode", -1, "pin page-table allocation to this node (default: home socket)")
+	hardware := flag.String("hardware", "", "translation backend: x8664, x8664la57 or victima (default x8664)")
+	geometry := flag.Bool("geometry", false, "print the booted translation-hardware geometry and exit")
 	flag.Parse()
 
 	w := workloads.ByName(*name, *scenario)
@@ -92,6 +101,13 @@ func main() {
 	}
 
 	var kcfg kernel.Config
+	if *hardware != "" {
+		spec := translate.Spec{Backend: *hardware}
+		if err := spec.Validate(); err != nil {
+			log.Fatalf("ptdump: -hardware: %v", err)
+		}
+		kcfg.Hardware = &spec
+	}
 	if *tiers != "" {
 		tn, err := parseTiers(*tiers)
 		if err != nil {
@@ -100,6 +116,10 @@ func main() {
 		kcfg.Topology = numa.NewTieredTopology(ptdumpSockets, ptdumpCores, tn)
 	}
 	k := kernel.New(kcfg)
+	if *geometry {
+		printGeometry(k.HardwareGeometry())
+		return
+	}
 	k.SetTHP(*thp)
 	k.Sysctl().Mode = core.ModePerProcess
 	k.Sysctl().PageCacheTarget = 64
@@ -166,6 +186,30 @@ func main() {
 			printTierResidency(k, p)
 		}
 	}
+}
+
+// printGeometry renders the booted backend's translation geometry: walk
+// depth and reach, the per-core TLB arrays, and the paging-structure
+// cache rows keyed by the table level they cache.
+func printGeometry(g translate.Geometry) {
+	fmt.Printf("backend:  %s\n", g.Backend)
+	fmt.Printf("levels:   %d (VA reach %d bits)\n", g.Levels, g.VABits)
+	fmt.Printf("L1 TLB:   %d entries 4K (%d-way), %d entries 2M/1G (%d-way)\n",
+		g.TLB.L1Entries4K, g.TLB.L1Ways4K, g.TLB.L1Entries2M, g.TLB.L1Ways2M)
+	if g.TLB.L2Entries > 0 {
+		fmt.Printf("L2 TLB:   %d entries (%d-way)\n", g.TLB.L2Entries, g.TLB.L2Ways)
+	} else {
+		fmt.Printf("L2 TLB:   none (translation blocks live in the LLC)\n")
+	}
+	if len(g.PSC) == 0 {
+		fmt.Printf("PSC:      off\n")
+		return
+	}
+	var rows []string
+	for i, n := range g.PSC {
+		rows = append(rows, fmt.Sprintf("L%d=%d", i+2, n))
+	}
+	fmt.Printf("PSC:      %s entries\n", strings.Join(rows, " "))
 }
 
 // printTierResidency aggregates the process's mapped data pages per node

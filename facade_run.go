@@ -265,7 +265,11 @@ type RunResult struct {
 	// Chunk is the engine round length the run used (0 = the default);
 	// it is part of the modeled coherence latency, so replays must pass
 	// it back via WithChunk.
-	Chunk    int             `json:"chunk,omitempty"`
+	Chunk int `json:"chunk,omitempty"`
+	// Hardware echoes the translation-backend geometry the run executed
+	// on, so records are self-describing. Informational: replay
+	// comparison ignores it (old records carry none).
+	Hardware HardwareInfo    `json:"hardware,omitzero"`
 	Phases   []PhaseResult   `json:"phases"`
 	Policies []PolicyOutcome `json:"policies,omitempty"`
 	// Tiering records each tiering engine's outcome (empty when no process
@@ -329,7 +333,7 @@ func (s *System) Run(sc Scenario, opts ...RunOpt) (*RunResult, error) {
 	k := s.k
 	topo := k.Topology()
 	m := k.Machine()
-	rr := &RunResult{Scenario: sc, Engine: rc.mode.String(), Chunk: rc.chunk}
+	rr := &RunResult{Scenario: sc, Engine: rc.mode.String(), Chunk: rc.chunk, Hardware: s.Hardware()}
 
 	if sc.Fragmentation > 0 {
 		r := rand.New(rand.NewSource(sc.Seed))

@@ -428,6 +428,15 @@ func (sc Scenario) Validate() error {
 			return fmt.Errorf("scenario %q: tier %d home socket %d out of range [0,%d)", sc.Name, i, tn.Home, m.Sockets)
 		}
 	}
+	hs, err := effectiveHardware(m)
+	if err != nil {
+		return fmt.Errorf("scenario %q: machine hardware: %w", sc.Name, err)
+	}
+	if hs != (HardwareSpec{}) {
+		if err := hs.translateSpec().Validate(); err != nil {
+			return fmt.Errorf("scenario %q: machine hardware %q: %w", sc.Name, m.Hardware, err)
+		}
+	}
 	nodes := m.Sockets + len(tiers)
 	for _, n := range sc.Interference {
 		if n < 0 || n >= nodes {
@@ -463,6 +472,9 @@ func (sc Scenario) Validate() error {
 			}
 			if sc.Machine.FiveLevel {
 				return fmt.Errorf("%s: vm requires 4-level paging (guest tables are 4-level); drop machine five_level", where)
+			}
+			if hs.Backend == HardwareX8664LA57 {
+				return fmt.Errorf("%s: vm requires 4-level paging (guest tables are 4-level); use a 4-level hardware backend", where)
 			}
 			if p.Tiering.wants() {
 				return fmt.Errorf("%s: tiering policy set on a virtualized process; guest-visible tiering is not modeled", where)

@@ -45,6 +45,12 @@ type Sweep struct {
 	// TierPolicies lists runtime tiering policies (see TierPolicies()),
 	// plus "none" for no tiering engine. Default: ["none"].
 	TierPolicies []string `json:"tier_policies,omitempty"`
+	// Hardware lists translation-hardware selections in
+	// SystemConfig.Hardware form ("" = the machine's own backend,
+	// typically the default x8664; "victima", "x8664la57", or a full
+	// geometry string). A non-empty entry overrides the machine's
+	// Hardware for that cell. Default: [""].
+	Hardware []string `json:"hardware,omitempty"`
 
 	// BaseSeed, SeedRungs and SeedStride form the seed ladder: every axis
 	// combination runs once per rung r in [0,SeedRungs) with scenario seed
@@ -97,6 +103,9 @@ func (sw Sweep) normalized() Sweep {
 	}
 	if len(sw.TierPolicies) == 0 {
 		sw.TierPolicies = []string{"none"}
+	}
+	if len(sw.Hardware) == 0 {
+		sw.Hardware = []string{""}
 	}
 	if sw.BaseSeed == 0 {
 		sw.BaseSeed = 42
@@ -170,6 +179,24 @@ func (sw Sweep) Validate() error {
 			return fmt.Errorf("sweep %q: virt cells cannot run tier policies (guest-visible tiering is not modeled); split the sweep", sw.Name)
 		}
 	}
+	for _, hw := range sw.Hardware {
+		cellMachine := m
+		if hw != "" {
+			cellMachine.Hardware = hw
+		}
+		hs, err := effectiveHardware(cellMachine)
+		if err != nil {
+			return fmt.Errorf("sweep %q: hardware %q: %w", sw.Name, hw, err)
+		}
+		if hs != (HardwareSpec{}) {
+			if err := hs.translateSpec().Validate(); err != nil {
+				return fmt.Errorf("sweep %q: hardware %q: %w", sw.Name, hw, err)
+			}
+		}
+		if hs.Backend == HardwareX8664LA57 && slices.Contains(sw.Virt, true) {
+			return fmt.Errorf("sweep %q: virt cells require 4-level paging; drop hardware %q or the virt axis", sw.Name, hw)
+		}
+	}
 	if sw.SeedRungs < 1 {
 		return fmt.Errorf("sweep %q: seed_rungs %d must be >= 1", sw.Name, sw.SeedRungs)
 	}
@@ -195,7 +222,7 @@ func (sw Sweep) Cells() int {
 	sw = sw.normalized()
 	return len(sw.Workloads) * len(sw.Policies) * len(sw.SocketCounts) *
 		len(sw.Fragmentation) * len(sw.Virt) * len(sw.Tiers) *
-		len(sw.TierPolicies) * sw.SeedRungs
+		len(sw.TierPolicies) * len(sw.Hardware) * sw.SeedRungs
 }
 
 // cellAxes is one cell's decoded axis tuple.
@@ -207,6 +234,7 @@ type cellAxes struct {
 	virt       bool
 	tiers      string
 	tierPolicy string
+	hardware   string
 	seed       int64
 }
 
@@ -226,6 +254,10 @@ func (sw Sweep) axes(i int) cellAxes {
 	// sweeps replay the same cells.
 	ax.tiers = sw.Tiers[next(len(sw.Tiers))]
 	ax.tierPolicy = sw.TierPolicies[next(len(sw.TierPolicies))]
+	// The hardware axis sits between the tier axes and the seed rung;
+	// its default length-1 radix decodes old cell indices unchanged, so
+	// recorded sweeps without the axis replay the same cells.
+	ax.hardware = sw.Hardware[next(len(sw.Hardware))]
 	ax.seed = sw.BaseSeed + int64(next(sw.SeedRungs))*sw.SeedStride
 	return ax
 }
@@ -291,6 +323,9 @@ func (sw Sweep) cell(i int, ax cellAxes) Scenario {
 	if ax.tiers != "" {
 		machine.Tiers = ax.tiers
 	}
+	if ax.hardware != "" {
+		machine.Hardware = ax.hardware
+	}
 	name := fmt.Sprintf("%s[%d]:%s/%s/s%d/f%g/%s/seed%d",
 		sw.Name, i, ax.workload, ax.policy, ax.sockets, ax.frag, mode, ax.seed)
 	// Tier components appear only for non-default axis values, keeping
@@ -305,6 +340,11 @@ func (sw Sweep) cell(i int, ax cellAxes) Scenario {
 			tp = "none"
 		}
 		name += fmt.Sprintf("/tiers=%s/%s", topoName, tp)
+	}
+	// Same non-default-only rule for the hardware axis: default cells'
+	// names — and so recorded pre-axis sweeps — are unchanged.
+	if ax.hardware != "" {
+		name += "/hw=" + ax.hardware
 	}
 	return Scenario{
 		Name:          name,
@@ -341,6 +381,7 @@ type CellResult struct {
 	Virt          bool    `json:"virt,omitempty"`
 	Tiers         string  `json:"tiers,omitempty"`
 	TierPolicy    string  `json:"tier_policy,omitempty"`
+	Hardware      string  `json:"hardware,omitempty"`
 	Seed          int64   `json:"seed"`
 	Engine        string  `json:"engine"`
 	// Outcome is empty when Error is set.
@@ -549,6 +590,7 @@ func (sw Sweep) runCell(idx int, mode EngineMode, sysp **System, pool bool) Cell
 		Fragmentation: ax.frag,
 		Virt:          ax.virt,
 		Tiers:         ax.tiers,
+		Hardware:      ax.hardware,
 		Seed:          ax.seed,
 		Engine:        mode.String(),
 	}

@@ -63,6 +63,7 @@ import (
 	"github.com/mitosis-project/mitosis-sim/internal/core"
 	"github.com/mitosis-project/mitosis-sim/internal/kernel"
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
+	"github.com/mitosis-project/mitosis-sim/internal/translate"
 )
 
 // SystemConfig describes a simulated machine + kernel. It doubles as the
@@ -89,6 +90,14 @@ type SystemConfig struct {
 	// stays comparable — it is used as a map key by the sweep's system
 	// pool. Build it with the TierSpec/WithTiers scenario options.
 	Tiers string `json:"tiers,omitempty"`
+	// Hardware selects the translation-hardware backend and geometry, in
+	// HardwareSpec.String's canonical form: "" (the default x86-64
+	// 4-level backend), a backend name ("x8664", "x8664la57", "victima"),
+	// or "name:l14k=E/W,l12m=E/W,l2=E/W,psc=L2/L3/L4/L5" with overridden
+	// sizing groups. A string for the same comparability reason as Tiers.
+	// Build it with WithHardware; FiveLevel with an empty Hardware is the
+	// legacy way to select the 5-level backend.
+	Hardware string `json:"hardware,omitempty"`
 }
 
 // TierSpec describes one slow-tier memory node for WithTiers.
@@ -171,6 +180,11 @@ func (c SystemConfig) normalize() SystemConfig {
 		// malformed strings pass through for Validate to reject.
 		c.Tiers = renderTiers(tn)
 	}
+	if hs, err := ParseHardware(c.Hardware); err == nil && c.Hardware != "" {
+		// Same canonicalization for the hardware string; "" stays "" so
+		// pre-backend configs normalize byte-identically.
+		c.Hardware = hs.String()
+	}
 	return c
 }
 
@@ -212,6 +226,15 @@ func NewSystem(cfg SystemConfig) *System {
 	if err != nil {
 		panic(fmt.Sprintf("mitosis: invalid SystemConfig.Tiers: %v", err))
 	}
+	hs, err := effectiveHardware(norm)
+	if err != nil {
+		panic(fmt.Sprintf("mitosis: invalid SystemConfig.Hardware: %v", err))
+	}
+	var hwSpec *translate.Spec
+	if hs != (HardwareSpec{}) {
+		ts := hs.translateSpec()
+		hwSpec = &ts
+	}
 	topo := numa.NewTopology(norm.Sockets, norm.CoresPerSocket)
 	if len(tiers) > 0 {
 		topo = numa.NewTieredTopology(norm.Sockets, norm.CoresPerSocket, tiers)
@@ -220,6 +243,7 @@ func NewSystem(cfg SystemConfig) *System {
 		Topology:      topo,
 		FramesPerNode: norm.MemoryPerNode / 4096,
 		Levels:        levels,
+		Hardware:      hwSpec,
 	})
 	k.SetTHP(cfg.THP)
 	// The facade's workflow is per-process replication control.

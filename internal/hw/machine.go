@@ -1,26 +1,18 @@
-// Package hw is the simulated hardware execution engine: per-core TLBs and
-// paging-structure caches, per-socket LLC models for page-table lines, and
-// the hardware page-table walker. It executes memory accesses against a
-// page-table in simulated physical memory and charges NUMA-aware cycle
-// costs, producing the per-core cycle and page-walk counters every
-// experiment in the paper reads through perf.
+// Package hw is the simulated hardware execution engine: per-core
+// translation state (owned by a pluggable translate.Backend), per-socket
+// LLC models for page-table lines, and the access/batch execution paths.
+// It executes memory accesses against a page-table in simulated physical
+// memory and charges NUMA-aware cycle costs, producing the per-core cycle
+// and page-walk counters every experiment in the paper reads through perf.
 //
-// The walker reproduces the behaviours the paper's results depend on:
-//
-//   - A TLB miss triggers a multi-level walk whose per-level reads are
-//     served by the socket's LLC or by local/remote DRAM depending on where
-//     each page-table page physically resides — the heart of the NUMA
-//     page-table placement problem (§3).
-//   - Paging-structure caches skip upper levels, so leaf PTE placement
-//     dominates (§3.1: "we focus on leaf PTEs").
-//   - The walker sets Accessed/Dirty bits with raw stores into the specific
-//     replica it walked, bypassing the OS write interface — exactly the
-//     §5.4 hazard that Mitosis's OR-read semantics must cover.
-//   - Store-triggered walks acquire the leaf line exclusively, invalidating
-//     the line in other sockets' LLCs. That coherence traffic keeps
-//     multi-socket write-heavy workloads missing the LLC on walks even
-//     when the table is small, while a single-socket workload's 2MB-page
-//     tables stay cached (the Figure 9b vs Figure 10b split).
+// The walk behaviours the paper's results depend on (per-level reads
+// served by the socket's LLC or local/remote DRAM, paging-structure
+// caches, raw Accessed/Dirty stores into the walked replica, exclusive
+// leaf-line ownership on store walks — §3, §5.4, Figures 9b/10b) live in
+// the default x86-64 backend in package translate; the machine owns what
+// is backend-independent: batching, the round-barrier coherence and
+// sampling buffers, the fault retry loop, cost constants, and the
+// single-writer LLC discipline.
 package hw
 
 import (
@@ -33,6 +25,7 @@ import (
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
 	"github.com/mitosis-project/mitosis-sim/internal/pt"
 	"github.com/mitosis-project/mitosis-sim/internal/tlb"
+	"github.com/mitosis-project/mitosis-sim/internal/translate"
 )
 
 // ErrNoContext is returned when a core accesses memory without a loaded
@@ -57,124 +50,20 @@ type FaultHandler interface {
 
 // CoreStats holds one core's hardware counters (the perf values the paper
 // reads: execution cycles and TLB load/store miss walk cycles, §3.2).
-type CoreStats struct {
-	// Ops counts executed memory operations.
-	Ops uint64
-	// Cycles is total execution time.
-	Cycles numa.Cycles
-	// WalkCycles is the time the page walker was active.
-	WalkCycles numa.Cycles
-	// Walks counts completed page walks.
-	Walks uint64
-	// WalkMemAccesses counts page-table reads that went to DRAM.
-	WalkMemAccesses uint64
-	// WalkLLCHits counts page-table reads served by the LLC.
-	WalkLLCHits uint64
-	// WalkRemoteAccesses counts page-table DRAM reads to a remote node.
-	WalkRemoteAccesses uint64
-	// WalkRemoteCycles is the raw DRAM latency of the remote page-table
-	// reads in WalkRemoteAccesses, before walk-overlap scaling — the
-	// walk-locality feed replication policies consume.
-	WalkRemoteCycles numa.Cycles
-	// GuestWalkCycles is the raw latency of guest page-table reads during
-	// two-dimensional walks (virtualized contexts only), before
-	// walk-overlap scaling. Guest plus nested cycles account for every
-	// 2D-walk table read; both feed into WalkCycles after scaling.
-	GuestWalkCycles numa.Cycles
-	// NestedWalkCycles is the raw latency of nested page-table reads
-	// during two-dimensional walks (the gPA->hPA dimension), before
-	// walk-overlap scaling.
-	NestedWalkCycles numa.Cycles
-	// WalkTierAccesses counts page-table DRAM reads served by a slow-tier
-	// node (CXL/NVM); always zero on flat topologies. Tier-node reads also
-	// count as remote (a tier node is never the socket's local node), so
-	// this splits WalkRemoteAccesses by destination medium.
-	WalkTierAccesses uint64
-	// WalkTierCycles is the raw DRAM latency of the slow-tier page-table
-	// reads in WalkTierAccesses, before walk-overlap scaling.
-	WalkTierCycles numa.Cycles
-	// DataMemAccesses counts data accesses that went to DRAM (missed the
-	// statistically modelled cache hierarchy).
-	DataMemAccesses uint64
-	// DataRemoteAccesses counts data DRAM accesses to a remote node.
-	DataRemoteAccesses uint64
-	// DataTierAccesses counts data DRAM accesses served by a slow-tier
-	// node; always zero on flat topologies.
-	DataTierAccesses uint64
-	// Faults counts page faults taken.
-	Faults uint64
-	// FaultCycles is the time spent in fault handling.
-	FaultCycles numa.Cycles
-}
-
-// WalkCycleFraction returns walk cycles as a fraction of total cycles —
-// the hashed portion of the paper's runtime bars.
-func (s *CoreStats) WalkCycleFraction() float64 {
-	if s.Cycles == 0 {
-		return 0
-	}
-	return float64(s.WalkCycles) / float64(s.Cycles)
-}
-
-// merge adds o's counters into s. AccessBatch accumulates a whole batch
-// into a stack-local CoreStats and merges once, so the hot loop touches
-// one cache line instead of re-loading the core's long-lived stats.
-func (s *CoreStats) merge(o *CoreStats) {
-	s.Ops += o.Ops
-	s.Cycles += o.Cycles
-	s.WalkCycles += o.WalkCycles
-	s.Walks += o.Walks
-	s.WalkMemAccesses += o.WalkMemAccesses
-	s.WalkLLCHits += o.WalkLLCHits
-	s.WalkRemoteAccesses += o.WalkRemoteAccesses
-	s.WalkRemoteCycles += o.WalkRemoteCycles
-	s.WalkTierAccesses += o.WalkTierAccesses
-	s.WalkTierCycles += o.WalkTierCycles
-	s.GuestWalkCycles += o.GuestWalkCycles
-	s.NestedWalkCycles += o.NestedWalkCycles
-	s.DataMemAccesses += o.DataMemAccesses
-	s.DataRemoteAccesses += o.DataRemoteAccesses
-	s.DataTierAccesses += o.DataTierAccesses
-	s.Faults += o.Faults
-	s.FaultCycles += o.FaultCycles
-}
-
-// Sub returns the counter-wise difference s - o. Policy engines use it to
-// turn cumulative counters into per-interval deltas.
-func (s CoreStats) Sub(o CoreStats) CoreStats {
-	return CoreStats{
-		Ops:                s.Ops - o.Ops,
-		Cycles:             s.Cycles - o.Cycles,
-		WalkCycles:         s.WalkCycles - o.WalkCycles,
-		Walks:              s.Walks - o.Walks,
-		WalkMemAccesses:    s.WalkMemAccesses - o.WalkMemAccesses,
-		WalkLLCHits:        s.WalkLLCHits - o.WalkLLCHits,
-		WalkRemoteAccesses: s.WalkRemoteAccesses - o.WalkRemoteAccesses,
-		WalkRemoteCycles:   s.WalkRemoteCycles - o.WalkRemoteCycles,
-		WalkTierAccesses:   s.WalkTierAccesses - o.WalkTierAccesses,
-		WalkTierCycles:     s.WalkTierCycles - o.WalkTierCycles,
-		GuestWalkCycles:    s.GuestWalkCycles - o.GuestWalkCycles,
-		NestedWalkCycles:   s.NestedWalkCycles - o.NestedWalkCycles,
-		DataMemAccesses:    s.DataMemAccesses - o.DataMemAccesses,
-		DataRemoteAccesses: s.DataRemoteAccesses - o.DataRemoteAccesses,
-		DataTierAccesses:   s.DataTierAccesses - o.DataTierAccesses,
-		Faults:             s.Faults - o.Faults,
-		FaultCycles:        s.FaultCycles - o.FaultCycles,
-	}
-}
+// The schema is defined in package translate so backends can charge walk
+// counters without importing hw.
+type CoreStats = translate.CoreStats
 
 type coreState struct {
-	cr3    mem.FrameID
-	levels uint8
-	// virt marks the core as running a virtualized (nested-paging)
-	// context: cr3 holds the nested root (nCR3), groot the guest root as
-	// a guest-physical frame number (guest CR3 >> 12), and TLB misses go
-	// through the two-dimensional walk instead of the native one.
-	virt    bool
-	groot   uint64
-	nlevels uint8
-	tlb     *tlb.TLB
-	psc     *mmucache.PSC
+	// tctx is the core's backend context: the loaded translation
+	// registers (CR3, levels, virt roots), the socket's LLC, and the
+	// per-call stats pointer. Its topology fields are fixed at
+	// construction; the machine mutates the rest at context switches
+	// and around backend calls.
+	tctx translate.Ctx
+	// xc is the core's translation state (TLB/PSC or whatever the
+	// backend keeps), built by the machine's backend.
+	xc translate.Core
 	// dataHitRate is the probability a data access hits the cache
 	// hierarchy (workload-locality model).
 	dataHitRate float64
@@ -186,6 +75,10 @@ type coreState struct {
 	walkOverlap float64
 	rng         uint64
 	stats       CoreStats
+	// delta accumulates one batch's counters. It lives on the core (not
+	// the batch's stack) so pointing tctx.Stats at it never forces a
+	// heap escape — the zero-alloc contract of the batched hot path.
+	delta CoreStats
 	// pending buffers the page-table lines this core's store walks took
 	// exclusive ownership of since the last coherence apply. The batch
 	// engine applies them to other sockets' LLCs at round barriers (a
@@ -239,25 +132,30 @@ type Config struct {
 	Topology *numa.Topology
 	Cost     *numa.CostModel
 	Mem      *mem.PhysMem
-	TLB      tlb.Config
-	PSC      mmucache.PSCConfig
-	LLC      mmucache.LLCConfig
+	// TLB and PSC size the default x86-64 backend's caches when Backend
+	// is nil (the compatibility path every pre-backend caller uses).
+	TLB tlb.Config
+	PSC mmucache.PSCConfig
+	LLC mmucache.LLCConfig
+	// Backend supplies the translation hardware model. nil selects the
+	// default x8664 backend built from TLB/PSC above.
+	Backend translate.Backend
 }
 
-// Machine is the hardware: cores with TLBs and PSCs, per-socket LLCs, and
-// the page walker.
+// Machine is the hardware: cores with backend-owned translation state,
+// per-socket LLCs, and the execution paths.
 type Machine struct {
-	topo  *numa.Topology
-	cost  *numa.CostModel
-	pm    *mem.PhysMem
-	cores []coreState
-	llcs  []*mmucache.LLC
-	fault FaultHandler
-	// cPipeline/cLLCHit/cL2TLB cache the immutable cost constants so the
+	topo    *numa.Topology
+	cost    *numa.CostModel
+	pm      *mem.PhysMem
+	backend translate.Backend
+	cores   []coreState
+	llcs    []*mmucache.LLC
+	fault   FaultHandler
+	// cPipeline/cLLCHit cache the immutable cost constants so the
 	// per-op path loads a field instead of calling through the cost model.
 	cPipeline numa.Cycles
 	cLLCHit   numa.Cycles
-	cL2TLB    numa.Cycles
 	// dramNodes caches Topology.DRAMNodes(): nodes at or above this index
 	// are slow-tier (CXL/NVM), so the per-access tier accounting is one
 	// integer compare.
@@ -277,39 +175,58 @@ type Machine struct {
 // Access/AccessBatch then use the lock-free LLC path. Callers that drive
 // cores of one socket from multiple goroutines concurrently (hand-rolled
 // worker loops) must NOT set this. Set/clear it only at quiescent points.
-func (m *Machine) BeginSingleWriter() { m.singleWriter = true }
+func (m *Machine) BeginSingleWriter() { m.setSingleWriter(true) }
 
 // EndSingleWriter reverts to the fully locked LLC path.
-func (m *Machine) EndSingleWriter() { m.singleWriter = false }
+func (m *Machine) EndSingleWriter() { m.setSingleWriter(false) }
+
+func (m *Machine) setSingleWriter(on bool) {
+	m.singleWriter = on
+	for i := range m.cores {
+		m.cores[i].tctx.Owned = on
+	}
+}
 
 // New builds the machine.
 func New(cfg Config) *Machine {
 	if cfg.Topology == nil || cfg.Cost == nil || cfg.Mem == nil {
 		panic("hw: Config requires Topology, Cost and Mem")
 	}
+	backend := cfg.Backend
+	if backend == nil {
+		backend = translate.NewX8664(cfg.TLB, cfg.PSC, translate.Deps{
+			Topo: cfg.Topology, Cost: cfg.Cost, Mem: cfg.Mem,
+		})
+	}
 	m := &Machine{
 		topo:      cfg.Topology,
 		cost:      cfg.Cost,
 		pm:        cfg.Mem,
+		backend:   backend,
 		cores:     make([]coreState, cfg.Topology.Cores()),
 		llcs:      make([]*mmucache.LLC, cfg.Topology.Sockets()),
 		cPipeline: cfg.Cost.PipelineOp(),
 		cLLCHit:   cfg.Cost.LLCHit(),
-		cL2TLB:    cfg.Cost.L2TLBHit(),
 		dramNodes: cfg.Topology.DRAMNodes(),
-	}
-	for i := range m.cores {
-		m.cores[i] = coreState{
-			cr3:         mem.NilFrame,
-			tlb:         tlb.New(cfg.TLB),
-			psc:         mmucache.NewPSC(cfg.PSC),
-			dataHitRate: 0,
-			walkOverlap: 1.0,
-			rng:         rngSeed(i),
-		}
 	}
 	for i := range m.llcs {
 		m.llcs[i] = mmucache.NewLLC(cfg.LLC)
+	}
+	for i := range m.cores {
+		c := &m.cores[i]
+		socket := m.topo.SocketOf(numa.CoreID(i))
+		c.tctx = translate.Ctx{
+			Core:    numa.CoreID(i),
+			Socket:  socket,
+			Home:    m.topo.NodeOf(socket),
+			CR3:     mem.NilFrame,
+			LLC:     m.llcs[socket],
+			Pending: &c.pending,
+		}
+		c.xc = backend.NewCore(i)
+		c.dataHitRate = 0
+		c.walkOverlap = 1.0
+		c.rng = rngSeed(i)
 	}
 	return m
 }
@@ -323,42 +240,43 @@ func (m *Machine) Cost() *numa.CostModel { return m.cost }
 // Mem returns the physical memory.
 func (m *Machine) Mem() *mem.PhysMem { return m.pm }
 
+// Backend returns the machine's translation backend.
+func (m *Machine) Backend() translate.Backend { return m.backend }
+
 // SetFaultHandler installs the kernel's fault entry point.
 func (m *Machine) SetFaultHandler(h FaultHandler) { m.fault = h }
 
 // LoadContext is the context-switch: it programs the core's page-table
-// root (write_cr3) and flushes the core's TLB and paging-structure caches.
-// With Mitosis, the kernel passes the socket-local replica root (§5.3).
+// root (write_cr3) and flushes the core's translation caches. With
+// Mitosis, the kernel passes the socket-local replica root (§5.3).
 func (m *Machine) LoadContext(core numa.CoreID, root mem.FrameID, levels uint8) {
 	c := m.core(core)
-	c.cr3 = root
-	c.levels = levels
-	c.virt = false
-	c.groot = 0
-	c.nlevels = 0
-	c.tlb.Flush()
-	c.psc.Flush()
+	c.tctx.CR3 = root
+	c.tctx.Levels = levels
+	c.tctx.Virt = false
+	c.tctx.GuestRoot = 0
+	c.tctx.NestedLevels = 0
+	c.xc.FlushContext(&c.tctx)
 	// CR3 write plus pipeline drain.
 	c.stats.Cycles += 300
 }
 
 // LoadVirtContext is the virtualized context-switch (VM entry): it
 // programs the core's guest root (guest CR3, as a guest-physical frame
-// number) and nested root (nCR3), and flushes the TLB and
-// paging-structure caches. TLB misses on a virtualized core perform the
-// two-dimensional walk of §7.4 — each guest level's table gPA is
-// translated through the nested table — with the composed gVA->hPA leaf
-// cached in the ordinary TLB. With gPT/ePT replication the kernel passes
-// the socket-local roots of both dimensions.
+// number) and nested root (nCR3), and flushes the translation caches.
+// TLB misses on a virtualized core perform the two-dimensional walk of
+// §7.4 — each guest level's table gPA is translated through the nested
+// table — with the composed gVA->hPA leaf cached in the ordinary TLB.
+// With gPT/ePT replication the kernel passes the socket-local roots of
+// both dimensions.
 func (m *Machine) LoadVirtContext(core numa.CoreID, guestRoot uint64, nestedRoot mem.FrameID, guestLevels, nestedLevels uint8) {
 	c := m.core(core)
-	c.cr3 = nestedRoot
-	c.levels = guestLevels
-	c.virt = true
-	c.groot = guestRoot
-	c.nlevels = nestedLevels
-	c.tlb.Flush()
-	c.psc.Flush()
+	c.tctx.CR3 = nestedRoot
+	c.tctx.Levels = guestLevels
+	c.tctx.Virt = true
+	c.tctx.GuestRoot = guestRoot
+	c.tctx.NestedLevels = nestedLevels
+	c.xc.FlushContext(&c.tctx)
 	// VM entry: CR3/nCR3 programming plus pipeline drain.
 	c.stats.Cycles += 300
 }
@@ -366,17 +284,16 @@ func (m *Machine) LoadVirtContext(core numa.CoreID, guestRoot uint64, nestedRoot
 // ClearContext detaches the core from any address space.
 func (m *Machine) ClearContext(core numa.CoreID) {
 	c := m.core(core)
-	c.cr3 = mem.NilFrame
-	c.levels = 0
-	c.virt = false
-	c.groot = 0
-	c.nlevels = 0
-	c.tlb.Flush()
-	c.psc.Flush()
+	c.tctx.CR3 = mem.NilFrame
+	c.tctx.Levels = 0
+	c.tctx.Virt = false
+	c.tctx.GuestRoot = 0
+	c.tctx.NestedLevels = 0
+	c.xc.FlushContext(&c.tctx)
 }
 
 // ContextRoot returns the root currently loaded on core (CR3).
-func (m *Machine) ContextRoot(core numa.CoreID) mem.FrameID { return m.core(core).cr3 }
+func (m *Machine) ContextRoot(core numa.CoreID) mem.FrameID { return m.core(core).tctx.CR3 }
 
 // SetDataLocality sets the probability that core's data accesses hit in
 // the cache hierarchy (a workload-locality parameter; page-table lines are
@@ -407,13 +324,13 @@ func (m *Machine) Stats(core numa.CoreID) CoreStats { return m.core(core).stats 
 func (m *Machine) SocketStats(s numa.SocketID) CoreStats {
 	var agg CoreStats
 	for _, c := range m.topo.CoresOf(s) {
-		agg.merge(&m.cores[c].stats)
+		agg.Merge(&m.cores[c].stats)
 	}
 	return agg
 }
 
 // TLBStats returns core's TLB counters.
-func (m *Machine) TLBStats(core numa.CoreID) tlb.Stats { return m.core(core).tlb.Stats }
+func (m *Machine) TLBStats(core numa.CoreID) tlb.Stats { return m.core(core).xc.TLBStats() }
 
 // LLCStats returns socket's page-table-line cache counters.
 func (m *Machine) LLCStats(s numa.SocketID) mmucache.LLCStats { return m.llcs[s].Stats }
@@ -422,7 +339,7 @@ func (m *Machine) LLCStats(s numa.SocketID) mmucache.LLCStats { return m.llcs[s]
 func (m *Machine) ResetStats() {
 	for i := range m.cores {
 		m.cores[i].stats = CoreStats{}
-		m.cores[i].tlb.ResetStats()
+		m.cores[i].xc.ResetStats()
 		m.cores[i].faultLat = FaultLatHist{}
 	}
 	for _, l := range m.llcs {
@@ -431,25 +348,26 @@ func (m *Machine) ResetStats() {
 }
 
 // Reset restores the machine to its just-built state: contexts unloaded,
-// TLBs/PSCs/LLCs as freshly constructed, locality models rewound, stats
-// and buffered coherence/sampling events dropped. Callers must be
-// quiescent (no run in flight). Buffer capacities are kept so a recycled
-// machine re-runs without reallocating them; a reset machine is
+// translation caches and LLCs as freshly constructed, locality models
+// rewound, stats and buffered coherence/sampling events dropped. Callers
+// must be quiescent (no run in flight). Buffer capacities are kept so a
+// recycled machine re-runs without reallocating them; a reset machine is
 // behaviourally indistinguishable from a new one.
 func (m *Machine) Reset() {
 	for i := range m.cores {
 		c := &m.cores[i]
-		c.cr3 = mem.NilFrame
-		c.levels = 0
-		c.virt = false
-		c.groot = 0
-		c.nlevels = 0
-		c.tlb.Reset()
-		c.psc.Reset()
+		c.tctx.CR3 = mem.NilFrame
+		c.tctx.Levels = 0
+		c.tctx.Virt = false
+		c.tctx.GuestRoot = 0
+		c.tctx.NestedLevels = 0
+		c.tctx.Owned = false
+		c.xc.Reset()
 		c.dataHitRate = 0
 		c.walkOverlap = 1.0
 		c.rng = rngSeed(i)
 		c.stats = CoreStats{}
+		c.delta = CoreStats{}
 		c.faultLat = FaultLatHist{}
 		c.pending = c.pending[:0]
 		c.samples = c.samples[:0]
@@ -487,25 +405,25 @@ type AccessOp struct {
 	Write bool
 }
 
-// Access executes one memory operation on core at va. It consults the TLB,
-// walks the page-table on a miss (taking page faults through the fault
-// handler as needed), charges all cycle costs, and samples data-frame
-// access statistics for the kernel's NUMA balancer. Cross-socket coherence
-// (store walks invalidating page-table lines cached by other sockets) is
-// applied immediately, so a sequence of Access calls behaves exactly like
-// the original per-op engine.
+// Access executes one memory operation on core at va. It consults the
+// translation caches, walks the page-table on a miss (taking page faults
+// through the fault handler as needed), charges all cycle costs, and
+// samples data-frame access statistics for the kernel's NUMA balancer.
+// Cross-socket coherence (store walks invalidating page-table lines
+// cached by other sockets) is applied immediately, so a sequence of
+// Access calls behaves exactly like the original per-op engine.
 //
 // Access and AccessBatch on the same core are not safe for concurrent use;
 // different cores may run concurrently (the parallel engine's contract —
 // see DESIGN.md for which operations additionally require quiescence).
 func (m *Machine) Access(core numa.CoreID, va pt.VirtAddr, write bool) error {
 	c := m.core(core)
-	if c.cr3 == mem.NilFrame {
+	if c.tctx.CR3 == mem.NilFrame {
 		return ErrNoContext
 	}
-	socket := m.topo.SocketOf(core)
+	socket := c.tctx.Socket
 	c.busy.Store(1)
-	err := m.accessOne(c, core, socket, m.topo.NodeOf(socket), va, write, &c.stats)
+	err := m.accessOne(c, core, socket, c.tctx.Home, va, write, &c.stats)
 	c.busy.Store(0)
 	for _, line := range c.pending {
 		m.invalidateOthers(socket, line)
@@ -535,20 +453,20 @@ func (m *Machine) Access(core numa.CoreID, va pt.VirtAddr, write bool) error {
 // partially executed instruction stream.
 func (m *Machine) AccessBatch(core numa.CoreID, ops []AccessOp) error {
 	c := m.core(core)
-	if c.cr3 == mem.NilFrame {
+	if c.tctx.CR3 == mem.NilFrame {
 		return ErrNoContext
 	}
-	socket := m.topo.SocketOf(core)
-	home := m.topo.NodeOf(socket)
+	socket := c.tctx.Socket
+	home := c.tctx.Home
 	c.busy.Store(1)
-	var delta CoreStats
+	c.delta = CoreStats{}
 	var err error
 	for i := range ops {
-		if err = m.accessOne(c, core, socket, home, ops[i].VA, ops[i].Write, &delta); err != nil {
+		if err = m.accessOne(c, core, socket, home, ops[i].VA, ops[i].Write, &c.delta); err != nil {
 			break
 		}
 	}
-	c.stats.merge(&delta)
+	c.stats.Merge(&c.delta)
 	c.busy.Store(0)
 	if !m.singleWriter {
 		// Outside the engine's barrier discipline there is no later
@@ -594,30 +512,24 @@ func (m *Machine) EndConcurrent(cores []numa.CoreID) {
 // accessOne is the shared per-op path of Access and AccessBatch. Cycle and
 // counter charges go to st (the caller's accumulator); coherence ownership
 // events go to c.pending, AutoNUMA samples to c.samples. home is socket's
-// local memory node, resolved once per call by the caller.
+// local memory node, resolved once per call by the caller. The backend
+// handles the translation caches and the walk; the machine charges the
+// pipeline, scales walk latency by the core's overlap model, and runs the
+// statistical data-cache model.
 func (m *Machine) accessOne(c *coreState, core numa.CoreID, socket numa.SocketID, home numa.NodeID, va pt.VirtAddr, write bool, st *CoreStats) error {
 	st.Ops++
 	cycles := m.cPipeline
+	c.tctx.Stats = st
 
-	entry, hit := c.tlb.Lookup(va)
-	// A store through a read-only cached translation must take the
-	// permission fault path: drop the entry and re-walk.
-	if hit != tlb.Miss && write && !entry.Leaf.Writable() {
-		c.tlb.InvalidatePage(va)
-		hit = tlb.Miss
-	}
+	entry, probeCy, ok := c.xc.Probe(&c.tctx, va, write)
+	cycles += probeCy
 	var frame mem.FrameID
 	node := numa.InvalidNode
-	switch hit {
-	case tlb.HitL1:
+	if ok {
 		frame = entry.Frame(va)
 		node = entry.Node
-	case tlb.HitL2:
-		cycles += m.cL2TLB
-		frame = entry.Frame(va)
-		node = entry.Node
-	case tlb.Miss:
-		leaf, size, walkCy, err := m.walk(c, core, socket, va, write, st)
+	} else {
+		leaf, size, walkCy, err := m.walk(c, core, va, write, st)
 		if err != nil {
 			st.Cycles += cycles
 			return err
@@ -626,11 +538,11 @@ func (m *Machine) accessOne(c *coreState, core numa.CoreID, socket numa.SocketID
 		st.Walks++
 		st.WalkCycles += walkCy
 		cycles += walkCy
-		// The mapping's node rides along in the TLB entry, so hits skip
-		// the frame->node computation; mappings spanning nodes cache
-		// InvalidNode and recompute per access below.
+		// The mapping's node rides along in the cached translation, so
+		// hits skip the frame->node computation; mappings spanning nodes
+		// cache InvalidNode and recompute per access below.
 		node = m.pm.NodeOfRange(leaf.Frame(), size.Bytes()>>pt.PageShift4K)
-		c.tlb.InsertMapped(va, leaf, size, node)
+		c.xc.Fill(&c.tctx, va, leaf, size, node)
 		e := tlb.Entry{VPN: uint64(va) >> uint(sizeShift(size)), Leaf: leaf, Size: size}
 		frame = e.Frame(va)
 	}
@@ -667,25 +579,16 @@ func (m *Machine) accessOne(c *coreState, core numa.CoreID, socket numa.SocketID
 	return nil
 }
 
-// walk performs the hardware page walk for va on core, including fault
-// handling and retry. Returns the leaf PTE, its page size, and the walk's
-// cycle cost (fault handling is charged separately, to st).
-func (m *Machine) walk(c *coreState, core numa.CoreID, socket numa.SocketID, va pt.VirtAddr, write bool, st *CoreStats) (pt.PTE, pt.PageSize, numa.Cycles, error) {
+// walk drives the backend's single-walk attempts for va on core,
+// including fault handling and retry. Returns the leaf PTE, its page
+// size, and the walk's cycle cost (fault handling is charged separately,
+// to st).
+func (m *Machine) walk(c *coreState, core numa.CoreID, va pt.VirtAddr, write bool, st *CoreStats) (pt.PTE, pt.PageSize, numa.Cycles, error) {
 	const maxFaults = 4
 	faults := 0
 
 	for {
-		var (
-			leaf pt.PTE
-			size pt.PageSize
-			cy   numa.Cycles
-			ok   bool
-		)
-		if c.virt {
-			leaf, size, cy, ok = m.walk2dOnce(c, socket, va, write, st)
-		} else {
-			leaf, size, cy, ok = m.walkOnce(c, socket, va, write, st)
-		}
+		leaf, size, cy, ok := c.xc.WalkOnce(&c.tctx, va, write)
 		if ok {
 			return leaf, size, cy, nil
 		}
@@ -705,211 +608,6 @@ func (m *Machine) walk(c *coreState, core numa.CoreID, socket numa.SocketID, va 
 			return 0, 0, 0, fmt.Errorf("%w: core %d va %#x: %v", ErrSegfault, core, uint64(va), err)
 		}
 	}
-}
-
-// walkOnce is a single traversal attempt. ok=false means a non-present
-// entry was hit (page fault).
-func (m *Machine) walkOnce(c *coreState, socket numa.SocketID, va pt.VirtAddr, write bool, st *CoreStats) (pt.PTE, pt.PageSize, numa.Cycles, bool) {
-	level := c.levels
-	frame := c.cr3
-	if resume, child, hit := c.psc.Lookup(va, c.levels); hit {
-		level = resume
-		frame = child
-	}
-	var cy numa.Cycles
-	for ; level >= 1; level-- {
-		idx := pt.Index(va, level)
-		cy += m.ptRead(c, socket, frame, idx, st)
-		ref := pt.EntryRef{Frame: frame, Index: idx}
-		e := pt.ReadEntry(m.pm, ref)
-		if !e.Present() {
-			return 0, 0, cy, false
-		}
-		isLeaf := level == 1 || e.Huge()
-		if isLeaf {
-			if write && !e.Writable() {
-				// Present but read-only: permission fault before any
-				// Dirty-bit update.
-				return 0, 0, cy, false
-			}
-			// Hardware sets Accessed (and Dirty on store) in THIS
-			// replica only, with a raw locked OR that bypasses the OS
-			// write interface (§5.4). Concurrent walkers on other
-			// cores must not lose each other's bits.
-			flags := pt.FlagAccessed
-			if write {
-				flags |= pt.FlagDirty
-			}
-			if e.Flags()&flags != flags {
-				pt.OrEntryFlagsRaw(m.pm, ref, flags)
-			}
-			if write {
-				// A store-path walk acquires the leaf line exclusively
-				// (Dirty-bit semantics), invalidating copies cached by
-				// other sockets. Read walks leave the line shared. The
-				// ownership event is buffered; Access applies it
-				// immediately, batches at the next coherence apply.
-				c.pending = append(c.pending, mmucache.LineOf(frame, idx))
-			}
-			size, sizeOK := pt.SizeAtLevel(level)
-			if !sizeOK {
-				panic(fmt.Sprintf("hw: malformed table: PS bit at level %d (va %#x)", level, uint64(va)))
-			}
-			return e.WithFlags(flags), size, cy, true
-		}
-		if !e.Accessed() {
-			pt.OrEntryFlagsRaw(m.pm, ref, pt.FlagAccessed)
-		}
-		c.psc.InsertFresh(va, level, e.Frame())
-		frame = e.Frame()
-	}
-	panic("hw: walk descended past level 1")
-}
-
-// walk2dOnce is a single two-dimensional traversal attempt for a
-// virtualized context: for each guest level, the guest-table page's
-// guest-physical address is translated through the nested table, then the
-// guest entry itself is read; the guest leaf's gPA is nested-translated
-// once more. Every table read is charged like a native walk step (LLC or
-// local/remote DRAM) and additionally split into the guest/nested
-// dimension counters. ok=false means a non-present or permission-failing
-// *guest* entry was hit (a guest page fault, resolved by the kernel's
-// guest fault path); nested faults and malformed trees panic — the
-// hypervisor keeps the nested table complete for every allocated guest
-// frame, so they are simulator bugs, not runtime conditions.
-//
-// The composed leaf returned for TLB insertion covers the smaller of the
-// guest and nested page sizes (what hardware nested TLBs cache), with its
-// frame adjusted to that granularity's base — worst case 24 accesses on
-// 4-level paging (4 guest levels x 5 + 4), shrinking when either
-// dimension maps huge pages (§7.4).
-func (m *Machine) walk2dOnce(c *coreState, socket numa.SocketID, va pt.VirtAddr, write bool, st *CoreStats) (pt.PTE, pt.PageSize, numa.Cycles, bool) {
-	gframe := c.groot
-	var cy numa.Cycles
-	for level := c.levels; level >= 1; level-- {
-		// Translate the guest-table page's gPA through the nested table.
-		hostFrame, _, ncy := m.nptWalk(c, socket, pt.VirtAddr(gframe<<pt.PageShift4K), st)
-		cy += ncy
-		// Read the guest entry from its backing host frame.
-		idx := pt.Index(va, level)
-		rcy := m.ptRead(c, socket, hostFrame, idx, st)
-		cy += rcy
-		st.GuestWalkCycles += rcy
-		ref := pt.EntryRef{Frame: hostFrame, Index: idx}
-		e := pt.ReadEntry(m.pm, ref)
-		if !e.Present() {
-			return 0, 0, cy, false
-		}
-		isLeaf := level == 1 || e.Huge()
-		if !isLeaf {
-			if !e.Accessed() {
-				pt.OrEntryFlagsRaw(m.pm, ref, pt.FlagAccessed)
-			}
-			gframe = uint64(e.Frame())
-			continue
-		}
-		gsize, ok := pt.SizeAtLevel(level)
-		if !ok {
-			panic(fmt.Sprintf("hw: malformed guest table: PS bit at level %d (va %#x)", level, uint64(va)))
-		}
-		if write && !e.Writable() {
-			// Present but read-only: guest permission fault before any
-			// Dirty-bit update.
-			return 0, 0, cy, false
-		}
-		// Accessed/Dirty land in THIS guest replica only, with the same
-		// raw locked OR as the native walker (§5.4 at the guest level).
-		flags := pt.FlagAccessed
-		if write {
-			flags |= pt.FlagDirty
-		}
-		if e.Flags()&flags != flags {
-			pt.OrEntryFlagsRaw(m.pm, ref, flags)
-		}
-		if write {
-			// Store walks own the guest leaf line exclusively, like the
-			// native Dirty-bit protocol.
-			c.pending = append(c.pending, mmucache.LineOf(hostFrame, idx))
-		}
-		// Final: nested-translate the gPA of va's 4KB page inside the
-		// guest leaf.
-		gpa := pt.VirtAddr(uint64(e.Frame())<<pt.PageShift4K + (pt.PageOffset(va, gsize) &^ (pt.Size4K.Bytes() - 1)))
-		hframe, nsize, ncy2 := m.nptWalk(c, socket, gpa, st)
-		cy += ncy2
-		// The composed translation is valid at the smaller granularity of
-		// the two dimensions; rebase the frame to that page's start.
-		eff := pt.MinSize(gsize, nsize)
-		base := hframe - mem.FrameID(pt.PageOffset(va, eff)>>pt.PageShift4K)
-		leaf := pt.NewPTE(base, e.Flags().ClearFlags(pt.FlagHuge)|flags)
-		if eff != pt.Size4K {
-			leaf |= pt.FlagHuge
-		}
-		return leaf, eff, cy, true
-	}
-	panic("hw: guest walk descended past level 1")
-}
-
-// nptWalk translates one guest-physical address through the core's nested
-// table (socket-local root with ePT replication), charging each read like
-// a native walk step plus the nested-dimension split counter. Nested huge
-// leaves compose the in-page offset; non-present entries and misplaced PS
-// bits are hypervisor invariant violations and panic.
-func (m *Machine) nptWalk(c *coreState, socket numa.SocketID, gpa pt.VirtAddr, st *CoreStats) (mem.FrameID, pt.PageSize, numa.Cycles) {
-	frame := c.cr3
-	var cy numa.Cycles
-	for level := c.nlevels; level >= 1; level-- {
-		idx := pt.Index(gpa, level)
-		rcy := m.ptRead(c, socket, frame, idx, st)
-		cy += rcy
-		st.NestedWalkCycles += rcy
-		e := pt.ReadEntry(m.pm, pt.EntryRef{Frame: frame, Index: idx})
-		if !e.Present() {
-			panic(fmt.Sprintf("hw: nested fault at gPA %#x level %d (hypervisor invariant broken)", uint64(gpa), level))
-		}
-		if level == 1 {
-			return e.Frame(), pt.Size4K, cy
-		}
-		if e.Huge() {
-			size, ok := pt.SizeAtLevel(level)
-			if !ok {
-				panic(fmt.Sprintf("hw: malformed nested table: PS bit at level %d (gPA %#x)", level, uint64(gpa)))
-			}
-			off := pt.PageOffset(gpa, size) >> pt.PageShift4K
-			return e.Frame() + mem.FrameID(off), size, cy
-		}
-		frame = e.Frame()
-	}
-	panic("hw: nested walk descended past level 1")
-}
-
-// ptRead charges one page-table entry read: LLC hit or DRAM at the table
-// page's node. Under the engine's single-writer discipline the LLC lookup
-// is lock-free; the legacy locked path remains for arbitrary concurrent
-// callers.
-func (m *Machine) ptRead(c *coreState, socket numa.SocketID, frame mem.FrameID, idx int, st *CoreStats) numa.Cycles {
-	line := mmucache.LineOf(frame, idx)
-	var llcHit bool
-	if m.singleWriter {
-		llcHit = m.llcs[socket].AccessOwned(line)
-	} else {
-		llcHit = m.llcs[socket].Access(line)
-	}
-	if llcHit {
-		st.WalkLLCHits++
-		return m.cLLCHit
-	}
-	node := m.pm.NodeOf(frame)
-	st.WalkMemAccesses++
-	cy := m.cost.DRAM(socket, node)
-	if node != m.topo.NodeOf(socket) {
-		st.WalkRemoteAccesses++
-		st.WalkRemoteCycles += cy
-		if int(node) >= m.dramNodes {
-			st.WalkTierAccesses++
-			st.WalkTierCycles += cy
-		}
-	}
-	return cy
 }
 
 // invalidateOthers drops the line from every socket's LLC except the owner.
@@ -1015,15 +713,14 @@ func (m *Machine) ClearCoherence(cores []numa.CoreID) {
 func (m *Machine) ShootdownPage(initiator numa.CoreID, va pt.VirtAddr, targets []numa.CoreID) {
 	const ipiCost = 2000 // cycles for IPI send + acks
 	init := m.core(initiator)
-	init.tlb.InvalidatePage(va)
-	init.psc.Flush()
+	init.xc.ShootdownPage(&init.tctx, va)
 	others := 0
 	for _, t := range targets {
 		if t == initiator {
 			continue
 		}
-		m.core(t).tlb.InvalidatePage(va)
-		m.core(t).psc.Flush()
+		tc := m.core(t)
+		tc.xc.ShootdownPage(&tc.tctx, va)
 		others++
 	}
 	if others > 0 {
@@ -1033,45 +730,34 @@ func (m *Machine) ShootdownPage(initiator numa.CoreID, va pt.VirtAddr, targets [
 
 // ShootdownRange performs one batched TLB shootdown for a set of pages:
 // a single IPI round-trip regardless of page count (Linux's
-// flush_tlb_range), with targets flushing individual pages below the
-// full-flush threshold and their whole TLB above it (x86's
-// tlb_single_page_flush_ceiling behaviour).
+// flush_tlb_range), with each core's backend applying its own
+// full-flush threshold (x86's tlb_single_page_flush_ceiling behaviour).
 func (m *Machine) ShootdownRange(initiator numa.CoreID, vas []pt.VirtAddr, targets []numa.CoreID) {
 	if len(vas) == 0 {
 		return
 	}
 	const ipiCost = 2000
-	const fullFlushThreshold = 33
-	flushCore := func(c numa.CoreID) {
-		cs := m.core(c)
-		if len(vas) > fullFlushThreshold {
-			cs.tlb.Flush()
-		} else {
-			for _, va := range vas {
-				cs.tlb.InvalidatePage(va)
-			}
-		}
-		cs.psc.Flush()
-	}
-	flushCore(initiator)
+	init := m.core(initiator)
+	init.xc.ShootdownRange(&init.tctx, vas)
 	others := 0
 	for _, t := range targets {
 		if t == initiator {
 			continue
 		}
-		flushCore(t)
+		tc := m.core(t)
+		tc.xc.ShootdownRange(&tc.tctx, vas)
 		others++
 	}
 	if others > 0 {
-		m.core(initiator).stats.Cycles += ipiCost
+		init.stats.Cycles += ipiCost
 	}
 }
 
-// FlushAll flushes core's TLB and PSC (global shootdown on that core).
+// FlushAll flushes core's translation caches (global shootdown on that
+// core).
 func (m *Machine) FlushAll(core numa.CoreID) {
 	c := m.core(core)
-	c.tlb.Flush()
-	c.psc.Flush()
+	c.xc.FlushContext(&c.tctx)
 }
 
 // FlushLLCs empties all per-socket page-table line caches (used between

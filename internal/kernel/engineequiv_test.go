@@ -12,14 +12,26 @@ package kernel_test
 
 import (
 	"math/rand"
+	"os"
 	"reflect"
 	"testing"
 
 	"github.com/mitosis-project/mitosis-sim/internal/kernel"
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
 	"github.com/mitosis-project/mitosis-sim/internal/pt"
+	"github.com/mitosis-project/mitosis-sim/internal/translate"
 	"github.com/mitosis-project/mitosis-sim/internal/workloads"
 )
+
+// testHardware is the translation backend CI's matrix selects via
+// MITOSIS_TEST_BACKEND (nil = the default x8664 compat path), so the
+// equivalence battery runs once per backend.
+func testHardware() *translate.Spec {
+	if b := os.Getenv("MITOSIS_TEST_BACKEND"); b != "" {
+		return &translate.Spec{Backend: b}
+	}
+	return nil
+}
 
 // giantVA is where the synthetic 1GB mapping lives: far above the mmap
 // arena so the two regions never collide.
@@ -60,7 +72,7 @@ func (w *stressWorkload) NewThread(env *workloads.Env, thread int) workloads.Ste
 // populated region, and the spanning 1GB mapping.
 func buildStressEnv(t *testing.T) (*workloads.Env, *stressWorkload) {
 	t.Helper()
-	k := kernel.New(kernel.Config{FramesPerNode: 1 << 16}) // 4 nodes x 256MB = 1GB total
+	k := kernel.New(kernel.Config{FramesPerNode: 1 << 16, Hardware: testHardware()}) // 4 nodes x 256MB = 1GB total
 	k.SetTHP(true)
 	// Fragment two nodes so THP population falls back to 4KB pages there.
 	r := rand.New(rand.NewSource(99))

@@ -22,6 +22,7 @@ import (
 	"github.com/mitosis-project/mitosis-sim/internal/mmucache"
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
 	"github.com/mitosis-project/mitosis-sim/internal/tlb"
+	"github.com/mitosis-project/mitosis-sim/internal/translate"
 )
 
 // ErrNoProcess is returned when a core has no process scheduled.
@@ -79,8 +80,14 @@ type Config struct {
 	LLC *mmucache.LLCConfig
 	// Costs are the kernel path costs; zero value selects DefaultCosts.
 	Costs *Costs
-	// Levels is the paging depth (4 or 5). Defaults to 4.
+	// Levels is the paging depth (4 or 5). Defaults to 4. Ignored when
+	// Hardware is set: the backend dictates the depth.
 	Levels uint8
+	// Hardware selects a translation-hardware backend by spec. nil keeps
+	// the default x86-64 4-level backend sized by TLB/PSC above. When
+	// set, the spec's TLB/PSC geometry overrides Config.TLB/Config.PSC
+	// and the paging depth comes from the backend (5 for x8664la57).
+	Hardware *translate.Spec
 }
 
 // Kernel is the simulated OS instance plus the hardware it manages.
@@ -164,9 +171,19 @@ func New(cfg Config) *Kernel {
 	if levels == 0 {
 		levels = 4
 	}
+	var thw translate.Backend
+	if cfg.Hardware != nil {
+		var err error
+		thw, err = translate.New(*cfg.Hardware, translate.Deps{Topo: topo, Cost: cost, Mem: pm})
+		if err != nil {
+			panic("kernel: invalid hardware spec: " + err.Error())
+		}
+		levels = thw.Levels()
+	}
 	machine := hw.New(hw.Config{
 		Topology: topo, Cost: cost, Mem: pm,
 		TLB: tlbCfg, PSC: pscCfg, LLC: llcCfg,
+		Backend: thw,
 	})
 	cache := mem.NewPageCache(pm, 0)
 	k := &Kernel{
@@ -247,6 +264,12 @@ func (k *Kernel) THP() bool { return k.thp }
 
 // Levels returns the paging depth in use.
 func (k *Kernel) Levels() uint8 { return k.levels }
+
+// HardwareGeometry returns the translation backend's geometry descriptor
+// (backend name, paging depth, VA reach, TLB and PSC sizing).
+func (k *Kernel) HardwareGeometry() translate.Geometry {
+	return k.machine.Backend().Geometry()
+}
 
 // Process returns the process with the given pid, or nil.
 func (k *Kernel) Process(pid int) *Process { return k.procs[pid] }

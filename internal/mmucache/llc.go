@@ -137,6 +137,62 @@ func (l *LLC) access(id LineID) bool {
 	return false
 }
 
+// Probe looks up line id WITHOUT inserting on a miss: a hit touches LRU
+// and counts; a miss counts and leaves the set untouched. The
+// Victima-style backends use it to test whether a software-managed TLB
+// block is still LLC-resident — a probe must not conjure up a line
+// whose payload the prober does not have.
+func (l *LLC) Probe(id LineID) bool {
+	l.mu.Lock()
+	hit := l.probe(id)
+	l.mu.Unlock()
+	return hit
+}
+
+// ProbeOwned is Probe without the mutex, under the single-writer
+// discipline (see AccessOwned).
+func (l *LLC) ProbeOwned(id LineID) bool { return l.probe(id) }
+
+func (l *LLC) probe(id LineID) bool {
+	s := l.set(id)
+	for oi, idx := range s.order {
+		if s.valid[idx] && s.lines[idx] == id {
+			s.touch(oi)
+			l.Stats.Hits++
+			return true
+		}
+	}
+	l.Stats.Misses++
+	return false
+}
+
+// Insert installs (or touches) line id without hit/miss accounting —
+// the fill half of a Probe/Insert pair, whose miss the Probe already
+// counted.
+func (l *LLC) Insert(id LineID) {
+	l.mu.Lock()
+	l.insert(id)
+	l.mu.Unlock()
+}
+
+// InsertOwned is Insert without the mutex, under the single-writer
+// discipline (see AccessOwned).
+func (l *LLC) InsertOwned(id LineID) { l.insert(id) }
+
+func (l *LLC) insert(id LineID) {
+	s := l.set(id)
+	for oi, idx := range s.order {
+		if s.valid[idx] && s.lines[idx] == id {
+			s.touch(oi)
+			return
+		}
+	}
+	last := len(s.order) - 1
+	idx := s.order[last]
+	s.lines[idx], s.valid[idx] = id, true
+	s.touch(last)
+}
+
 // Invalidate drops line id if present (a writer on another socket took
 // ownership).
 func (l *LLC) Invalidate(id LineID) {

@@ -61,6 +61,27 @@ func TestDumpFormatShape(t *testing.T) {
 	}
 }
 
+func TestDumpFormatFiveLevel(t *testing.T) {
+	pm := mem.New(mem.Config{Topology: numa.TwoSocket(), FramesPerNode: 2048})
+	root, err := pm.AllocPageTable(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Snapshot(NewTable(pm, root, 5))
+	// Root counted at the top level, which for LA57 is level 5.
+	if d.Cells[5][1].Pages != 1 {
+		t.Errorf("5-level root not counted: %+v", d.Cells[5][1])
+	}
+	s := d.Format()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 6 { // header + L5..L1
+		t.Fatalf("format lines = %d, want 6:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[1], "L5") || !strings.HasPrefix(lines[5], "L1") {
+		t.Errorf("5-level dump not rendered L5..L1 root-first:\n%s", s)
+	}
+}
+
 func TestRemoteLeafFractionEmptyTable(t *testing.T) {
 	pm := mem.New(mem.Config{Topology: numa.TwoSocket(), FramesPerNode: 1024})
 	root, _ := pm.AllocPageTable(0, 4)

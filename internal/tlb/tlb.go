@@ -273,13 +273,20 @@ type TLB struct {
 	Stats Stats
 }
 
-// New builds a TLB from cfg.
+// New builds a TLB from cfg. L2Entries == 0 builds a TLB without a
+// second level (the Victima-style backends replace it with LLC-resident
+// software blocks): lookups probe only the L1 arrays and fills stop
+// there; with an L2 present, behaviour is bit-identical to the
+// always-three-array layout.
 func New(cfg Config) *TLB {
-	return &TLB{
+	t := &TLB{
 		l1x4k: newArray(cfg.L1Entries4K, cfg.L1Ways4K, "L1-4K"),
 		l1x2m: newArray(cfg.L1Entries2M, cfg.L1Ways2M, "L1-2M"),
-		l2:    newArray(cfg.L2Entries, cfg.L2Ways, "L2"),
 	}
+	if cfg.L2Entries != 0 {
+		t.l2 = newArray(cfg.L2Entries, cfg.L2Ways, "L2")
+	}
+	return t
 }
 
 // Lookup searches for a translation of va at any page size. On an L2 hit
@@ -316,6 +323,10 @@ func (t *TLB) Lookup(va pt.VirtAddr) (*Entry, HitLevel) {
 			t.Stats.L1Hits++
 			return e, HitL1
 		}
+	}
+	if t.l2 == nil {
+		t.Stats.Misses++
+		return nil, Miss
 	}
 	if t.l2.pop[pt.Size4K] != 0 {
 		if e, ok := t.l2.set(vpn4k).lookup(vpn4k, pt.Size4K); ok {
@@ -369,7 +380,9 @@ func (t *TLB) InsertMapped(va pt.VirtAddr, leaf pt.PTE, size pt.PageSize, node n
 	} else {
 		t.l1x2m.insertFresh(e)
 	}
-	t.l2.insertFresh(e)
+	if t.l2 != nil {
+		t.l2.insertFresh(e)
+	}
 }
 
 // InvalidatePage removes any translation covering va (all page sizes) —
@@ -388,14 +401,16 @@ func (t *TLB) InvalidatePage(va pt.VirtAddr) {
 	if t.l1x2m.invalidate(vpn1g, pt.Size1G) {
 		hit = true
 	}
-	if t.l2.invalidate(vpn4k, pt.Size4K) {
-		hit = true
-	}
-	if t.l2.invalidate(vpn2m, pt.Size2M) {
-		hit = true
-	}
-	if t.l2.invalidate(vpn1g, pt.Size1G) {
-		hit = true
+	if t.l2 != nil {
+		if t.l2.invalidate(vpn4k, pt.Size4K) {
+			hit = true
+		}
+		if t.l2.invalidate(vpn2m, pt.Size2M) {
+			hit = true
+		}
+		if t.l2.invalidate(vpn1g, pt.Size1G) {
+			hit = true
+		}
 	}
 	if hit {
 		t.Stats.PageInval++
@@ -407,7 +422,9 @@ func (t *TLB) InvalidatePage(va pt.VirtAddr) {
 func (t *TLB) Flush() {
 	t.l1x4k.flush()
 	t.l1x2m.flush()
-	t.l2.flush()
+	if t.l2 != nil {
+		t.l2.flush()
+	}
 	t.Stats.Flushes++
 }
 
@@ -422,7 +439,9 @@ func (t *TLB) ResetStats() { t.Stats = Stats{} }
 func (t *TLB) Reset() {
 	t.l1x4k.reset()
 	t.l1x2m.reset()
-	t.l2.reset()
+	if t.l2 != nil {
+		t.l2.reset()
+	}
 	t.Stats = Stats{}
 }
 

@@ -2,17 +2,33 @@ package mitosis
 
 import (
 	"encoding/json"
+	"os"
 	"reflect"
 	"strings"
 	"testing"
 )
+
+// testBackend is the translation backend the suite runs under:
+// MITOSIS_TEST_BACKEND, set by CI's backend matrix ("" = the default
+// x8664). Tests that pin a specific backend override it explicitly.
+func testBackend() string { return os.Getenv("MITOSIS_TEST_BACKEND") }
+
+// testVirtBackend is testBackend for virtualized scenarios: LA57 guests
+// are unsupported (guest tables are 4-level), so that rung of the matrix
+// falls back to the default backend.
+func testVirtBackend() string {
+	if b := testBackend(); b != HardwareX8664LA57 {
+		return b
+	}
+	return ""
+}
 
 // testScenario is a small two-process scenario exercising the spec
 // surface: a stranded-table GUPS under the ondemand policy, then a
 // replicated PageRank across all sockets.
 func testScenario() Scenario {
 	return NewScenario("test/two-proc",
-		OnMachine(SystemConfig{Sockets: 4, CoresPerSocket: 2, MemoryPerNode: 256 << 20}),
+		OnMachine(SystemConfig{Sockets: 4, CoresPerSocket: 2, MemoryPerNode: 256 << 20, Hardware: testBackend()}),
 		WithSeed(7),
 		WithProc(NewProc("gups",
 			GUPS(InSuite("wm"), Scaled(1.0/32)),
@@ -376,7 +392,7 @@ func TestQuiesce(t *testing.T) {
 // ondemand policy replicating gPT and ePT at round barriers.
 func testVirtScenario() Scenario {
 	return NewScenario("test/virt",
-		OnMachine(SystemConfig{Sockets: 4, CoresPerSocket: 2, MemoryPerNode: 256 << 20}),
+		OnMachine(SystemConfig{Sockets: 4, CoresPerSocket: 2, MemoryPerNode: 256 << 20, Hardware: testVirtBackend()}),
 		WithSeed(7),
 		WithProc(NewProc("gups-vm",
 			GUPS(InSuite("wm"), Scaled(1.0/32)),
@@ -430,7 +446,12 @@ func TestVirtScenarioValidationErrors(t *testing.T) {
 			node := 0
 			s.Processes[0].Phases = []PhaseSpec{{Ops: 10, MovePT: &node}}
 		}, "virtualized process recovers locality"},
-		{"vm five level", func(s *Scenario) { s.Machine.FiveLevel = true }, "vm requires 4-level paging"},
+		{"vm five level", func(s *Scenario) {
+			// Clear any matrix-injected backend: this case pins the legacy
+			// five_level switch, not a backend contradiction.
+			s.Machine.Hardware = ""
+			s.Machine.FiveLevel = true
+		}, "vm requires 4-level paging"},
 	}
 	for _, tc := range cases {
 		sc := testVirtScenario()

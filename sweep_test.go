@@ -2,6 +2,7 @@ package mitosis
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -155,6 +156,136 @@ func TestSweepShuffledScheduleStress(t *testing.T) {
 	for i, c := range res.Cells {
 		if c.Index != i || c.Name == "" {
 			t.Fatalf("cell slot %d holds index %d (%q)", i, c.Index, c.Name)
+		}
+	}
+}
+
+// TestSweepHardwareAxis pins the hardware axis's index-stability
+// contract: omitting the axis (or spelling out the length-1 default)
+// leaves every cell index and scenario unchanged, so committed
+// BENCH_sweep.json cell indices stay valid; a multi-entry axis multiplies
+// the grid and stamps each non-default cell's machine and name.
+func TestSweepHardwareAxis(t *testing.T) {
+	base := testSweep()
+	base.Virt = []bool{false} // la57 cells are incompatible with the virt axis
+
+	withDefault := base
+	withDefault.Hardware = []string{""}
+	if withDefault.Cells() != base.Cells() {
+		t.Fatalf("default axis changed cell count: %d != %d", withDefault.Cells(), base.Cells())
+	}
+	for i := 0; i < base.Cells(); i++ {
+		a, err := base.Cell(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := withDefault.Cell(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("cell %d changed under the explicit default axis:\n%+v\n%+v", i, a, b)
+		}
+	}
+
+	sw := base
+	sw.Hardware = []string{"", "x8664la57", "victima"}
+	if err := sw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Cells() != base.Cells()*3 {
+		t.Fatalf("cells = %d, want %d", sw.Cells(), base.Cells()*3)
+	}
+	perHW := map[string]int{}
+	for i := 0; i < sw.Cells(); i++ {
+		sc, err := sw.Cell(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("cell %d invalid: %v", i, err)
+		}
+		hw := sc.Machine.Hardware
+		perHW[hw]++
+		if hw == "" && strings.Contains(sc.Name, "/hw=") {
+			t.Fatalf("default-hardware cell %d carries an hw suffix: %q", i, sc.Name)
+		}
+		if hw != "" && !strings.Contains(sc.Name, "/hw="+hw) {
+			t.Fatalf("cell %d machine %q but name %q", i, hw, sc.Name)
+		}
+	}
+	for _, hw := range sw.Hardware {
+		if perHW[hw] != base.Cells() {
+			t.Errorf("hardware %q got %d cells, want %d", hw, perHW[hw], base.Cells())
+		}
+	}
+
+	bad := base
+	bad.Hardware = []string{"pdp11"}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown backend in hardware axis accepted")
+	}
+	badVirt := testSweep() // virt axis includes true
+	badVirt.Hardware = []string{"x8664la57"}
+	if err := badVirt.Validate(); err == nil || !strings.Contains(err.Error(), "virt") {
+		t.Errorf("la57 axis + virt axis accepted: %v", err)
+	}
+}
+
+// TestSweepHardwareAxisDeterminism extends the seed-ladder contract to
+// the hardware axis: the same spec with hardware cells produces
+// byte-identical outcomes for any worker count and dispatch order — the
+// pooled workers must rebuild their system when a cell's backend differs
+// from the pooled machine's.
+func TestSweepHardwareAxisDeterminism(t *testing.T) {
+	sw := testSweep()
+	sw.Workloads = []string{"GUPS"}
+	sw.Policies = []string{"none", "ondemand"}
+	sw.SocketCounts = []int{2}
+	sw.Fragmentation = []float64{0}
+	sw.Virt = []bool{false}
+	sw.Hardware = []string{"", "x8664la57", "victima:l14k=8/2"}
+	ref, err := RunSweep(sw, WithSweepWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Errors != 0 {
+		for _, c := range ref.Cells {
+			if c.Error != "" {
+				t.Fatalf("cell %d (%s): %s", c.Index, c.Name, c.Error)
+			}
+		}
+	}
+	for _, c := range ref.Cells {
+		sc, err := sw.Cell(c.Index)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Hardware != sc.Machine.Hardware && !(c.Hardware == "" && sc.Machine.Hardware == sw.Machine.Hardware) {
+			t.Errorf("cell %d records hardware %q, scenario machine has %q", c.Index, c.Hardware, sc.Machine.Hardware)
+		}
+	}
+	refJSON, err := ref.OutcomesJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []struct {
+		label string
+		opts  []SweepOpt
+	}{
+		{"workers=4", []SweepOpt{WithSweepWorkers(4)}},
+		{"workers=3+shuffle", []SweepOpt{WithSweepWorkers(3), WithSweepShuffle(7)}},
+	} {
+		got, err := RunSweep(sw, v.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", v.label, err)
+		}
+		gotJSON, err := got.OutcomesJSON()
+		if err != nil {
+			t.Fatalf("%s: %v", v.label, err)
+		}
+		if !bytes.Equal(refJSON, gotJSON) {
+			t.Errorf("%s: outcomes diverge from workers=1 reference", v.label)
 		}
 	}
 }
