@@ -1,0 +1,83 @@
+package main
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+)
+
+// divergence pinpoints where a replay left the record: it returns the
+// JSON-path of the first differing counter between got and want plus both
+// values ("phases[2].counters.ops: got 1980, want 2000"), or "" when the
+// two are deeply equal. Naming the exact counter turns a "diverged" replay
+// failure into a lead — which subsystem's determinism broke.
+func divergence(got, want any) string {
+	p, g, w, ok := firstDiff("", reflect.ValueOf(got), reflect.ValueOf(want))
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf("%s: got %s, want %s", strings.TrimPrefix(p, "."), g, w)
+}
+
+// firstDiff walks two values of the same type in declaration order —
+// struct fields (named by their json tag), slice elements, pointers — and
+// returns the path and rendering of the first differing leaf. ok=false
+// means deeply equal.
+func firstDiff(path string, got, want reflect.Value) (string, string, string, bool) {
+	switch got.Kind() {
+	case reflect.Pointer, reflect.Interface:
+		if got.IsNil() || want.IsNil() {
+			if got.IsNil() != want.IsNil() {
+				return path, valStr(got), valStr(want), true
+			}
+			return "", "", "", false
+		}
+		return firstDiff(path, got.Elem(), want.Elem())
+	case reflect.Struct:
+		t := got.Type()
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			if p, g, w, ok := firstDiff(path+"."+fieldName(f), got.Field(i), want.Field(i)); ok {
+				return p, g, w, true
+			}
+		}
+		return "", "", "", false
+	case reflect.Slice, reflect.Array:
+		n := min(got.Len(), want.Len())
+		for i := 0; i < n; i++ {
+			if p, g, w, ok := firstDiff(fmt.Sprintf("%s[%d]", path, i), got.Index(i), want.Index(i)); ok {
+				return p, g, w, true
+			}
+		}
+		if got.Len() != want.Len() {
+			return path + ".len", fmt.Sprint(got.Len()), fmt.Sprint(want.Len()), true
+		}
+		return "", "", "", false
+	default:
+		// Leaves (and the maps the records never carry): one comparison.
+		if !reflect.DeepEqual(got.Interface(), want.Interface()) {
+			return path, valStr(got), valStr(want), true
+		}
+		return "", "", "", false
+	}
+}
+
+// fieldName renders a struct field under its wire name, so the reported
+// path matches what the user sees in the BENCH record itself.
+func fieldName(f reflect.StructField) string {
+	tag, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+	if tag != "" && tag != "-" {
+		return tag
+	}
+	return f.Name
+}
+
+func valStr(v reflect.Value) string {
+	if (v.Kind() == reflect.Pointer || v.Kind() == reflect.Interface) && v.IsNil() {
+		return "nil"
+	}
+	return fmt.Sprintf("%+v", v.Interface())
+}

@@ -61,7 +61,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"reflect"
 	"runtime"
 	"runtime/pprof"
 	"slices"
@@ -100,6 +99,7 @@ var targets = []targetInfo{
 	{"virt", "virtualized table plus the canonical virt scenario record"},
 	{"tier", "CXL tier recovery ladder plus the canonical tiered scenario record (BENCH_tier.json)"},
 	{"hwcmp", "translation-backend comparison: x8664 vs la57 vs victima, replayable via BENCH_hw.json"},
+	{"faults", "fault-injection kill-vs-recover ladder: MCE failover, node offlining, OOM, replayable via BENCH_fault.json"},
 	{"engine", "execution-engine throughput benchmark (sequential vs parallel)"},
 	{"perf", "simulator hot-path host-throughput trajectory (BENCH_perf.json)"},
 	{"churn", "multi-process churn: sharded vs global fault lock + tail latency, replayable via BENCH_churn.json (not in \"all\")"},
@@ -321,10 +321,14 @@ func writeJSON(dir, target string, cfg experiments.Config, policy string, wall t
 	if err != nil {
 		return err
 	}
-	// hwcmp's record is the hardware comparison, named for what it holds.
+	// hwcmp's record is the hardware comparison, named for what it holds;
+	// the faults target's record is the singular fault ladder.
 	name := target
-	if target == "hwcmp" {
+	switch target {
+	case "hwcmp":
 		name = "hw"
+	case "faults":
+		name = "fault"
 	}
 	path := filepath.Join(dir, "BENCH_"+name+".json")
 	return os.WriteFile(path, append(data, '\n'), 0o644)
@@ -409,6 +413,12 @@ func run(cfg experiments.Config, target string, policies []string, sweepOpt expe
 		// its recorded backend and verifies counters bit-for-bit.
 		hr, err := experiments.RunHwCompare(cfg)
 		return str(hr, err)
+	case "faults":
+		// The payload is the kill-vs-recover ladder; every rung embeds its
+		// full RunResult, so -replay BENCH_fault.json re-executes each one
+		// and verifies counters and fault outcomes bit-for-bit.
+		fb, err := experiments.RunFaultBench(cfg)
+		return str(fb, err)
 	case "tier":
 		// Same shape as virt: the human-readable half is the CXL recovery
 		// ladder, the JSON payload the canonical tiered scenario's
@@ -563,6 +573,27 @@ func runReplay(path string, cell int) error {
 	if err := json.Unmarshal(raw, &churnProbe); err == nil && churnProbe.Churn != nil && churnProbe.Churn.Spawned > 0 {
 		return replayChurn(churnProbe.Churn)
 	}
+	// A fault record's result carries a "ladder" array, each rung embedding
+	// a complete RunResult whose scenario schedules the rung's fault plan;
+	// every rung replays like a scenario record, fault outcome included.
+	var faultProbe struct {
+		Ladder []struct {
+			Cell   string             `json:"cell"`
+			Result *mitosis.RunResult `json:"result"`
+		} `json:"ladder"`
+	}
+	if err := json.Unmarshal(raw, &faultProbe); err == nil && len(faultProbe.Ladder) > 0 {
+		for i, r := range faultProbe.Ladder {
+			if r.Result == nil || len(r.Result.Scenario.Processes) == 0 {
+				return fmt.Errorf("%s: ladder cell %d (%s) carries no scenario", path, i, r.Cell)
+			}
+			if err := replayRunResult(r.Result); err != nil {
+				return fmt.Errorf("ladder cell %d (%s): %w", i, r.Cell, err)
+			}
+		}
+		fmt.Printf("replay OK: fault ladder reproduced %d rung(s) bit-identically\n", len(faultProbe.Ladder))
+		return nil
+	}
 	// A hardware-comparison record's result carries a "runs" array, each
 	// entry a complete RunResult; every cell replays on its recorded
 	// backend like a scenario record.
@@ -616,17 +647,25 @@ func replayRunResult(orig *mitosis.RunResult) error {
 	if err != nil {
 		return err
 	}
-	if !reflect.DeepEqual(rr.Phases, orig.Phases) {
-		return fmt.Errorf("replay of %q diverged: phase counters differ from the record\nrecorded: %+v\nreplayed: %+v",
-			orig.Scenario.Name, orig.Phases, rr.Phases)
-	}
-	if !reflect.DeepEqual(rr.Policies, orig.Policies) {
-		return fmt.Errorf("replay of %q diverged: policy telemetry differs from the record\nrecorded: %+v\nreplayed: %+v",
-			orig.Scenario.Name, orig.Policies, rr.Policies)
-	}
-	if !reflect.DeepEqual(rr.Tiering, orig.Tiering) {
-		return fmt.Errorf("replay of %q diverged: tiering telemetry differs from the record\nrecorded: %+v\nreplayed: %+v",
-			orig.Scenario.Name, orig.Tiering, rr.Tiering)
+	// Each comparison names the first differing counter and both values:
+	// a divergence report must say *which* counter broke, not just that
+	// one did.
+	for _, c := range []struct {
+		what      string
+		got, want any
+	}{
+		{"phases", rr.Phases, orig.Phases},
+		{"policies", rr.Policies, orig.Policies},
+		{"tiering", rr.Tiering, orig.Tiering},
+		{"faults", rr.Faults, orig.Faults},
+	} {
+		if d := divergence(c.got, c.want); d != "" {
+			if !strings.HasPrefix(d, "[") {
+				d = "." + d
+			}
+			return fmt.Errorf("replay of %q diverged from the record at %s%s",
+				orig.Scenario.Name, c.what, d)
+		}
 	}
 	if rr.ReplicaPTPages != orig.ReplicaPTPages {
 		return fmt.Errorf("replay of %q diverged: replica PT pages %d, recorded %d",
@@ -678,8 +717,8 @@ func replaySweep(path string, rec *mitosis.SweepResult, cell int) error {
 		if got.Error != want.Error {
 			return fmt.Errorf("replay of cell %d (%s) diverged: error %q, recorded %q", want.Index, want.Name, got.Error, want.Error)
 		}
-		if !reflect.DeepEqual(got.Outcome, want.Outcome) {
-			return fmt.Errorf("replay of cell %d (%s) diverged:\nrecorded: %+v\nreplayed: %+v", want.Index, want.Name, want.Outcome, got.Outcome)
+		if d := divergence(got.Outcome, want.Outcome); d != "" {
+			return fmt.Errorf("replay of cell %d (%s) diverged at %s", want.Index, want.Name, d)
 		}
 	}
 	fmt.Printf("replay OK: sweep %q reproduced %d cell(s) bit-identically\n", rec.Sweep.Name, len(cellsToCheck))

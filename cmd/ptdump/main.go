@@ -16,11 +16,19 @@
 // — name, walk levels, VA reach, TLB arrays and paging-structure cache
 // rows — and exits without running a workload.
 //
+// -faults takes a fault plan in the scenario DSL
+// (kind:r<N>[:p<N>][:n<N>][:g<N>][:f<N>], ';'-separated; kinds
+// poison-data, poison-pt, offline, pressure). Due events fire at snapshot
+// boundaries — the round clock advances interval/32 rounds per snapshot,
+// matching the scenario engine's round length — and every snapshot then
+// appends a fault report: retired (poisoned) frames per node, offline
+// nodes, the process's replica health, and the recovery action log.
+//
 // Usage:
 //
 //	ptdump [-workload Memcached] [-scenario ms|wm] [-thp] [-interval N]
 //	       [-snapshots N] [-replicate] [-tiers cxl@0[,nvm@1...]] [-ptnode N]
-//	       [-hardware BACKEND] [-geometry]
+//	       [-hardware BACKEND] [-geometry] [-faults PLAN]
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"strings"
 
 	"github.com/mitosis-project/mitosis-sim/internal/core"
+	"github.com/mitosis-project/mitosis-sim/internal/fault"
 	"github.com/mitosis-project/mitosis-sim/internal/kernel"
 	"github.com/mitosis-project/mitosis-sim/internal/mem"
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
@@ -88,6 +97,7 @@ func main() {
 	ptnode := flag.Int("ptnode", -1, "pin page-table allocation to this node (default: home socket)")
 	hardware := flag.String("hardware", "", "translation backend: x8664, x8664la57 or victima (default x8664)")
 	geometry := flag.Bool("geometry", false, "print the booted translation-hardware geometry and exit")
+	faults := flag.String("faults", "", "fault plan (e.g. poison-pt:r100:p0:n1;offline:r200:n2), fired at snapshot boundaries")
 	flag.Parse()
 
 	w := workloads.ByName(*name, *scenario)
@@ -167,11 +177,37 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	var feng *kernel.FaultEngine
+	if *faults != "" {
+		plan, err := fault.ParsePlan(*faults)
+		if err != nil {
+			log.Fatalf("ptdump: -faults: %v", err)
+		}
+		if err := plan.Validate(1, topo.Nodes()); err != nil {
+			log.Fatalf("ptdump: -faults: %v", err)
+		}
+		feng = k.AttachFaultEngine(plan, []*kernel.Process{p}, []string{w.Name()})
+	}
+	// The scenario engine's round clock: one round per DefaultChunk ops
+	// per core, so a plan's r<N> rounds line up with scenario plans.
+	roundsPerSnap := uint64((*interval + workloads.DefaultChunk - 1) / workloads.DefaultChunk)
 
 	for snap := 0; snap < *snapshots; snap++ {
 		if snap > 0 {
 			if _, err := workloads.Run(env, w, *interval); err != nil {
 				log.Fatal(err)
+			}
+		}
+		if feng != nil {
+			if err := feng.Tick(uint64(snap)*roundsPerSnap, p); err != nil {
+				// Recovery killed the process (SIGBUS or OOM): render the
+				// post-mortem fault report and stop — there is no table
+				// left to snapshot.
+				fmt.Printf("\n--- snapshot %d (after %d ops/thread) ---\n", snap, snap**interval)
+				fmt.Printf("%v\n", err)
+				k.DestroyProcess(p)
+				printFaultReport(k, feng)
+				return
 			}
 		}
 		d := pt.Snapshot(p.Table())
@@ -185,6 +221,47 @@ func main() {
 		if topo.Tiered() {
 			printTierResidency(k, p)
 		}
+		if feng != nil {
+			printFaultReport(k, feng)
+		}
+	}
+}
+
+// printFaultReport renders the fault engine's view of the machine:
+// permanently retired (poisoned) frames per node, offline nodes, every
+// process's replica redundancy state, and the recovery action log.
+func printFaultReport(k *kernel.Kernel, feng *kernel.FaultEngine) {
+	topo, pm := k.Topology(), k.Mem()
+	st := feng.Stats()
+	fmt.Printf("fault report: %d injected (%d pending), %d MCEs, %d PT rebuilds, %d kills\n",
+		st.Injected, feng.Pending(), st.MCEs, st.PTRebuilds, st.SigbusKills+st.OOMKills)
+	var nodes []string
+	for n := 0; n < topo.Nodes(); n++ {
+		id := numa.NodeID(n)
+		state := ""
+		if pm.NodeOffline(id) {
+			state = " OFFLINE"
+		}
+		if retired := pm.Retired(id); retired > 0 || state != "" {
+			nodes = append(nodes, fmt.Sprintf("node%d %d retired%s", n, pm.Retired(id), state))
+		}
+	}
+	if len(nodes) > 0 {
+		fmt.Printf("  frames: %s\n", strings.Join(nodes, ", "))
+	}
+	for _, h := range feng.Health() {
+		var nn []string
+		for _, n := range h.Nodes {
+			nn = append(nn, fmt.Sprint(int(n)))
+		}
+		loc := ""
+		if len(nn) > 0 {
+			loc = " (table on nodes " + strings.Join(nn, ",") + ")"
+		}
+		fmt.Printf("  replica health: pid %d %s: %s%s\n", h.PID, h.Name, h.State, loc)
+	}
+	for _, a := range feng.ActionLog() {
+		fmt.Printf("  action %s\n", a)
 	}
 }
 

@@ -56,6 +56,16 @@ type Churn struct {
 	// cross-process reclaim, which is deliberately out of the
 	// deterministic churn loop).
 	Fragmentation float64 `json:"fragmentation,omitempty"`
+	// Pressure sizes node 0 to exhaust mid-storm: a memory-pressure floor
+	// set at boot leaves the node only (1-Pressure) of one process's
+	// footprint in usable frames, so socket 0's storm hits the floor that
+	// fraction of the way through faulting in and reclaims every later
+	// frame from node 1 — deterministically (the spill target never
+	// crosses a threshold of its own; Validate guarantees it holds both
+	// processes). Spilled faults pay remote allocation and zero-fill,
+	// fattening the latency tail the p95/p99 figures expose. (0..1);
+	// requires >= 2 active sockets.
+	Pressure float64 `json:"pressure,omitempty"`
 	// Seed drives the fragmentation pattern (default 42).
 	Seed int64 `json:"seed"`
 	// GlobalLock selects the legacy machine-wide fault lock instead of
@@ -113,6 +123,20 @@ func (c Churn) Validate() error {
 	if perNode < need {
 		return fmt.Errorf("churn: %d 4K + %d huge pages/proc + overhead exceed node capacity %d frames",
 			n.PagesPerProc, n.HugePages, perNode)
+	}
+	if n.Pressure < 0 || n.Pressure >= 1 {
+		return fmt.Errorf("churn: pressure %v out of [0,1)", n.Pressure)
+	}
+	if n.Pressure > 0 {
+		if n.Sockets < 2 {
+			return fmt.Errorf("churn: pressure needs >= 2 active sockets (a spill target); have %d", n.Sockets)
+		}
+		// Determinism under pressure requires the spill target (node 1) to
+		// absorb its own process plus everything node 0 sheds without ever
+		// crossing a threshold of its own.
+		if perNode < 2*need {
+			return fmt.Errorf("churn: pressure spill target needs %d frames (two processes), node capacity is %d", 2*need, perNode)
+		}
 	}
 	return nil
 }
@@ -191,6 +215,19 @@ func RunChurn(c Churn) (*ChurnResult, error) {
 		}
 	}
 	k.SetGlobalFaultLock(c.GlobalLock)
+	if c.Pressure > 0 {
+		// Leave node 0 only the unpressured share of one process's
+		// footprint above the floor: the storm crosses it Pressure of the
+		// way through faulting in, and every later allocation reclaims from
+		// node 1. Keyed to the node's free count at boot so the floor
+		// tracks boot-time overhead, not raw capacity.
+		pm := k.Mem()
+		need := uint64(c.PagesPerProc) + uint64(c.HugePages) + 128
+		usable := uint64((1 - c.Pressure) * float64(need))
+		if free := pm.FreeFrames(numa.NodeID(0)); free > usable {
+			pm.SetPressure(numa.NodeID(0), free-usable)
+		}
+	}
 
 	slots := make([]*churnSlot, c.Sockets)
 	for s := range slots {

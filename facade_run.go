@@ -1,9 +1,11 @@
 package mitosis
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
+	"github.com/mitosis-project/mitosis-sim/internal/fault"
 	"github.com/mitosis-project/mitosis-sim/internal/hw"
 	"github.com/mitosis-project/mitosis-sim/internal/kernel"
 	"github.com/mitosis-project/mitosis-sim/internal/numa"
@@ -231,6 +233,11 @@ type PhaseResult struct {
 	// ReplicaNodes lists the nodes holding a page-table copy after the
 	// phase (primary included once replicated).
 	ReplicaNodes []int `json:"replica_nodes,omitempty"`
+	// Killed marks a phase fault recovery aborted by killing the process
+	// (SIGBUS on an unrecoverable page-table MCE, or an OOM-kill). The
+	// counters cover the rounds completed before the kill; the process's
+	// remaining phases are skipped.
+	Killed bool `json:"killed,omitempty"`
 }
 
 // ReplicaTick is one change point of a replica-count timeline: from Round
@@ -255,6 +262,65 @@ type PolicyOutcome struct {
 	BackgroundCycles uint64 `json:"background_cycles,omitempty"`
 }
 
+// KilledProc records one process the fault engine killed and why
+// ("sigbus" or "oom").
+type KilledProc struct {
+	Process string `json:"process"`
+	Reason  string `json:"reason"`
+}
+
+// ProcHealth is one process's replica redundancy state after the run:
+// "replicated", "degraded", "lost", "unreplicated" or "killed:<reason>".
+type ProcHealth struct {
+	Process string `json:"process"`
+	State   string `json:"state"`
+	// Nodes lists the nodes holding a copy of the table (primary
+	// included); empty for killed processes.
+	Nodes []int `json:"nodes,omitempty"`
+}
+
+// FaultOutcome is the fault engine's record for a run: what the plan
+// injected, how the machine recovered, and who survived. Deterministic
+// across engine modes and sweep worker counts.
+type FaultOutcome struct {
+	// Plan echoes the scenario's fault DSL.
+	Plan string `json:"plan"`
+	// Injected counts plan events fired; Pending counts events scheduled
+	// past the last barrier the run reached.
+	Injected int `json:"injected"`
+	Pending  int `json:"pending,omitempty"`
+	// MCEs counts simulated machine-check exceptions (poisoned frames).
+	MCEs int `json:"mces,omitempty"`
+	// PTRebuilds counts page-table copies rebuilt from a surviving
+	// replica; DataDiscards counts poisoned data pages discarded.
+	PTRebuilds   int `json:"pt_rebuilds,omitempty"`
+	DataDiscards int `json:"data_discards,omitempty"`
+	// SigbusKills / OOMKills count process deaths by cause.
+	SigbusKills int `json:"sigbus_kills,omitempty"`
+	OOMKills    int `json:"oom_kills,omitempty"`
+	// NodesOfflined counts hot-removes; EvacuatedPages the data pages
+	// migrated off offlined nodes.
+	NodesOfflined  int `json:"nodes_offlined,omitempty"`
+	EvacuatedPages int `json:"evacuated_pages,omitempty"`
+	// RetiredFrames counts frames permanently retired from the
+	// allocator; ReclaimedFrames the frames the pressure ladder freed;
+	// AbortedReplications the in-flight incremental replications it and
+	// node offlining aborted.
+	RetiredFrames       int    `json:"retired_frames,omitempty"`
+	ReclaimedFrames     uint64 `json:"reclaimed_frames,omitempty"`
+	AbortedReplications int    `json:"aborted_replications,omitempty"`
+	// RecoveryCycles is the total recovery work, attributed to the
+	// victim processes' cores.
+	RecoveryCycles uint64 `json:"recovery_cycles,omitempty"`
+	// Actions is the deterministic recovery log ("r12:node 1 offline",
+	// ...), identical across engine modes.
+	Actions []string `json:"actions,omitempty"`
+	// Killed lists the processes the engine killed, in kill order.
+	Killed []KilledProc `json:"killed,omitempty"`
+	// Health is every process's replica redundancy state after the run.
+	Health []ProcHealth `json:"health,omitempty"`
+}
+
 // RunResult is a scenario run's complete record: the exact (normalized)
 // spec that produced it, per-phase counters, and policy telemetry. It
 // serializes; replaying Result.Scenario in the same engine mode and with
@@ -275,6 +341,9 @@ type RunResult struct {
 	// Tiering records each tiering engine's outcome (empty when no process
 	// ran a tier policy, so flat records are unchanged).
 	Tiering []TierOutcome `json:"tiering,omitempty"`
+	// Faults records the fault engine's outcome (nil when the scenario
+	// schedules no faults, so existing records are unchanged).
+	Faults *FaultOutcome `json:"faults,omitempty"`
 	// ReplicaPTPages counts the replica page-table pages created over the
 	// whole run — the memory replication spent.
 	ReplicaPTPages uint64 `json:"replica_pt_pages"`
@@ -412,7 +481,34 @@ func (s *System) Run(sc Scenario, opts ...RunOpt) (*RunResult, error) {
 		k.SetInterference(numa.NodeID(n), true)
 	}
 
-	for _, rp := range procs {
+	// The fault engine addresses processes by spawn order and fires on a
+	// run-global cumulative round clock that advances across all
+	// processes and phases in execution order — the key to bit-identical
+	// injection regardless of engine mode or sweep worker count.
+	var fe *kernel.FaultEngine
+	faultPlan, err := fault.ParsePlan(sc.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("mitosis: faults: %w", err)
+	}
+	if !faultPlan.Empty() {
+		kprocs := make([]*kernel.Process, len(procs))
+		names := make([]string, len(procs))
+		for i, rp := range procs {
+			kprocs[i] = rp.pr.p
+			names[i] = rp.spec.Name
+		}
+		fe = k.AttachFaultEngine(faultPlan, kprocs, names)
+	}
+	faultBase := 0
+
+	for pidx, rp := range procs {
+		if fe != nil {
+			if _, dead := fe.Killed(pidx); dead {
+				// Killed while idle (by an event fired during another
+				// process's phase); its remaining schedule is void.
+				continue
+			}
+		}
 		for pi, ph := range rp.spec.Phases {
 			phaseName := ph.Name
 			if phaseName == "" {
@@ -447,17 +543,19 @@ func (s *System) Run(sc Scenario, opts ...RunOpt) (*RunResult, error) {
 					Chunk:     rc.chunk,
 					TickEvery: rp.spec.Policy.TickEvery,
 				}
-				if rp.eng != nil || rp.teng != nil || rc.obs != nil {
+				if rp.eng != nil || rp.teng != nil || rc.obs != nil || fe != nil {
 					t := &runTicker{
 						engine: rp.eng, tier: rp.teng, obs: rc.obs, m: m,
 						topo: topo, p: rp.pr.p, process: rp.spec.Name,
 						phase: phaseName, base: rp.tickBase,
+						fault: fe, faultBase: faultBase,
 					}
-					if rp.teng != nil {
+					if rp.teng != nil || fe != nil {
 						// The replication and tiering engines may want
-						// different cadences; run the ticker every round
-						// and apply each period on the phase-local round
-						// inside it. Without tiering the engine-level
+						// different cadences, and the fault engine must see
+						// every barrier; run the ticker every round and
+						// apply each period on the phase-local round
+						// inside it. Without them the engine-level
 						// TickEvery governs, exactly as before.
 						t.policyEvery = rp.spec.Policy.TickEvery
 						t.tierEvery = rp.spec.Tiering.TickEvery
@@ -472,18 +570,33 @@ func (s *System) Run(sc Scenario, opts ...RunOpt) (*RunResult, error) {
 				} else {
 					wres, err = workloads.RunWith(rp.env, rp.w, ph.Ops, ecfg)
 				}
-				if err != nil {
+				killed := err != nil && errors.Is(err, kernel.ErrProcessKilled)
+				if err != nil && !killed {
 					return fail(err)
 				}
-				// Advance the cumulative round clock by this phase's
-				// rounds (the engine restarts its counter per run).
+				// Advance the cumulative round clocks by this phase's
+				// scheduled rounds (the engine restarts its counter per
+				// run; a killed phase still consumed its slot in the
+				// plan's clock, keeping later events deterministic).
 				chunk := rc.chunk
 				if chunk <= 0 {
 					chunk = workloads.DefaultChunk
 				}
-				rp.tickBase += (ph.Ops + chunk - 1) / chunk
-				res.Counters = countersOf(wres)
-				res.PerSocket = socketCountersOf(m, topo)
+				rounds := (ph.Ops + chunk - 1) / chunk
+				rp.tickBase += rounds
+				faultBase += rounds
+				if wres != nil {
+					res.Counters = countersOf(wres)
+					res.PerSocket = socketCountersOf(m, topo)
+				}
+				if killed {
+					// The victim's partial counters are in; destroy the
+					// corpse and void its remaining schedule.
+					res.Killed = true
+					k.DestroyProcess(rp.pr.p)
+					rr.Phases = append(rr.Phases, res)
+					break
+				}
 			}
 			for _, n := range rp.pr.p.ReplicaNodes() {
 				res.ReplicaNodes = append(res.ReplicaNodes, int(n))
@@ -513,8 +626,47 @@ func (s *System) Run(sc Scenario, opts ...RunOpt) (*RunResult, error) {
 		}
 		rr.Tiering = append(rr.Tiering, tierOutcomeOf(rp.spec.Name, rp.teng))
 	}
+	if fe != nil {
+		rr.Faults = faultOutcomeOf(sc.Faults, fe)
+	}
 	rr.ReplicaPTPages = k.Backend().Stats.ReplicaPTPages
 	return rr, nil
+}
+
+// faultOutcomeOf converts the fault engine's record to the serializable
+// outcome.
+func faultOutcomeOf(plan string, fe *kernel.FaultEngine) *FaultOutcome {
+	st := fe.Stats()
+	out := &FaultOutcome{
+		Plan:                plan,
+		Injected:            st.Injected,
+		Pending:             fe.Pending(),
+		MCEs:                st.MCEs,
+		PTRebuilds:          st.PTRebuilds,
+		DataDiscards:        st.DataDiscards,
+		SigbusKills:         st.SigbusKills,
+		OOMKills:            st.OOMKills,
+		NodesOfflined:       st.NodesOfflined,
+		EvacuatedPages:      st.EvacuatedPages,
+		RetiredFrames:       st.RetiredFrames,
+		ReclaimedFrames:     st.ReclaimedFrames,
+		AbortedReplications: st.AbortedReplications,
+		RecoveryCycles:      uint64(st.RecoveryCycles),
+	}
+	for _, rec := range fe.ActionLog() {
+		out.Actions = append(out.Actions, rec.String())
+	}
+	for _, h := range fe.Health() {
+		ph := ProcHealth{Process: h.Name, State: h.State}
+		for _, n := range h.Nodes {
+			ph.Nodes = append(ph.Nodes, int(n))
+		}
+		out.Health = append(out.Health, ph)
+		if reason, dead := fe.Killed(h.Proc); dead {
+			out.Killed = append(out.Killed, KilledProc{Process: h.Name, Reason: reason})
+		}
+	}
+	return out
 }
 
 // applyMask sets the process's static replication mask per the spec.
@@ -597,6 +749,11 @@ type runTicker struct {
 	// base is the cumulative round count of the process's earlier phases;
 	// it keeps the action log, timeline and observer events on one clock.
 	base int
+	// fault is the run's fault engine (nil without a plan); faultBase is
+	// the run-global cumulative round count across ALL processes'
+	// earlier phases — the clock fault events key on.
+	fault     *kernel.FaultEngine
+	faultBase int
 	// policyEvery / tierEvery gate the engines on the phase-local round
 	// when the two want different cadences (0 or 1: every invocation — the
 	// engine-level TickEvery already set the cadence).
@@ -631,6 +788,13 @@ func (t *runTicker) RunEnd() {
 func (t *runTicker) Tick(round int) error {
 	local := round
 	round += t.base
+	// Faults fire first: the policy and tiering engines tick against the
+	// post-recovery machine, observing what the failure left behind.
+	if t.fault != nil {
+		if err := t.fault.Tick(uint64(local+t.faultBase), t.p); err != nil {
+			return err
+		}
+	}
 	if t.engine != nil && (t.policyEvery <= 1 || local%t.policyEvery == 0) {
 		if err := t.engine.Tick(round); err != nil {
 			return err

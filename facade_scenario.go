@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"slices"
+
+	"github.com/mitosis-project/mitosis-sim/internal/fault"
 )
 
 // Placement policy names shared by PlacementSpec.Data and
@@ -315,6 +317,13 @@ type Scenario struct {
 	// Interference lists nodes whose memory bandwidth a co-located hog
 	// loads for the whole run (§3.2's interference configurations).
 	Interference []int `json:"interference,omitempty"`
+	// Faults is a deterministic fault-injection plan in the fault DSL
+	// (';'-separated events, e.g. "poison-pt:r8:p0:n1;offline:r12:n2" —
+	// see internal/fault.ParsePlan). Events fire at the cumulative
+	// round-barrier clock that advances across all processes and phases
+	// in execution order; recovery runs synchronously at the same
+	// barrier. Empty means no faults, leaving every path untouched.
+	Faults string `json:"faults,omitempty"`
 	// Processes run in order: each process executes its full phase
 	// schedule before the next starts (the engine drives one process at a
 	// time; simultaneity is modeled via Interference).
@@ -345,6 +354,12 @@ func WithFragmentation(f float64) ScenarioOpt { return func(s *Scenario) { s.Fra
 // WithInterference marks nodes as bandwidth-loaded for the whole run.
 func WithInterference(nodes ...int) ScenarioOpt {
 	return func(s *Scenario) { s.Interference = nodes }
+}
+
+// WithFaults sets the fault-injection plan (the fault DSL, e.g.
+// "poison-pt:r8:p0:n1;pressure:r4:n0:f4096").
+func WithFaults(plan string) ScenarioOpt {
+	return func(s *Scenario) { s.Faults = plan }
 }
 
 // WithProc appends a process.
@@ -446,6 +461,20 @@ func (sc Scenario) Validate() error {
 	if len(sc.Processes) == 0 {
 		return fmt.Errorf("scenario %q has no processes; add one with mitosis.WithProc(mitosis.NewProc(...))", sc.Name)
 	}
+	faultPlan, err := fault.ParsePlan(sc.Faults)
+	if err != nil {
+		return fmt.Errorf("scenario %q: faults: %w", sc.Name, err)
+	}
+	if err := faultPlan.Validate(len(sc.Processes), nodes); err != nil {
+		return fmt.Errorf("scenario %q: faults: %w", sc.Name, err)
+	}
+	if !faultPlan.Empty() {
+		for i, p := range sc.Processes {
+			if p.VM != nil {
+				return fmt.Errorf("scenario %q: faults set but process[%d] %q is virtualized; fault injection is native-only", sc.Name, i, p.Name)
+			}
+		}
+	}
 	names := map[string]bool{}
 	for i, p := range sc.Processes {
 		where := fmt.Sprintf("scenario %q: process[%d] %q", sc.Name, i, p.Name)
@@ -543,6 +572,7 @@ type scenarioJSON struct {
 	Seed          int64        `json:"seed,omitempty"`
 	Fragmentation float64      `json:"fragmentation,omitempty"`
 	Interference  []int        `json:"interference,omitempty"`
+	Faults        string       `json:"faults,omitempty"`
 	Processes     []ProcSpec   `json:"processes"`
 }
 
@@ -559,6 +589,7 @@ func (sc Scenario) MarshalJSON() ([]byte, error) {
 		Seed:          sc.Seed,
 		Fragmentation: sc.Fragmentation,
 		Interference:  sc.Interference,
+		Faults:        sc.Faults,
 		Processes:     sc.Processes,
 	})
 }
@@ -582,6 +613,7 @@ func (sc *Scenario) UnmarshalJSON(data []byte) error {
 		Seed:          j.Seed,
 		Fragmentation: j.Fragmentation,
 		Interference:  j.Interference,
+		Faults:        j.Faults,
 		Processes:     j.Processes,
 	}
 	if err := out.Validate(); err != nil {

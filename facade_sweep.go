@@ -8,6 +8,8 @@ import (
 	"slices"
 	"sync"
 	"time"
+
+	"github.com/mitosis-project/mitosis-sim/internal/fault"
 )
 
 // Sweep is a declarative experiment grid: the cartesian product of axis
@@ -51,6 +53,12 @@ type Sweep struct {
 	// geometry string). A non-empty entry overrides the machine's
 	// Hardware for that cell. Default: [""].
 	Hardware []string `json:"hardware,omitempty"`
+	// Faults lists fault plans in Scenario.Faults DSL form ("" = no
+	// faults; "poison-pt:r8:p0:n1", "offline:r12:n1;pressure:r4:n0:f64",
+	// ...). A non-empty entry injects that plan into the cell. Fault
+	// cells must be native (virt cells cannot take faults). Default:
+	// [""].
+	Faults []string `json:"faults,omitempty"`
 
 	// BaseSeed, SeedRungs and SeedStride form the seed ladder: every axis
 	// combination runs once per rung r in [0,SeedRungs) with scenario seed
@@ -106,6 +114,9 @@ func (sw Sweep) normalized() Sweep {
 	}
 	if len(sw.Hardware) == 0 {
 		sw.Hardware = []string{""}
+	}
+	if len(sw.Faults) == 0 {
+		sw.Faults = []string{""}
 	}
 	if sw.BaseSeed == 0 {
 		sw.BaseSeed = 42
@@ -197,6 +208,23 @@ func (sw Sweep) Validate() error {
 			return fmt.Errorf("sweep %q: virt cells require 4-level paging; drop hardware %q or the virt axis", sw.Name, hw)
 		}
 	}
+	for _, fp := range sw.Faults {
+		if fp == "" {
+			continue
+		}
+		plan, err := fault.ParsePlan(fp)
+		if err != nil {
+			return fmt.Errorf("sweep %q: faults %q: %w", sw.Name, fp, err)
+		}
+		// Every cell runs exactly one process on a machine with one NUMA
+		// node per socket.
+		if err := plan.Validate(1, m.Sockets); err != nil {
+			return fmt.Errorf("sweep %q: faults %q: %w", sw.Name, fp, err)
+		}
+		if slices.Contains(sw.Virt, true) {
+			return fmt.Errorf("sweep %q: virt cells cannot take faults (fault injection is native-only); split the sweep", sw.Name)
+		}
+	}
 	if sw.SeedRungs < 1 {
 		return fmt.Errorf("sweep %q: seed_rungs %d must be >= 1", sw.Name, sw.SeedRungs)
 	}
@@ -222,7 +250,8 @@ func (sw Sweep) Cells() int {
 	sw = sw.normalized()
 	return len(sw.Workloads) * len(sw.Policies) * len(sw.SocketCounts) *
 		len(sw.Fragmentation) * len(sw.Virt) * len(sw.Tiers) *
-		len(sw.TierPolicies) * len(sw.Hardware) * sw.SeedRungs
+		len(sw.TierPolicies) * len(sw.Hardware) * len(sw.Faults) *
+		sw.SeedRungs
 }
 
 // cellAxes is one cell's decoded axis tuple.
@@ -235,6 +264,7 @@ type cellAxes struct {
 	tiers      string
 	tierPolicy string
 	hardware   string
+	faults     string
 	seed       int64
 }
 
@@ -258,6 +288,10 @@ func (sw Sweep) axes(i int) cellAxes {
 	// its default length-1 radix decodes old cell indices unchanged, so
 	// recorded sweeps without the axis replay the same cells.
 	ax.hardware = sw.Hardware[next(len(sw.Hardware))]
+	// The fault axis sits between hardware and the seed rung; its default
+	// length-1 radix decodes old cell indices unchanged, so recorded
+	// sweeps without the axis replay the same cells.
+	ax.faults = sw.Faults[next(len(sw.Faults))]
 	ax.seed = sw.BaseSeed + int64(next(sw.SeedRungs))*sw.SeedStride
 	return ax
 }
@@ -346,11 +380,16 @@ func (sw Sweep) cell(i int, ax cellAxes) Scenario {
 	if ax.hardware != "" {
 		name += "/hw=" + ax.hardware
 	}
+	// And for the fault axis.
+	if ax.faults != "" {
+		name += "/faults=" + ax.faults
+	}
 	return Scenario{
 		Name:          name,
 		Machine:       machine,
 		Seed:          ax.seed,
 		Fragmentation: ax.frag,
+		Faults:        ax.faults,
 		Processes:     []ProcSpec{p},
 	}
 }
@@ -367,6 +406,15 @@ type CellOutcome struct {
 	// TierActions counts runtime tiering actions applied (zero, and so
 	// omitted, for cells without a tier policy).
 	TierActions int `json:"tier_actions,omitempty"`
+	// FaultsInjected counts fault events injected (zero, and so omitted,
+	// for cells without a fault plan).
+	FaultsInjected int `json:"faults_injected,omitempty"`
+	// FaultKills counts processes killed by fault recovery (SIGBUS on an
+	// unreplicated poisoned root plus OOM under pressure).
+	FaultKills int `json:"fault_kills,omitempty"`
+	// FaultRecoveries counts recoveries that kept the process alive
+	// (page-table rebuilds plus data-page discards).
+	FaultRecoveries int `json:"fault_recoveries,omitempty"`
 }
 
 // CellResult is one completed cell: its axis tuple, the deterministic
@@ -382,6 +430,7 @@ type CellResult struct {
 	Tiers         string  `json:"tiers,omitempty"`
 	TierPolicy    string  `json:"tier_policy,omitempty"`
 	Hardware      string  `json:"hardware,omitempty"`
+	Faults        string  `json:"faults,omitempty"`
 	Seed          int64   `json:"seed"`
 	Engine        string  `json:"engine"`
 	// Outcome is empty when Error is set.
@@ -591,6 +640,7 @@ func (sw Sweep) runCell(idx int, mode EngineMode, sysp **System, pool bool) Cell
 		Virt:          ax.virt,
 		Tiers:         ax.tiers,
 		Hardware:      ax.hardware,
+		Faults:        ax.faults,
 		Seed:          ax.seed,
 		Engine:        mode.String(),
 	}
@@ -635,6 +685,11 @@ func (sw Sweep) runCell(idx int, mode EngineMode, sysp **System, pool bool) Cell
 	}
 	for i := range rr.Tiering {
 		cr.Outcome.TierActions += len(rr.Tiering[i].Actions)
+	}
+	if rr.Faults != nil {
+		cr.Outcome.FaultsInjected = rr.Faults.Injected
+		cr.Outcome.FaultKills = rr.Faults.SigbusKills + rr.Faults.OOMKills
+		cr.Outcome.FaultRecoveries = rr.Faults.PTRebuilds + rr.Faults.DataDiscards
 	}
 	return cr
 }

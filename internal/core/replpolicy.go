@@ -121,6 +121,15 @@ type Telemetry struct {
 	PTPages int
 	// Sockets holds one sample per socket, indexed by SocketID.
 	Sockets []SocketSample
+	// MemFree is the per-node free-frame count at the tick, indexed by
+	// NodeID. Policies use it to avoid replicating onto full nodes.
+	MemFree []uint64
+	// MemPressure is the per-node usable-frame floor an active pressure
+	// wave withholds (0 = no wave), indexed by NodeID.
+	MemPressure []uint64
+	// Offline lists the nodes currently hot-removed, ascending. A
+	// replica there is gone and a replicate action there will fail.
+	Offline []numa.NodeID
 }
 
 // InFlightOn reports whether a replica build for node is in progress.

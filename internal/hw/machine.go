@@ -35,6 +35,15 @@ var ErrNoContext = errors.New("hw: core has no address space loaded")
 // ErrSegfault is returned when a fault cannot be resolved by the handler.
 var ErrSegfault = errors.New("hw: unresolvable page fault")
 
+// ErrMachineCheck is returned when an access touches a frame carrying an
+// uncorrectable ECC error — the simulated MCE. Under the fault-injection
+// contract (poison injected and recovered at the same round barrier) a
+// correctly recovered run never raises it: the guard actively enforces
+// the "no walk reads a poisoned frame after recovery" invariant. The
+// check arms only while poisoned frames exist, so fault-free runs pay one
+// counter load per batch and nothing per op.
+var ErrMachineCheck = errors.New("hw: machine check exception (poisoned frame)")
+
 // FaultHandler resolves page faults: the simulator's kernel entry point.
 // It returns the cycles the fault handling consumed (charged to the
 // faulting core, outside walk cycles).
@@ -422,8 +431,9 @@ func (m *Machine) Access(core numa.CoreID, va pt.VirtAddr, write bool) error {
 		return ErrNoContext
 	}
 	socket := c.tctx.Socket
+	armed := m.pm.PoisonCount() > 0
 	c.busy.Store(1)
-	err := m.accessOne(c, core, socket, c.tctx.Home, va, write, &c.stats)
+	err := m.accessOne(c, core, socket, c.tctx.Home, va, write, armed, &c.stats)
 	c.busy.Store(0)
 	for _, line := range c.pending {
 		m.invalidateOthers(socket, line)
@@ -458,11 +468,12 @@ func (m *Machine) AccessBatch(core numa.CoreID, ops []AccessOp) error {
 	}
 	socket := c.tctx.Socket
 	home := c.tctx.Home
+	armed := m.pm.PoisonCount() > 0
 	c.busy.Store(1)
 	c.delta = CoreStats{}
 	var err error
 	for i := range ops {
-		if err = m.accessOne(c, core, socket, home, ops[i].VA, ops[i].Write, &c.delta); err != nil {
+		if err = m.accessOne(c, core, socket, home, ops[i].VA, ops[i].Write, armed, &c.delta); err != nil {
 			break
 		}
 	}
@@ -516,10 +527,17 @@ func (m *Machine) EndConcurrent(cores []numa.CoreID) {
 // handles the translation caches and the walk; the machine charges the
 // pipeline, scales walk latency by the core's overlap model, and runs the
 // statistical data-cache model.
-func (m *Machine) accessOne(c *coreState, core numa.CoreID, socket numa.SocketID, home numa.NodeID, va pt.VirtAddr, write bool, st *CoreStats) error {
+func (m *Machine) accessOne(c *coreState, core numa.CoreID, socket numa.SocketID, home numa.NodeID, va pt.VirtAddr, write bool, armed bool, st *CoreStats) error {
 	st.Ops++
 	cycles := m.cPipeline
 	c.tctx.Stats = st
+
+	// MCE guard, armed only while poisoned frames exist: a walk starting
+	// from a poisoned root traps before translating.
+	if armed && m.pm.Poisoned(c.tctx.CR3) {
+		st.Cycles += cycles
+		return fmt.Errorf("%w: core %d root frame %d", ErrMachineCheck, core, c.tctx.CR3)
+	}
 
 	entry, probeCy, ok := c.xc.Probe(&c.tctx, va, write)
 	cycles += probeCy
@@ -548,6 +566,11 @@ func (m *Machine) accessOne(c *coreState, core numa.CoreID, socket numa.SocketID
 	}
 	if node == numa.InvalidNode {
 		node = m.pm.NodeOf(frame)
+	}
+
+	if armed && m.pm.Poisoned(frame) {
+		st.Cycles += cycles
+		return fmt.Errorf("%w: core %d va %#x data frame %d", ErrMachineCheck, core, uint64(va), frame)
 	}
 
 	// Data access cost: statistically cached, else DRAM at the frame's

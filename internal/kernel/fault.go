@@ -101,7 +101,18 @@ func (k *Kernel) populateOne(p *Process, v *VMA, va pt.VirtAddr, socket numa.Soc
 	if err != nil {
 		return 0, err
 	}
-	p.Meter.Cycles += k.cost.Params().PageZero + k.costs.FrameAlloc
+	params := k.cost.Params()
+	zero := params.PageZero
+	if k.pm.NodeOf(frame) != dataNode {
+		// The allocation spilled off its placement node (exhaustion or a
+		// pressure floor): the failed preferred-node attempt entered
+		// direct reclaim before falling back, and the zero-fill streams
+		// over the interconnect (scaled by the remote/local DRAM latency
+		// ratio). On-placement fills are untouched, so runs that never
+		// spill are unchanged.
+		zero = zero*params.RemoteDRAM/params.LocalDRAM + k.costs.DirectReclaim
+	}
+	p.Meter.Cycles += zero + k.costs.FrameAlloc
 	base := pt.PageBase(va, pt.Size4K)
 	if err := p.mapper.Map(ctx, base, pt.Size4K, frame, flags, place); err != nil {
 		// Page-table page allocation can hit memory pressure too; replicas

@@ -50,17 +50,25 @@ type Costs struct {
 	// than allocation since freed pages are not zeroed (§8.3.2 relies on
 	// this asymmetry).
 	FrameFree numa.Cycles
+	// DirectReclaim is the cost of a failed preferred-node allocation
+	// entering reclaim before the kernel falls back off-node: the
+	// watermark scan plus a compaction attempt. It fires only when a node
+	// refuses an allocation (exhaustion or a pressure floor), so runs
+	// that never exhaust a node never pay it — and it is the latency
+	// spike that fattens fault tails under memory pressure.
+	DirectReclaim numa.Cycles
 }
 
 // DefaultCosts returns the calibrated kernel path costs.
 func DefaultCosts() Costs {
 	return Costs{
-		FaultEntry:   900,
-		SyscallEntry: 400,
-		PTEVisit:     15,
-		PageCopy:     2300,
-		FrameAlloc:   500,
-		FrameFree:    150,
+		FaultEntry:    900,
+		SyscallEntry:  400,
+		PTEVisit:      15,
+		PageCopy:      2300,
+		FrameAlloc:    500,
+		FrameFree:     150,
+		DirectReclaim: 20000,
 	}
 }
 

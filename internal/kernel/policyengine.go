@@ -129,6 +129,39 @@ func (e *PolicyEngine) RunEnd() {
 	e.inflight = nil
 }
 
+// AbortInflightOn aborts the in-flight incremental replication
+// targeting node, if any, tearing down its partial copy. It returns the
+// number of jobs aborted (0 or 1). The fault engine uses it when node
+// goes offline.
+func (e *PolicyEngine) AbortInflightOn(node numa.NodeID) int {
+	aborted := 0
+	kept := e.inflight[:0]
+	for _, job := range e.inflight {
+		if job.ir.Node() != node {
+			kept = append(kept, job)
+			continue
+		}
+		e.k.AbortBackgroundReplication(e.p, job.ir, job.ctx)
+		e.drainBg(job)
+		aborted++
+	}
+	e.inflight = kept
+	return aborted
+}
+
+// AbortAllInflight aborts every in-flight incremental replication —
+// the pressure ladder's second rung, freeing the partial copies' frames
+// before anyone gets OOM-killed. It returns the number aborted.
+func (e *PolicyEngine) AbortAllInflight() int {
+	aborted := len(e.inflight)
+	for _, job := range e.inflight {
+		e.k.AbortBackgroundReplication(e.p, job.ir, job.ctx)
+		e.drainBg(job)
+	}
+	e.inflight = nil
+	return aborted
+}
+
 // Tick implements workloads.RoundTicker: it runs one policy tick at a round
 // barrier. round is the 1-based engine round the barrier closed.
 func (e *PolicyEngine) Tick(round int) error {
@@ -199,6 +232,14 @@ func (e *PolicyEngine) telemetry(round int) *core.Telemetry {
 	}
 	for _, job := range e.inflight {
 		t.InFlight = append(t.InFlight, job.ir.Node())
+	}
+	for n := 0; n < topo.Nodes(); n++ {
+		id := numa.NodeID(n)
+		t.MemFree = append(t.MemFree, k.pm.FreeFrames(id))
+		t.MemPressure = append(t.MemPressure, k.pm.PressureFrames(id))
+		if k.pm.NodeOffline(id) {
+			t.Offline = append(t.Offline, id)
+		}
 	}
 	replicated := p.ReplicaNodes()
 	for s := 0; s < topo.Sockets(); s++ {

@@ -305,12 +305,29 @@ func (p *Process) opCtx() *pvops.OpCtx {
 }
 
 // place returns the page-table placement for a fault handled on socket s.
+// A placement targeting an offlined node redirects to the lowest online
+// node: the socket's cores keep running after a memory hot-remove, but
+// new page-table pages must come from live memory.
 func (p *Process) place(s numa.SocketID) pvops.PTPlacement {
 	node := p.kernel.topo.NodeOf(s)
 	if p.ptPolicy == PTFixed {
 		node = p.ptNode
 	}
+	if p.kernel.pm.NodeOffline(node) {
+		node = p.kernel.onlineNode(node)
+	}
 	return pvops.PTPlacement{Primary: node, Replicas: p.space.Mask()}
+}
+
+// onlineNode returns the lowest online node, preferring any over the
+// excluded (offlined) one.
+func (k *Kernel) onlineNode(exclude numa.NodeID) numa.NodeID {
+	for n := 0; n < k.topo.Nodes(); n++ {
+		if id := numa.NodeID(n); id != exclude && !k.pm.NodeOffline(id) {
+			return id
+		}
+	}
+	return exclude
 }
 
 // dataNode picks the node for a new data page faulted from socket s.

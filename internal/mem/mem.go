@@ -51,6 +51,10 @@ const (
 	KindData
 	// KindPageTable marks a frame holding a page-table page.
 	KindPageTable
+	// KindRetired marks a frame permanently removed from service after an
+	// uncorrectable ECC error (the hardware page-offline model): it never
+	// returns to the free pool.
+	KindRetired
 )
 
 func (k Kind) String() string {
@@ -61,6 +65,8 @@ func (k Kind) String() string {
 		return "data"
 	case KindPageTable:
 		return "pagetable"
+	case KindRetired:
+		return "retired"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -73,6 +79,9 @@ var ErrOutOfMemory = errors.New("mem: out of memory on requested node")
 // ErrNoContiguous is returned when a huge-page allocation cannot find 512
 // contiguous free frames on the requested node (e.g., under fragmentation).
 var ErrNoContiguous = errors.New("mem: no contiguous 2MB block available")
+
+// ErrNodeOffline is returned for allocations on a hot-removed node.
+var ErrNodeOffline = errors.New("mem: node is offline")
 
 // FrameMeta is the per-frame metadata, the simulator's struct page. Mitosis
 // threads its circular replica list through ReplicaNext exactly as the paper
@@ -129,6 +138,12 @@ type nodeState struct {
 	nextGroup   int      // next-fit hint for huge-block scan (group index)
 	allocData   uint64   // live data frames
 	allocPT     uint64   // live page-table frames
+	retired     uint64   // frames permanently retired after ECC poison
+	offline     bool     // node hot-removed: allocations refused
+	// pressure is the usable-frame floor a fault-injected pressure wave
+	// reserves: single-frame allocation fails once free would drop to or
+	// below it, forcing the kernel's reclaim ladder to run.
+	pressure uint64
 	// scanWords counts mask/bitmap words examined by the allocator — a
 	// test hook asserting the allocator does not degrade back into
 	// whole-node scans under alloc/free churn.
@@ -187,6 +202,15 @@ type PhysMem struct {
 	// table into a parent entry (release/acquire via pt.WriteEntryRaw /
 	// pt.ReadEntry).
 	tables []*[PTEntries]uint64
+	// poison is a machine-wide bitmap of frames carrying an uncorrectable
+	// ECC error (one bit per frame, atomic word ops): injection marks a
+	// bit, recovery clears it when the frame is retired. Accessed lock-free
+	// from the machine's access guard, so it lives outside the per-node
+	// mutexes.
+	poison []uint64
+	// poisonCount tracks set poison bits. The access guard reads it once
+	// per batch to stay zero-cost when no fault is in flight.
+	poisonCount atomic.Int64
 }
 
 // Config configures a PhysMem.
@@ -213,6 +237,7 @@ func New(cfg Config) *PhysMem {
 		nodes:         make([]nodeState, n),
 		meta:          make([]FrameMeta, cfg.FramesPerNode*uint64(n)),
 		tables:        make([]*[PTEntries]uint64, cfg.FramesPerNode*uint64(n)),
+		poison:        make([]uint64, (cfg.FramesPerNode*uint64(n)+63)/64),
 	}
 	for i := range pm.meta {
 		pm.meta[i].ReplicaNext = NilFrame
@@ -359,6 +384,100 @@ func (pm *PhysMem) FreeFrames(n numa.NodeID) uint64 {
 	return ns.free
 }
 
+// SetPoison marks frame f as carrying an uncorrectable ECC error. The
+// mark is advisory until recovery acts on it: the machine's access guard
+// raises an MCE if a walk or load touches the frame first.
+func (pm *PhysMem) SetPoison(f FrameID) {
+	pm.checkFrame(f)
+	w, b := uint64(f)>>6, uint64(1)<<(uint64(f)&63)
+	// A plain CAS loop, not atomic.OrUint64: poison flips are rare (one
+	// per injected fault) and the value-returning or/and intrinsics
+	// miscompile on some amd64 toolchains.
+	for {
+		old := atomic.LoadUint64(&pm.poison[w])
+		if old&b != 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(&pm.poison[w], old, old|b) {
+			pm.poisonCount.Add(1)
+			return
+		}
+	}
+}
+
+// ClearPoison removes the poison mark from frame f (recovery has retired
+// or rebuilt it).
+func (pm *PhysMem) ClearPoison(f FrameID) {
+	pm.checkFrame(f)
+	w, b := uint64(f)>>6, uint64(1)<<(uint64(f)&63)
+	for {
+		old := atomic.LoadUint64(&pm.poison[w])
+		if old&b == 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(&pm.poison[w], old, old&^b) {
+			pm.poisonCount.Add(-1)
+			return
+		}
+	}
+}
+
+// Poisoned reports whether frame f carries a poison mark. Lock-free.
+func (pm *PhysMem) Poisoned(f FrameID) bool {
+	pm.checkFrame(f)
+	return atomic.LoadUint64(&pm.poison[uint64(f)>>6])&(1<<(uint64(f)&63)) != 0
+}
+
+// PoisonCount returns the number of currently poisoned frames. The
+// machine's access guard polls this once per batch: zero means no poison
+// checks on the per-op path.
+func (pm *PhysMem) PoisonCount() int64 { return pm.poisonCount.Load() }
+
+// Retired returns the number of frames permanently retired on node n.
+func (pm *PhysMem) Retired(n numa.NodeID) uint64 {
+	ns := pm.node(n)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.retired
+}
+
+// SetOffline marks node n as hot-removed (or restores it): an offline
+// node refuses all new allocations. Draining existing allocations is the
+// kernel's job.
+func (pm *PhysMem) SetOffline(n numa.NodeID, off bool) {
+	ns := pm.node(n)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.offline = off
+}
+
+// NodeOffline reports whether node n is hot-removed.
+func (pm *PhysMem) NodeOffline(n numa.NodeID) bool {
+	ns := pm.node(n)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.offline
+}
+
+// SetPressure reserves a usable-frame floor on node n: single-frame
+// allocation fails once free frames would drop to or below the floor,
+// and huge allocation once the whole block no longer fits above it.
+// Zero clears the wave.
+func (pm *PhysMem) SetPressure(n numa.NodeID, frames uint64) {
+	ns := pm.node(n)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.pressure = frames
+}
+
+// PressureFrames returns the reserved floor on node n.
+func (pm *PhysMem) PressureFrames(n numa.NodeID) uint64 {
+	ns := pm.node(n)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.pressure
+}
+
 // AllocatedPT returns the number of live page-table frames on node n.
 func (pm *PhysMem) AllocatedPT(n numa.NodeID) uint64 {
 	ns := pm.node(n)
@@ -418,6 +537,12 @@ func (pm *PhysMem) AllocHuge(n numa.NodeID) (FrameID, error) {
 	ns := pm.node(n)
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
+	if ns.offline {
+		return NilFrame, ErrNodeOffline
+	}
+	if ns.pressure > 0 && ns.free < ns.pressure+HugeFrames {
+		return NilFrame, ErrOutOfMemory
+	}
 	groups := len(ns.groupFree)
 	if groups == 0 {
 		return NilFrame, ErrNoContiguous
@@ -472,6 +597,16 @@ func (pm *PhysMem) Free(f FrameID) {
 		ns.recycleTable(t)
 		pm.tables[f] = nil
 	}
+	if pm.Poisoned(f) {
+		// ECC page-offline: a poisoned frame never returns to the free
+		// pool. The bitmap bit stays set so the allocator can never hand
+		// it out again; the poison mark clears because the hardware error
+		// is now contained.
+		*m = FrameMeta{Kind: KindRetired, ReplicaNext: NilFrame}
+		pm.ClearPoison(f)
+		ns.retired++
+		return
+	}
 	*m = FrameMeta{Kind: KindFree, ReplicaNext: NilFrame}
 	pm.clearBit(ns, uint64(f-ns.base))
 	ns.free++
@@ -496,21 +631,35 @@ func (pm *PhysMem) FreeHuge(base FrameID) {
 	if !pm.meta[base].HugeHead {
 		panic(fmt.Sprintf("mem: frame %d is not a huge-page head", base))
 	}
+	retired := uint64(0)
 	for off := FrameID(0); off < HugeFrames; off++ {
 		f := base + off
 		m := &pm.meta[f]
-		*m = FrameMeta{Kind: KindFree, ReplicaNext: NilFrame}
 		if t := pm.tables[f]; t != nil {
 			ns.recycleTable(t)
 			pm.tables[f] = nil
 		}
+		if pm.Poisoned(f) {
+			// A poisoned member retires in place; the rest of the block
+			// returns to the pool as 4KB frames.
+			*m = FrameMeta{Kind: KindRetired, ReplicaNext: NilFrame}
+			pm.ClearPoison(f)
+			retired++
+			continue
+		}
+		*m = FrameMeta{Kind: KindFree, ReplicaNext: NilFrame}
 		pm.clearBit(ns, uint64(f-ns.base))
 	}
 	g := int((base - ns.base) / HugeFrames)
-	ns.groupFree[g] = HugeFrames
-	maskSet(ns.freeMask, g)
-	ns.free += HugeFrames
+	ns.groupFree[g] = HugeFrames - uint32(retired)
+	if retired == 0 {
+		maskSet(ns.freeMask, g)
+	} else if ns.groupFree[g] > 0 {
+		maskSet(ns.partialMask, g)
+	}
+	ns.free += HugeFrames - retired
 	ns.allocData -= HugeFrames
+	ns.retired += retired
 }
 
 // SplitHuge converts an allocated 2MB block into 512 independent 4KB data
@@ -567,7 +716,10 @@ func (pm *PhysMem) DefragNode(n numa.NodeID) {
 // the scans would have chosen (lowest-index candidate group, lowest free
 // frame within it).
 func (pm *PhysMem) allocSingle(ns *nodeState) (FrameID, error) {
-	if ns.free == 0 {
+	if ns.offline {
+		return NilFrame, ErrNodeOffline
+	}
+	if ns.free == 0 || ns.free <= ns.pressure {
 		return NilFrame, ErrOutOfMemory
 	}
 	// A partially-used, non-full group first; then a fragmented fully-free
@@ -700,9 +852,20 @@ func (pm *PhysMem) Reset() {
 		}
 		ns.free = ns.frames
 		ns.allocData, ns.allocPT = 0, 0
+		ns.retired = 0
+		ns.offline = false
+		ns.pressure = 0
 		ns.nextGroup = 0
 		ns.scanWords = 0
 		ns.mu.Unlock()
+	}
+	// Fault state is machine-global: clear any still-pending poison marks
+	// (retired frames already cleared theirs on the free path).
+	if pm.poisonCount.Load() != 0 {
+		for i := range pm.poison {
+			atomic.StoreUint64(&pm.poison[i], 0)
+		}
+		pm.poisonCount.Store(0)
 	}
 }
 

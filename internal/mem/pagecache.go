@@ -126,6 +126,13 @@ func (pc *PageCache) FreePT(f FrameID) {
 		panic(fmt.Sprintf("mem: double FreePT of frame %d (already parked)", f))
 	}
 	n := pc.pm.NodeOf(f)
+	// Poisoned frames must retire (pm.Free handles that) and frames on an
+	// offlined node must not be parked for reuse — parking would hand a
+	// bad frame back out through AllocPT.
+	if pc.pm.Poisoned(f) || pc.pm.NodeOffline(n) {
+		pc.pm.Free(f)
+		return
+	}
 	pc.mus[n].Lock()
 	if uint64(len(pc.pools[n])) < pc.target {
 		meta.PTLevel = 0

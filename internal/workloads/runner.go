@@ -268,7 +268,10 @@ func run(env *Env, w Workload, opsPerThread int, reset bool, cfg EngineConfig) (
 			// coherence applied and cleared. Kernel-side policy work is
 			// safe here in both modes (parallel workers are parked).
 			if err := cfg.Ticker.Tick(round); err != nil {
-				return nil, fmt.Errorf("workloads: policy tick at round %d: %w", round, err)
+				// The partial counters ride along with the error: a fault
+				// tick that kills the running process still attributes the
+				// work it did before dying.
+				return Collect(env, participated), fmt.Errorf("workloads: policy tick at round %d: %w", round, err)
 			}
 			if newCores := env.P.Cores(); !slices.Equal(newCores, eng.cores) {
 				if err := eng.rebind(env, w, newCores, parallel); err != nil {
